@@ -1,0 +1,117 @@
+"""E10 -- type-inference cost scaling (sections 2 and 7).
+
+The paper's compiler runs Damas-Milner inference on every program and
+a static pass on every submission (section 7).  We generate program
+families of growing size and check that inference cost grows near
+linearly -- i.e. the type system is cheap enough to sit on the
+submission path of TyCOi.
+"""
+
+import time
+
+import pytest
+
+from repro.lang import parse_process, parse_program
+from repro.runtime.typecheck import check_site_program
+from repro.types import infer_program
+
+SIZES = (5, 20, 80)
+
+
+def chain_of_cells(n: int) -> str:
+    """n independent Cell definitions and instantiations."""
+    parts = []
+    for i in range(n):
+        parts.append(f"""
+        (def Cell{i}(self, v) =
+           self ? {{ read(r) = r![v] | Cell{i}[self, v],
+                     write(u) = Cell{i}[self, u] }}
+         in new x{i} (Cell{i}[x{i}, {i}]
+                    | new z{i} (x{i}!read[z{i}] | z{i}?(w{i}) = print![w{i}])))
+        """)
+    return " | ".join(parts)
+
+
+def deep_pipeline(n: int) -> str:
+    """A chain of n forwarders: types must flow the whole length."""
+    src = []
+    for i in range(n):
+        nxt = f"stage{i + 1}" if i + 1 < n else "sink"
+        src.append(f"(stage{i}?(v{i}) = {nxt}![v{i} + 1])")
+    body = " | ".join(src + ["stage0![0]", "(sink?(w) = print![w])"])
+    names = " ".join([f"stage{i}" for i in range(n)] + ["sink"])
+    return f"new {names} ({body})"
+
+
+class TestShape:
+    def test_inference_scales_near_linearly(self):
+        def cost(n):
+            term = parse_process(chain_of_cells(n))
+            t0 = time.perf_counter()
+            infer_program(term)
+            return time.perf_counter() - t0
+
+        t_small = min(cost(5) for _ in range(3))
+        t_large = min(cost(40) for _ in range(3))
+        # 8x the program should cost clearly less than 40x the time.
+        assert t_large < 40 * t_small
+
+    def test_pipeline_types_flow_end_to_end(self):
+        term = parse_process(deep_pipeline(30))
+        infer_program(term)  # must succeed (int flows the whole chain)
+
+    def test_pipeline_error_detected_at_depth(self):
+        bad = deep_pipeline(20).replace("stage0![0]", "stage0![true]")
+        term = parse_process(bad)
+        from repro.types import TycoTypeError
+
+        with pytest.raises(TycoTypeError):
+            infer_program(term)
+
+    def test_submission_pass_includes_signature_extraction(self):
+        parsed = parse_program(
+            "export new svc svc?{ put(n) = print![n + 1], "
+            "ask(r) = r![0] }")
+        sigs = check_site_program("server", parsed.program)
+        assert set(sigs.names["svc"].methods) == {"put", "ask"}
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_inference_wall_time(benchmark, n):
+    term = parse_process(chain_of_cells(n))
+
+    def kernel():
+        return infer_program(term)
+
+    benchmark(kernel)
+    benchmark.extra_info["cells"] = n
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_parse_and_check_wall_time(benchmark, n):
+    source = chain_of_cells(n)
+
+    def kernel():
+        return infer_program(parse_process(source))
+
+    benchmark(kernel)
+
+
+def report() -> list[dict]:
+    rows = []
+    for n in SIZES:
+        term = parse_process(chain_of_cells(n))
+        t0 = time.perf_counter()
+        infer_program(term)
+        elapsed = time.perf_counter() - t0
+        rows.append({
+            "cells": n,
+            "inference_ms": round(elapsed * 1e3, 3),
+            "ms_per_cell": round(elapsed * 1e3 / n, 4),
+        })
+    return rows
+
+
+if __name__ == "__main__":
+    for row in report():
+        print(row)

@@ -1,0 +1,96 @@
+"""E12 -- termination-detection overhead (section 7, future work).
+
+Safra's algorithm adds control traffic (token hops) on top of the
+application's packets.  We measure hops and rounds against (a) the
+ring size and (b) the amount of application communication, and the
+relative overhead token-hops / application-packets.
+"""
+
+import pytest
+
+from repro.runtime import DiTyCONetwork, run_with_termination_detection
+from repro.transport import SimWorld
+
+
+def build(n_nodes: int, calls_per_client: int):
+    world = SimWorld()
+    net = DiTyCONetwork(world=world)
+    net.add_node("server-node")
+    net.launch("server-node", "server", """
+    export new svc
+    def Pump(self) = self?{ call(reply) = (reply![1] | Pump[self]) }
+    in Pump[svc]
+    """)
+    for i in range(n_nodes - 1):
+        ip = f"c{i}"
+        net.add_node(ip)
+        chain = "0"
+        for _ in range(calls_per_client):
+            chain = f"new r (svc!call[r] | r?(v) = {chain})"
+        net.launch(ip, f"client{i}",
+                   f"import svc from server in {chain}")
+    return world, net
+
+
+def detect(n_nodes: int, calls: int):
+    world, net = build(n_nodes, calls)
+    report = run_with_termination_detection(world, slice_time=2e-5)
+    assert report.detected
+    app_packets = world.stats.packets
+    return report, app_packets
+
+
+class TestShape:
+    def test_detection_correct(self):
+        report, _ = detect(3, 2)
+        assert report.detected
+
+    def test_hops_grow_with_ring(self):
+        r2, _ = detect(2, 2)
+        r6, _ = detect(6, 2)
+        assert r6.token_hops > r2.token_hops
+
+    def test_overhead_ratio_shrinks_with_work(self):
+        """More application traffic amortises the token overhead."""
+        r_small, pkts_small = detect(3, 1)
+        r_big, pkts_big = detect(3, 12)
+        ratio_small = r_small.token_hops / pkts_small
+        ratio_big = r_big.token_hops / pkts_big
+        assert ratio_big < ratio_small
+
+    def test_at_least_two_rounds(self):
+        """The first token is dirtied by the application's receives, so
+        a correct run needs a confirmation round."""
+        report, _ = detect(3, 2)
+        assert report.rounds >= 2
+
+
+@pytest.mark.parametrize("n_nodes", [2, 4, 8])
+def test_wall_time(benchmark, n_nodes):
+    def kernel():
+        return detect(n_nodes, 2)
+
+    report, packets = benchmark(kernel)
+    benchmark.extra_info["token_hops"] = report.token_hops
+    benchmark.extra_info["app_packets"] = packets
+
+
+def report() -> list[dict]:
+    rows = []
+    for n_nodes in (2, 4, 8):
+        for calls in (1, 8):
+            rep, pkts = detect(n_nodes, calls)
+            rows.append({
+                "nodes": n_nodes,
+                "calls_per_client": calls,
+                "app_packets": pkts,
+                "token_hops": rep.token_hops,
+                "rounds": rep.rounds,
+                "overhead": round(rep.token_hops / max(1, pkts), 2),
+            })
+    return rows
+
+
+if __name__ == "__main__":
+    for row in report():
+        print(row)

@@ -1,0 +1,116 @@
+"""E13 -- failure detection and reconfiguration (section 7, future work).
+
+"We want to be able to detect site failures, reconfigure the
+computation topology and to try to terminate computations cleanly."
+
+Measured: detection latency as a function of the heartbeat period and
+timeout (the classic completeness/accuracy trade-off), the heartbeat
+traffic rate, and the end-to-end recovery sequence (fail -> suspect ->
+unregister -> relaunch -> stalled importer resumes).
+"""
+
+import pytest
+
+from repro.runtime import DiTyCONetwork, HeartbeatMonitor
+from repro.transport import SimWorld
+
+
+def network_with_monitor(period: float, timeout: float,
+                         fail_at: float, horizon: float = 0.05):
+    world = SimWorld()
+    net = DiTyCONetwork(world=world)
+    net.add_nodes(["n1", "n2"])
+    net.launch("n1", "server", "export new svc svc?(w) = print![w]")
+    net.launch("n2", "client", "import svc from server in svc![1]")
+    net.run()
+    monitor = HeartbeatMonitor(world, net.nameservice,
+                               period=period, timeout=timeout)
+    monitor.install(horizon=horizon)
+    world.schedule_at(world.time + fail_at, lambda: world.fail_node("n1"))
+    world.run()
+    return world, net, monitor
+
+
+def detection_latency(period: float, timeout: float) -> float:
+    fail_at = 2.1e-3
+    world, _, monitor = network_with_monitor(period, timeout, fail_at)
+    suspicion = monitor.suspected["n1"]
+    return suspicion.detected_at - suspicion.last_heartbeat
+
+
+class TestShape:
+    def test_latency_bounded_by_timeout_plus_period(self):
+        period, timeout = 1e-3, 3.5e-3
+        lat = detection_latency(period, timeout)
+        assert timeout < lat <= timeout + period + 1e-9
+
+    def test_shorter_timeout_detects_faster(self):
+        fast = detection_latency(5e-4, 1.6e-3)
+        slow = detection_latency(1e-3, 8.5e-3)
+        assert fast < slow
+
+    def test_heartbeat_traffic_scales_with_rate(self):
+        _, _, m_fast = network_with_monitor(5e-4, 1.6e-3, fail_at=2.1e-3)
+        _, _, m_slow = network_with_monitor(2e-3, 6.5e-3, fail_at=2.1e-3)
+        assert m_fast.heartbeats_seen > 2 * m_slow.heartbeats_seen
+
+    def test_full_recovery_sequence(self):
+        world, net, monitor = network_with_monitor(
+            1e-3, 3.5e-3, fail_at=2.1e-3)
+        assert "n1" in monitor.suspected
+        assert net.nameservice.lookup_name("server", "svc") is None
+        # Importers launched after the failure stall instead of
+        # shipping into the void...
+        net.launch("n2", "late", "import svc from server in svc![9]")
+        world.run()
+        assert net.site("late").vm.has_stalled()
+        # ...until the service is relaunched on a healthy node.
+        net.launch("n2", "server", "export new svc svc?(w) = print![w]")
+        world.run()
+        relaunched = [s for s in net.node("n2").sites.values()
+                      if s.site_name == "server"]
+        assert relaunched[0].output == [9]
+
+    def test_no_suspicion_without_failure(self):
+        world = SimWorld()
+        net = DiTyCONetwork(world=world)
+        net.add_nodes(["n1", "n2"])
+        net.launch("n1", "s", "print![1]")
+        monitor = HeartbeatMonitor(world, net.nameservice,
+                                   period=1e-3, timeout=3.5e-3)
+        monitor.install(horizon=0.02)
+        world.run()
+        assert monitor.suspected == {}
+
+
+@pytest.mark.parametrize("period,timeout", [
+    (5e-4, 1.6e-3),
+    (1e-3, 3.5e-3),
+    (2e-3, 6.5e-3),
+])
+def test_wall_time(benchmark, period, timeout):
+    def kernel():
+        return detection_latency(period, timeout)
+
+    lat = benchmark(kernel)
+    benchmark.extra_info["sim_detection_ms"] = round(lat * 1e3, 3)
+
+
+def report() -> list[dict]:
+    rows = []
+    for period, timeout in ((5e-4, 1.6e-3), (1e-3, 3.5e-3), (2e-3, 6.5e-3)):
+        _, _, monitor = network_with_monitor(period, timeout, fail_at=2.1e-3)
+        suspicion = monitor.suspected["n1"]
+        rows.append({
+            "period_ms": period * 1e3,
+            "timeout_ms": timeout * 1e3,
+            "detection_latency_ms": round(
+                (suspicion.detected_at - suspicion.last_heartbeat) * 1e3, 3),
+            "heartbeats_before_horizon": monitor.heartbeats_seen,
+        })
+    return rows
+
+
+if __name__ == "__main__":
+    for row in report():
+        print(row)

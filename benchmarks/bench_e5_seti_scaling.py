@@ -1,0 +1,90 @@
+"""E5 -- SETI@home scaling (section 4's motivating application).
+
+The point of the example is that the *computation* moves to the
+clients (FETCH of the Install/Go loop) while the server only serves
+data chunks.  Sweeping the number of worker nodes shows:
+
+* aggregate chunk throughput grows with workers (the crunching is
+  parallel across nodes);
+* the seti site executes no worker code -- its work grows only with
+  the number of chunk *requests*, not with the processing;
+* each worker fetches the code exactly once regardless of quota.
+"""
+
+import pytest
+
+from _workloads import seti_network
+
+CHUNKS = 6
+WORKER_COUNTS = (1, 2, 4, 8)
+
+
+def run(workers: int):
+    net = seti_network(workers, CHUNKS)
+    elapsed = net.run()
+    total = 0
+    for w in range(workers):
+        site = net.site(f"worker{w}")
+        got = [v for v in site.output if isinstance(v, int)]
+        assert len(got) == CHUNKS
+        assert site.stats.fetch_requests_sent == 1
+        total += len(got)
+    return elapsed, total, net
+
+
+class TestShape:
+    def test_every_chunk_unique(self):
+        _, _, net = run(4)
+        seen = []
+        for w in range(4):
+            seen.extend(v for v in net.site(f"worker{w}").output
+                        if isinstance(v, int))
+        assert sorted(seen) == list(range(4 * CHUNKS))
+
+    def test_throughput_scales(self):
+        t1, n1, _ = run(1)
+        t4, n4, _ = run(4)
+        thr1 = n1 / t1
+        thr4 = n4 / t4
+        assert thr4 > 2.5 * thr1  # near-linear scaling
+
+    def test_server_never_runs_worker_code(self):
+        _, _, net = run(4)
+        seti = net.site("seti")
+        # Only Database instantiations at the server: one initial plus
+        # one per served chunk.
+        assert seti.vm.stats.inst_reductions == 4 * CHUNKS + 1
+
+    def test_code_fetched_once_per_worker(self):
+        _, _, net = run(8)
+        fetches = sum(net.site(f"worker{w}").stats.fetch_requests_sent
+                      for w in range(8))
+        assert fetches == 8
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_wall_time(benchmark, workers):
+    def kernel():
+        return run(workers)
+
+    elapsed, total, _ = benchmark(kernel)
+    benchmark.extra_info["sim_chunks_per_ms"] = round(total / (elapsed * 1e3), 1)
+
+
+def report() -> list[dict]:
+    rows = []
+    for workers in WORKER_COUNTS:
+        elapsed, total, net = run(workers)
+        rows.append({
+            "workers": workers,
+            "chunks": total,
+            "sim_makespan_us": round(elapsed * 1e6, 2),
+            "chunks_per_ms": round(total / (elapsed * 1e3), 1),
+            "seti_comms": net.site("seti").vm.stats.comm_reductions,
+        })
+    return rows
+
+
+if __name__ == "__main__":
+    for row in report():
+        print(row)

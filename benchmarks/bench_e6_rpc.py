@@ -1,0 +1,132 @@
+"""E6 -- the RPC derivation of section 3, counted and timed.
+
+The paper derives that one remote procedure call is exactly:
+
+    SHIPM (request) ; LOC comm at the server ;
+    SHIPM (reply)   ; LOC comm at the client
+
+"a remote communication involves two reduction steps: one to get the
+method invocation/object to the target site and the other to consume
+the message/object at the target".
+
+We verify the counts on the *formal* network engine, then time the
+same protocol on the runtime under both link models.
+"""
+
+import pytest
+
+from _workloads import rpc_network
+
+from repro.core import (
+    Label,
+    LocatedName,
+    Message,
+    Name,
+    NetworkEngine,
+    New,
+    Site,
+    obj,
+    par,
+    val_msg,
+    val_obj,
+)
+from repro.transport import fast_ethernet_cluster, myrinet_cluster
+
+
+def formal_rpc() -> NetworkEngine:
+    R, S = Site("r"), Site("s")
+    net = NetworkEngine()
+    server = net.add_site(R)
+    client = net.add_site(S)
+    p, u = Name("p"), Name("u")
+    v, a, y = Name("v"), Name("a"), Name("y")
+    x, rr = Name("x"), Name("r'")
+    out = client.make_console()
+    net.install(R, obj(p, val=((x, rr), val_msg(rr, u))))
+    net.install(S, New((v, a), par(
+        Message(LocatedName(R, p), Label("val"), (v, a)),
+        val_obj(a, (y,), val_msg(out, y)),
+    )))
+    net.run()
+    return net
+
+
+class TestPaperCounts:
+    def test_exactly_two_ships_two_comms(self):
+        net = formal_rpc()
+        assert net.shipm_count == 2
+        assert net.shipo_count == 0
+        assert net.fetch_requests == 0
+        comms = [e.comm_count for e in net.engines.values()]
+        assert sorted(comms) == [1, 1]
+
+    def test_total_reductions_match_derivation(self):
+        # SHIPM + LOC + SHIPM + LOC = 4 reduction steps.
+        net = formal_rpc()
+        assert net.total_reductions == 4
+
+
+class TestRuntimeTiming:
+    def _rtt(self, cluster) -> float:
+        net = rpc_network(cluster=cluster)
+        elapsed = net.run()
+        assert net.site("client").output == ["ok"]
+        return elapsed
+
+    def test_myrinet_rtt_near_two_latencies(self):
+        rtt = self._rtt(myrinet_cluster())
+        assert 2 * 9e-6 < rtt < 6 * 9e-6  # 2 hops + compute, same order
+
+    def test_fast_ethernet_slower_by_latency_ratio(self):
+        rtt_m = self._rtt(myrinet_cluster())
+        rtt_fe = self._rtt(fast_ethernet_cluster())
+        assert rtt_fe / rtt_m > 5
+
+    def test_exactly_two_packets(self):
+        net = rpc_network()
+        net.run()
+        assert net.world.stats.packets == 2
+
+
+def test_formal_engine_wall_time(benchmark):
+    net = benchmark(formal_rpc)
+    benchmark.extra_info["reductions"] = net.total_reductions
+
+
+def test_runtime_rpc_wall_time(benchmark):
+    def kernel():
+        net = rpc_network()
+        net.run()
+        return net
+
+    net = benchmark(kernel)
+    benchmark.extra_info["sim_rtt_us"] = round(net.world.time * 1e6, 2)
+
+
+def report() -> list[dict]:
+    net = formal_rpc()
+    rows = [{
+        "level": "formal calculus",
+        "shipm": net.shipm_count,
+        "comms": sum(e.comm_count for e in net.engines.values()),
+        "total_reductions": net.total_reductions,
+        "sim_rtt_us": "-",
+    }]
+    for cluster in (myrinet_cluster(), fast_ethernet_cluster()):
+        rnet = rpc_network(cluster=cluster)
+        elapsed = rnet.run()
+        rows.append({
+            "level": f"runtime ({cluster.link.name})",
+            "shipm": rnet.world.stats.packets,
+            "comms": sum(s.vm.stats.comm_reductions
+                         for n in rnet.world.nodes.values()
+                         for s in n.sites.values()),
+            "total_reductions": "-",
+            "sim_rtt_us": round(elapsed * 1e6, 2),
+        })
+    return rows
+
+
+if __name__ == "__main__":
+    for row in report():
+        print(row)

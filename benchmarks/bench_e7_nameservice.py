@@ -1,0 +1,131 @@
+"""E7 -- network name service: registration/lookup cost and the
+centralized vs replicated design.
+
+Section 5: "Currently ... the network name service is centralized and
+all sites know its location in advance.  This will change ... into a
+distributed network name service.  This is a fundamental development
+for reasons of both redundancy (for failure recovery) and
+performance."
+
+We measure: lookup cost as the IdTable grows (hash-table flat), the
+export/import path through a whole site program, and the write
+amplification / local-read benefit of the replicated variant.
+"""
+
+import pytest
+
+from repro.runtime import DiTyCONetwork, NameService, ReplicatedNameService
+
+TABLE_SIZES = (10, 100, 1000, 10_000)
+
+
+def populated(ns_class, size: int, replicas: int = 0):
+    ns = ns_class()
+    reps = [ns.replica(f"rep{i}") for i in range(replicas)] \
+        if isinstance(ns, ReplicatedNameService) else []
+    ns.register_site("server", "10.0.0.1")
+    for i in range(size):
+        ns.export_name("server", f"id{i}", i + 1)
+    return ns, reps
+
+
+class TestShape:
+    def test_lookup_flat_in_table_size(self):
+        import time
+
+        def lookup_time(size):
+            ns, _ = populated(NameService, size)
+            n = 3000
+            t0 = time.perf_counter()
+            for i in range(n):
+                ns.lookup_name("server", f"id{i % size}")
+            return (time.perf_counter() - t0) / n
+
+        t_small = min(lookup_time(10) for _ in range(3))
+        t_large = min(lookup_time(10_000) for _ in range(3))
+        assert t_large < t_small * 3  # hash table: no linear scan
+
+    def test_replication_write_amplification(self):
+        ns, _ = populated(ReplicatedNameService, 100, replicas=4)
+        assert ns.replica_writes == 4 * 101  # site + 100 names, x4 replicas
+
+    def test_replica_reads_equal_primary(self):
+        ns, reps = populated(ReplicatedNameService, 50, replicas=2)
+        for i in (0, 25, 49):
+            assert (reps[0].lookup_name("server", f"id{i}")
+                    == ns.lookup_name("server", f"id{i}"))
+
+    def test_import_resolution_counts(self):
+        net = DiTyCONetwork()
+        net.add_nodes(["n1", "n2"])
+        net.launch("n1", "server", "export new svc svc?(w) = print![w]")
+        net.launch("n2", "client", "import svc from server in svc![1]")
+        net.run()
+        ns = net.nameservice
+        assert ns.stats.name_registrations == 1
+        assert ns.stats.lookups >= 1
+        assert ns.stats.misses == 0
+
+
+@pytest.mark.parametrize("size", TABLE_SIZES)
+def test_lookup_wall_time(benchmark, size):
+    ns, _ = populated(NameService, size)
+
+    def kernel():
+        total = 0
+        for i in range(256):
+            ref = ns.lookup_name("server", f"id{i % size}")
+            total += ref.heap_id
+        return total
+
+    benchmark(kernel)
+
+
+def test_registration_wall_time(benchmark):
+    def kernel():
+        ns = NameService()
+        ns.register_site("server", "ip")
+        for i in range(256):
+            ns.export_name("server", f"id{i}", i)
+        return ns
+
+    benchmark(kernel)
+
+
+@pytest.mark.parametrize("replicas", [0, 4])
+def test_replicated_write_wall_time(benchmark, replicas):
+    def kernel():
+        ns = ReplicatedNameService()
+        for i in range(replicas):
+            ns.replica(f"rep{i}")
+        ns.register_site("server", "ip")
+        for i in range(128):
+            ns.export_name("server", f"id{i}", i)
+        return ns
+
+    benchmark(kernel)
+
+
+def report() -> list[dict]:
+    import time
+
+    rows = []
+    for size in TABLE_SIZES:
+        ns, _ = populated(NameService, size)
+        n = 5000
+        t0 = time.perf_counter()
+        for i in range(n):
+            ns.lookup_name("server", f"id{i % size}")
+        per = (time.perf_counter() - t0) / n
+        rows.append({"table_size": size,
+                     "lookup_ns": round(per * 1e9)})
+    ns, _ = populated(ReplicatedNameService, 1000, replicas=4)
+    rows.append({"table_size": "1000 (replicated x4)",
+                 "lookup_ns": f"writes amplified x4 "
+                              f"({ns.replica_writes} replica writes)"})
+    return rows
+
+
+if __name__ == "__main__":
+    for row in report():
+        print(row)

@@ -1,0 +1,105 @@
+"""E8 -- message cost vs payload size under the figure-1 link models.
+
+The hardware platform (figure 1) pairs a 1 Gb/s Myrinet switch with
+100 Mb/s Fast-Ethernet uplinks.  Sweeping the payload size shows the
+two regimes the architecture section reasons about:
+
+* small messages (the common case for fine-grained TyCO traffic) are
+  *latency*-bound -- Myrinet's ~10x lower latency is the whole story;
+* large transfers (code bundles) become *bandwidth*-bound -- Myrinet's
+  ~10x higher bandwidth takes over;
+* the crossover where serialisation time equals latency sits around
+  latency * bandwidth (~1 KB for Myrinet, ~1 KB for FE too, an
+  era-typical value).
+"""
+
+import pytest
+
+from repro.runtime import DiTyCONetwork
+from repro.transport import FAST_ETHERNET, MYRINET, fast_ethernet_cluster, myrinet_cluster
+
+SIZES = (16, 256, 4096, 65_536, 1_048_576)
+
+
+def model_time(link, size: int) -> float:
+    return link.transfer_time(size)
+
+
+def runtime_time(cluster, payload_chars: int) -> float:
+    """One message carrying a string payload through the full stack."""
+    net = DiTyCONetwork(cluster=cluster)
+    net.add_nodes(["n1", "n2"])
+    net.launch("n1", "server", "export new svc svc?(w) = print![1]")
+    payload = "x" * payload_chars
+    net.launch("n2", "client",
+               f'import svc from server in svc!["{payload}"]')
+    elapsed = net.run()
+    assert net.site("server").output == [1]
+    return elapsed
+
+
+class TestShape:
+    def test_latency_bound_small(self):
+        t = model_time(MYRINET, 16)
+        assert MYRINET.latency_s / t > 0.9
+
+    def test_bandwidth_bound_large(self):
+        t = model_time(MYRINET, 1_048_576)
+        assert MYRINET.latency_s / t < 0.01
+
+    def test_myrinet_wins_everywhere(self):
+        for size in SIZES:
+            assert model_time(MYRINET, size) < model_time(FAST_ETHERNET, size)
+
+    def test_gap_grows_with_size(self):
+        ratio_small = (model_time(FAST_ETHERNET, 16)
+                       / model_time(MYRINET, 16))
+        ratio_large = (model_time(FAST_ETHERNET, 1_048_576)
+                       / model_time(MYRINET, 1_048_576))
+        # ~9.4x latency gap, ~10.9x bandwidth gap: both large;
+        # the crossover between regimes is visible at mid sizes.
+        assert ratio_small > 5
+        assert ratio_large > 5
+
+    def test_full_stack_payload_scaling(self):
+        t_small = runtime_time(myrinet_cluster(), 10)
+        t_big = runtime_time(myrinet_cluster(), 50_000)
+        assert t_big > t_small
+        # 50 KB at 120 MB/s adds ~0.4 ms of serialisation.
+        assert t_big - t_small > 50_000 / 120e6 * 0.5
+
+
+@pytest.mark.parametrize("payload", [10, 1000, 50_000])
+def test_full_stack_wall_time(benchmark, payload):
+    def kernel():
+        return runtime_time(myrinet_cluster(), payload)
+
+    sim = benchmark(kernel)
+    benchmark.extra_info["sim_us"] = round(sim * 1e6, 2)
+
+
+def report() -> list[dict]:
+    rows = []
+    for size in SIZES:
+        rows.append({
+            "payload_B": size,
+            "myrinet_us": round(model_time(MYRINET, size) * 1e6, 2),
+            "fast_ethernet_us": round(
+                model_time(FAST_ETHERNET, size) * 1e6, 2),
+            "ratio": round(model_time(FAST_ETHERNET, size)
+                           / model_time(MYRINET, size), 1),
+        })
+    for payload in (10, 1000, 50_000):
+        rows.append({
+            "payload_B": f"{payload} (full stack)",
+            "myrinet_us": round(runtime_time(myrinet_cluster(), payload) * 1e6, 2),
+            "fast_ethernet_us": round(
+                runtime_time(fast_ethernet_cluster(), payload) * 1e6, 2),
+            "ratio": "-",
+        })
+    return rows
+
+
+if __name__ == "__main__":
+    for row in report():
+        print(row)

@@ -1,0 +1,126 @@
+"""E9 -- wire format: marshalled sizes and encode/decode throughput.
+
+Section 5 requires "a hardware independent representation" for
+everything that leaves a site; the compactness of the byte-code is one
+of the implementation's selling points ("this design has proved to be
+quite compact").  We measure the wire size of the three packet species
+(message / migrating object / fetched class) and the encode/decode
+cost per byte.
+"""
+
+import pytest
+
+from repro.compiler import compile_source, extract_bundle
+from repro.runtime.wire import (
+    KIND_FETCH_REPLY,
+    KIND_MESSAGE,
+    KIND_OBJECT,
+    Packet,
+    decode,
+    encode,
+)
+from repro.vm.values import NetRef
+
+
+def message_packet(nargs: int = 2) -> Packet:
+    return Packet(kind=KIND_MESSAGE, src_ip="10.0.0.1", src_site_id=1,
+                  dest_ip="10.0.0.2", dest_site_id=2,
+                  payload=(7, "val", tuple(range(nargs))))
+
+
+def object_packet(body_size: int = 5) -> Packet:
+    pads = " | ".join(f"(new p{i} p{i}![{i}])" for i in range(body_size))
+    prog = compile_source(f"new a x?(w) = ({pads} | a![w])")
+    bundle = extract_bundle(
+        prog, block_roots=tuple(prog.objects[0].methods.values()))
+    return Packet(kind=KIND_OBJECT, src_ip="10.0.0.1", src_site_id=1,
+                  dest_ip="10.0.0.2", dest_site_id=2,
+                  payload=(7, {"val": 0}, bundle,
+                           (NetRef(3, 1, "10.0.0.1"),)))
+
+
+def class_packet(body_size: int = 5) -> Packet:
+    pads = " | ".join(f"(new p{i} p{i}![{i}])" for i in range(body_size))
+    prog = compile_source(
+        f"def Applet(out) = ({pads} | out![1]) in new v Applet[v]")
+    bundle = extract_bundle(prog, group_roots=(0,))
+    return Packet(kind=KIND_FETCH_REPLY, src_ip="10.0.0.1", src_site_id=1,
+                  dest_ip="10.0.0.2", dest_site_id=2,
+                  payload=(1, bundle, 0, 0, (), "Applet"))
+
+
+class TestShape:
+    def test_message_is_small(self):
+        # A fine-grained invocation must cost tens of bytes, not KB.
+        assert message_packet().wire_size() < 100
+
+    def test_object_bigger_than_message(self):
+        assert object_packet().wire_size() > message_packet().wire_size()
+
+    def test_code_size_scales_linearly(self):
+        s1 = class_packet(4).wire_size()
+        s2 = class_packet(8).wire_size()
+        s4 = class_packet(16).wire_size()
+        # Doubling the body roughly doubles the increment.
+        assert 1.5 < (s4 - s2) / max(1, s2 - s1) < 2.5
+
+    def test_round_trip_identity(self):
+        for pkt in (message_packet(), object_packet(), class_packet()):
+            out = decode(encode(pkt))
+            assert out.kind == pkt.kind
+            assert out.dest_site_id == pkt.dest_site_id
+
+    def test_args_dominate_large_messages(self):
+        small = message_packet(1).wire_size()
+        big = Packet(kind=KIND_MESSAGE, src_ip="10.0.0.1", src_site_id=1,
+                     dest_ip="10.0.0.2", dest_site_id=2,
+                     payload=(7, "val", ("x" * 1000,))).wire_size()
+        assert big > small + 990
+
+
+@pytest.mark.parametrize("species,factory", [
+    ("message", message_packet),
+    ("object", object_packet),
+    ("class", class_packet),
+])
+def test_encode_wall_time(benchmark, species, factory):
+    pkt = factory()
+    data = encode(pkt)
+
+    def kernel():
+        return encode(pkt)
+
+    benchmark(kernel)
+    benchmark.extra_info["wire_bytes"] = len(data)
+
+
+@pytest.mark.parametrize("species,factory", [
+    ("message", message_packet),
+    ("object", object_packet),
+    ("class", class_packet),
+])
+def test_decode_wall_time(benchmark, species, factory):
+    data = encode(factory())
+
+    def kernel():
+        return decode(data)
+
+    benchmark(kernel)
+
+
+def report() -> list[dict]:
+    rows = []
+    for species, factory in (("message (2 args)", message_packet),
+                             ("object (5-pad body)", object_packet),
+                             ("class group (5-pad body)", class_packet)):
+        pkt = factory()
+        rows.append({"species": species, "wire_bytes": pkt.wire_size()})
+    for size in (4, 16, 64):
+        rows.append({"species": f"class group, body={size}",
+                     "wire_bytes": class_packet(size).wire_size()})
+    return rows
+
+
+if __name__ == "__main__":
+    for row in report():
+        print(row)

@@ -1,0 +1,7 @@
+"""Benchmark-suite configuration: make the shared workload module
+importable and give every benchmark a deterministic environment."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,57 @@
+"""Regenerate every experiment table (E1-E12) for EXPERIMENTS.md.
+
+Usage:  python benchmarks/run_all.py [e1 e4 ...]
+
+Each ``bench_*`` module exposes ``report() -> list[dict]``; this script
+runs them all and prints aligned tables.
+"""
+
+import importlib
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+EXPERIMENTS = {
+    "e1": ("bench_e1_vm_throughput", "VM reduction throughput"),
+    "e2": ("bench_e2_local_vs_remote", "local vs remote communication"),
+    "e3": ("bench_e3_latency_hiding", "latency hiding via concurrency"),
+    "e4": ("bench_e4_fetch_vs_ship", "code fetching vs code shipping"),
+    "e5": ("bench_e5_seti_scaling", "SETI worker scaling"),
+    "e6": ("bench_e6_rpc", "RPC derivation counts and timing"),
+    "e7": ("bench_e7_nameservice", "network name service"),
+    "e8": ("bench_e8_links", "Myrinet vs Fast Ethernet"),
+    "e9": ("bench_e9_wire", "wire format sizes"),
+    "e10": ("bench_e10_types", "type-inference scaling"),
+    "e11": ("bench_e11_calculus", "formal derivations"),
+    "e12": ("bench_e12_termination", "termination-detection overhead"),
+    "e13": ("bench_e13_failure", "failure detection and recovery"),
+}
+
+
+def print_table(rows: list[dict]) -> None:
+    if not rows:
+        print("  (no rows)")
+        return
+    keys = list(rows[0])
+    widths = {k: max(len(str(k)), *(len(str(r.get(k, ""))) for r in rows))
+              for k in keys}
+    header = " | ".join(str(k).ljust(widths[k]) for k in keys)
+    print("  " + header)
+    print("  " + "-+-".join("-" * widths[k] for k in keys))
+    for r in rows:
+        print("  " + " | ".join(str(r.get(k, "")).ljust(widths[k])
+                                for k in keys))
+
+
+def main() -> None:
+    wanted = [w.lower() for w in sys.argv[1:]] or list(EXPERIMENTS)
+    for key in wanted:
+        module_name, title = EXPERIMENTS[key]
+        print(f"\n== {key.upper()}: {title} ==")
+        module = importlib.import_module(module_name)
+        print_table(module.report())
+
+
+if __name__ == "__main__":
+    main()

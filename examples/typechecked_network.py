@@ -1,0 +1,87 @@
+"""The hybrid static/dynamic type-checking scheme of section 7.
+
+"We have developed a type checking scheme that ensures that no type
+mismatch or protocol errors occur in remote interactions.  The scheme
+combines both static and dynamic type checking."
+
+Four scenes:
+
+1. whole-network *static* checking catches a cross-site protocol error
+   before anything runs;
+2. submission-time checking (TyCOi) rejects a locally ill-typed
+   program;
+3. the *dynamic* boundary check rejects an ill-typed remote message
+   from a site the static checker never saw;
+4. a well-typed network runs clean, and we print the inferred
+   signature the server exports.
+
+Usage:  python examples/typechecked_network.py
+"""
+
+from repro.core import Site
+from repro.lang import parse_program
+from repro.runtime import DiTyCONetwork, ProtocolError, check_site_program
+from repro.types import TycoTypeError, check_network
+
+SERVER_SRC = "export new svc svc?{ put(n) = print![n + 1] }"
+
+
+def scene_1_static_network_check() -> None:
+    print("== 1. whole-network static checking ==")
+    server = parse_program(SERVER_SRC).program
+    bad_client = parse_program(
+        "import svc from server in svc!put[true]").program
+    try:
+        check_network({Site("server"): server, Site("client"): bad_client})
+    except TycoTypeError as exc:
+        print(f"  rejected statically: {exc}")
+
+
+def scene_2_submission_check() -> None:
+    print("== 2. submission-time checking (TyCOi) ==")
+    net = DiTyCONetwork(typecheck=True)
+    net.add_node("n1")
+    try:
+        net.launch("n1", "bad", "new x (x![true] | x?(n) = print![n + 1])")
+    except TycoTypeError as exc:
+        print(f"  submission refused: {exc}")
+
+
+def scene_3_dynamic_boundary() -> None:
+    print("== 3. dynamic boundary check ==")
+    net = DiTyCONetwork(typecheck=True)
+    net.add_nodes(["n1", "n2"])
+    net.launch("n1", "server", SERVER_SRC)
+    # The client itself is fine locally -- its import is dynamic -- but
+    # the message violates the server's protocol.
+    net.launch("n2", "client", "import svc from server in svc!put[true]")
+    try:
+        net.run()
+    except ProtocolError as exc:
+        print(f"  packet rejected at the server boundary: {exc}")
+
+
+def scene_4_well_typed() -> None:
+    print("== 4. well-typed network runs clean ==")
+    sigs = check_site_program("server", parse_program(SERVER_SRC).program)
+    for hint, ws in sigs.names.items():
+        methods = ", ".join(f"{l}({', '.join(tags)})"
+                            for l, tags in ws.methods.items())
+        print(f"  server exports {hint} : {{{methods}}}")
+    net = DiTyCONetwork(typecheck=True)
+    net.add_nodes(["n1", "n2"])
+    net.launch("n1", "server", SERVER_SRC)
+    net.launch("n2", "client", "import svc from server in svc!put[41]")
+    net.run()
+    print(f"  server printed: {net.site('server').output}")
+
+
+def main() -> None:
+    scene_1_static_network_check()
+    scene_2_submission_check()
+    scene_3_dynamic_boundary()
+    scene_4_well_typed()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,171 @@
+"""Command-line interface: compile, check and run DiTyCO programs.
+
+::
+
+    python -m repro run PROGRAM.dityco            one site on one VM
+    python -m repro run --steps 100000 PROG       bound the execution
+    python -m repro compile PROGRAM.dityco        show the byte-code
+    python -m repro check PROGRAM.dityco          static type check
+    python -m repro net SESSION.tycosh            scripted TyCOsh session
+    python -m repro shell --nodes n1,n2           interactive TyCOsh
+
+The single-program form plays the role of launching one site through
+TyCOsh on a fresh node; the ``net`` form drives a whole simulated
+network from a session script (see :mod:`repro.runtime.shell` for the
+command set).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.compiler import compile_source, optimize_program
+    from repro.vm import TycoVM, value_repr
+    from repro.vm.trace import Tracer
+
+    source = Path(args.program).read_text()
+    program = compile_source(source, source_name=args.program)
+    if args.optimize:
+        optimize_program(program)
+    if args.check:
+        from repro.lang import parse_program
+        from repro.runtime.typecheck import check_site_program
+
+        check_site_program("main", parse_program(source).program)
+    vm = TycoVM(program, name=Path(args.program).stem)
+    tracer = None
+    if args.trace:
+        tracer = Tracer()
+        tracer.install(vm)
+    vm.boot()
+    vm.run(args.steps)
+    if tracer is not None:
+        print(tracer.format_tail(args.trace), file=sys.stderr)
+    for value in vm.output:
+        print(value_repr(value))
+    if not vm.is_idle():
+        print(f"-- stopped after {args.steps} instructions "
+              f"(still runnable)", file=sys.stderr)
+        return 2
+    if args.stats:
+        s = vm.stats
+        print(f"-- {s.instructions} instructions, "
+              f"{s.comm_reductions} communications, "
+              f"{s.inst_reductions} instantiations, "
+              f"{vm.runqueue.context_switches} context switches",
+              file=sys.stderr)
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    from repro.compiler import compile_source, optimize_program, validate_program
+
+    source = Path(args.program).read_text()
+    program = compile_source(source, source_name=args.program)
+    if args.optimize:
+        optimize_program(program)
+    validate_program(program)
+    print(program.disassemble())
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.lang import parse_program
+    from repro.runtime.typecheck import check_site_program
+    from repro.types import TycoTypeError
+
+    source = Path(args.program).read_text()
+    parsed = parse_program(source)
+    try:
+        sigs = check_site_program(Path(args.program).stem, parsed.program)
+    except TycoTypeError as exc:
+        print(f"type error: {exc}", file=sys.stderr)
+        return 1
+    print("ok")
+    for hint, ws in sorted(sigs.names.items()):
+        methods = ", ".join(
+            f"{l}({', '.join(tags)})" for l, tags in sorted(ws.methods.items()))
+        suffix = ", ..." if ws.open_row else ""
+        print(f"  export {hint}: {{{methods}{suffix}}}")
+    return 0
+
+
+def _cmd_net(args: argparse.Namespace) -> int:
+    from repro.runtime import DiTyCONetwork, TycoShell
+
+    net = DiTyCONetwork(typecheck=args.check)
+    for ip in args.nodes.split(","):
+        net.add_node(ip.strip())
+    shell = TycoShell(net, write=print)
+    shell.execute_script(Path(args.session).read_text())
+    return 0
+
+
+def _cmd_shell(args: argparse.Namespace) -> int:  # pragma: no cover
+    from repro.runtime import DiTyCONetwork
+    from repro.runtime.shell import repl
+
+    net = DiTyCONetwork(typecheck=args.check)
+    for ip in args.nodes.split(","):
+        net.add_node(ip.strip())
+    repl(net)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DiTyCO: distributed TyCO with code mobility "
+                    "(reproduction of Lopes et al., CLUSTER 2000)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one program on a TyCO VM")
+    p_run.add_argument("program", help="a .dityco source file")
+    p_run.add_argument("--steps", type=int, default=10_000_000,
+                       help="instruction bound (default: 10M)")
+    p_run.add_argument("--optimize", action="store_true",
+                       help="apply the peephole optimiser")
+    p_run.add_argument("--check", action="store_true",
+                       help="static type check before running")
+    p_run.add_argument("--stats", action="store_true",
+                       help="print VM statistics to stderr")
+    p_run.add_argument("--trace", type=int, metavar="N", default=0,
+                       help="print the last N executed instructions")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_compile = sub.add_parser("compile", help="compile and disassemble")
+    p_compile.add_argument("program")
+    p_compile.add_argument("--optimize", action="store_true")
+    p_compile.set_defaults(func=_cmd_compile)
+
+    p_check = sub.add_parser("check", help="static type check")
+    p_check.add_argument("program")
+    p_check.set_defaults(func=_cmd_check)
+
+    p_net = sub.add_parser("net", help="run a scripted TyCOsh session")
+    p_net.add_argument("session", help="a .tycosh script")
+    p_net.add_argument("--nodes", default="n1,n2",
+                       help="comma-separated node IPs (default: n1,n2)")
+    p_net.add_argument("--check", action="store_true",
+                       help="enable submission-time type checking")
+    p_net.set_defaults(func=_cmd_net)
+
+    p_shell = sub.add_parser("shell", help="interactive TyCOsh")
+    p_shell.add_argument("--nodes", default="n1,n2")
+    p_shell.add_argument("--check", action="store_true")
+    p_shell.set_defaults(func=_cmd_shell)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,29 @@
+"""The DiTyCO compiler: source / core terms -> VM assembly -> byte-code.
+
+"the DiTyCO source code is compiled into byte-code for an extended
+TyCO virtual machine" (section 1); the nested block structure of the
+source is preserved so that movable code can be selected dynamically
+(section 5).
+"""
+
+from .assembly import (
+    ClassGroup,
+    CodeBlock,
+    Instr,
+    ObjectCode,
+    Op,
+    Program,
+    validate_program,
+)
+from .asmparser import AsmParseError, parse_assembly
+from .codegen import CompileError, Compiler, compile_source, compile_term
+from .linker import CodeBundle, LinkError, LinkResult, extract_bundle, link_bundle
+from .peephole import (
+    eliminate_dead_code,
+    fold_constants,
+    optimize_block,
+    optimize_program,
+    simplify_branches,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

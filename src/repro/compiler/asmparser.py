@@ -1,0 +1,210 @@
+"""Parser for the textual VM assembly (the disassembler's output).
+
+The paper's tool-chain compiles source "into an intermediate virtual
+machine assembly.  This in turn is compiled into hardware independent
+byte-code.  The mapping between the assembly and the final byte-code
+is almost one-to-one."  This module closes the loop: the text produced
+by :meth:`Program.disassemble` can be parsed back into an equivalent
+:class:`Program`, so assembly can be inspected, hand-edited and
+reassembled (tests verify the round trip and re-execution).
+
+Grammar (one item per line; ``;`` starts a comment)::
+
+    ; externals: print, amb
+    ; main: block 0
+    block 0 (main) [free=2 params=0 frame=5]
+       0  pushl 0
+       1  pushc 42
+       2  trmsg 'val', 1
+       3  halt
+    object 0 (object@x): val->b1, go->b2
+    group 0 (Cell) [free=1]: Cell->b3
+
+Operand syntax matches the disassembler: integers, single- or
+double-quoted strings, ``true``/``false``; multiple operands are
+comma-separated.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .assembly import ClassGroup, CodeBlock, Instr, ObjectCode, Op, Program
+
+_OP_BY_NAME = {op.name.lower(): op for op in Op}
+
+_BLOCK_RE = re.compile(
+    r"^block\s+(\d+)\s+\((?P<name>.*)\)\s+"
+    r"\[free=(?P<free>\d+)\s+params=(?P<params>\d+)\s+frame=(?P<frame>\d+)\]$")
+_INSTR_RE = re.compile(r"^(?P<pc>\d+)\s+(?P<op>[a-z]+)(?:\s+(?P<args>.*))?$")
+_OBJECT_RE = re.compile(r"^object\s+(\d+)\s+\((?P<name>.*)\):\s*(?P<methods>.*)$")
+_GROUP_RE = re.compile(
+    r"^group\s+(\d+)\s+\((?P<name>.*)\)\s+\[free=(?P<free>\d+)\]:\s*"
+    r"(?P<clauses>.*)$")
+_MAIN_RE = re.compile(r"^;\s*main:\s*block\s+(\d+)$")
+_EXTERNALS_RE = re.compile(r"^;\s*externals:\s*(?P<names>.*)$")
+
+
+class AsmParseError(Exception):
+    """Malformed assembly text."""
+
+    def __init__(self, message: str, line_no: int | None = None) -> None:
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+
+
+def _parse_operand(text: str, line_no: int):
+    text = text.strip()
+    if not text:
+        raise AsmParseError("empty operand", line_no)
+    if text == "True" or text == "true":
+        return True
+    if text == "False" or text == "false":
+        return False
+    if (text[0] == text[-1] == "'") or (text[0] == text[-1] == '"'):
+        try:
+            import ast
+
+            return ast.literal_eval(text)
+        except (ValueError, SyntaxError) as exc:
+            raise AsmParseError(f"bad string operand {text!r}", line_no) from exc
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        raise AsmParseError(f"bad operand {text!r}", line_no) from None
+
+
+def _split_operands(text: str) -> list[str]:
+    """Split a comma-separated operand list, honouring quotes."""
+    parts: list[str] = []
+    current: list[str] = []
+    quote: str | None = None
+    i = 0
+    while i < len(text):
+        c = text[i]
+        if quote is not None:
+            current.append(c)
+            if c == "\\" and i + 1 < len(text):
+                current.append(text[i + 1])
+                i += 2
+                continue
+            if c == quote:
+                quote = None
+        elif c in "'\"":
+            quote = c
+            current.append(c)
+        elif c == ",":
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(c)
+        i += 1
+    if current or parts:
+        parts.append("".join(current))
+    return [p for p in (s.strip() for s in parts) if p]
+
+
+def parse_assembly(text: str, source_name: str = "<assembly>") -> Program:
+    """Parse a disassembly listing back into a :class:`Program`."""
+    program = Program(source_name=source_name)
+    current_instrs: list[Instr] | None = None
+    current_header: dict | None = None
+
+    def flush_block() -> None:
+        nonlocal current_instrs, current_header
+        if current_header is None:
+            return
+        program.add_block(CodeBlock(
+            instrs=tuple(current_instrs or ()),
+            nfree=current_header["free"],
+            nparams=current_header["params"],
+            frame_size=current_header["frame"],
+            name=current_header["name"],
+        ))
+        current_instrs = None
+        current_header = None
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(";"):
+            m = _MAIN_RE.match(line)
+            if m:
+                program.main = int(m.group(1))
+                continue
+            m = _EXTERNALS_RE.match(line)
+            if m:
+                program.externals = [
+                    n.strip() for n in m.group("names").split(",")
+                    if n.strip()]
+            continue
+        m = _BLOCK_RE.match(line)
+        if m:
+            flush_block()
+            current_header = {
+                "name": m.group("name"),
+                "free": int(m.group("free")),
+                "params": int(m.group("params")),
+                "frame": int(m.group("frame")),
+            }
+            current_instrs = []
+            continue
+        m = _OBJECT_RE.match(line)
+        if m:
+            flush_block()
+            methods: dict[str, int] = {}
+            for entry in m.group("methods").split(","):
+                entry = entry.strip()
+                if not entry:
+                    continue
+                if "->b" not in entry:
+                    raise AsmParseError(
+                        f"bad method entry {entry!r}", line_no)
+                label, block_ref = entry.split("->b", 1)
+                methods[label.strip()] = int(block_ref)
+            program.add_object(ObjectCode(methods=methods,
+                                          name=m.group("name")))
+            continue
+        m = _GROUP_RE.match(line)
+        if m:
+            flush_block()
+            clauses: list[tuple[str, int]] = []
+            for entry in m.group("clauses").split(","):
+                entry = entry.strip()
+                if not entry:
+                    continue
+                if "->b" not in entry:
+                    raise AsmParseError(
+                        f"bad clause entry {entry!r}", line_no)
+                hint, block_ref = entry.split("->b", 1)
+                clauses.append((hint.strip(), int(block_ref)))
+            program.add_group(ClassGroup(
+                clauses=tuple(clauses),
+                nfree=int(m.group("free")),
+                name=m.group("name"),
+            ))
+            continue
+        m = _INSTR_RE.match(line)
+        if m:
+            if current_instrs is None:
+                raise AsmParseError("instruction outside a block", line_no)
+            op = _OP_BY_NAME.get(m.group("op"))
+            if op is None:
+                raise AsmParseError(f"unknown opcode {m.group('op')!r}",
+                                    line_no)
+            args_text = m.group("args") or ""
+            args = tuple(_parse_operand(a, line_no)
+                         for a in _split_operands(args_text))
+            current_instrs.append(Instr(op, args))
+            continue
+        raise AsmParseError(f"unparsable line: {line!r}", line_no)
+    flush_block()
+    if not program.blocks:
+        raise AsmParseError("no blocks in assembly")
+    return program

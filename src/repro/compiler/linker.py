@@ -1,0 +1,203 @@
+"""Dynamic selection and linking of byte-code (section 5).
+
+"The nested structure of the source program is preserved in the final
+byte-code.  This allows the efficient dynamic selection of byte-code
+blocks that have to be moved between sites." -- when an object migrates
+(SHIPO) or a class is fetched (FETCH), the sender extracts the
+*transitive slice* of its program area reachable from the moved code:
+the method/clause blocks themselves plus every block, object suite and
+class group they mention.  The receiver links the bundle by appending
+to its own program area and renumbering every cross-reference.
+
+A :class:`CodeBundle` is self-contained and built from plain data, so
+the wire format (:mod:`repro.runtime.wire`) can serialise it without
+knowing anything about byte-code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .assembly import ClassGroup, CodeBlock, Instr, ObjectCode, Op, Program
+
+
+class LinkError(Exception):
+    """A bundle references code that cannot be resolved."""
+
+
+@dataclass(slots=True)
+class CodeBundle:
+    """A self-contained slice of a program area.
+
+    Ids inside the bundle are bundle-local (0-based); ``entry_blocks``
+    / ``entry_objects`` / ``entry_groups`` give the bundle-local ids of
+    the roots the caller asked for, in request order.
+    """
+
+    blocks: list[CodeBlock] = field(default_factory=list)
+    objects: list[ObjectCode] = field(default_factory=list)
+    groups: list[ClassGroup] = field(default_factory=list)
+    entry_blocks: list[int] = field(default_factory=list)
+    entry_objects: list[int] = field(default_factory=list)
+    entry_groups: list[int] = field(default_factory=list)
+
+    def instruction_count(self) -> int:
+        return sum(len(b.instrs) for b in self.blocks)
+
+    def code_size(self) -> int:
+        """Rough wire size proxy: instructions + tables (benchmark E9)."""
+        return (self.instruction_count()
+                + sum(len(o.methods) for o in self.objects)
+                + sum(len(g.clauses) for g in self.groups))
+
+
+@dataclass(slots=True)
+class LinkResult:
+    """Mapping from bundle-local ids to the destination program area."""
+
+    block_map: dict[int, int]
+    object_map: dict[int, int]
+    group_map: dict[int, int]
+
+
+# ---------------------------------------------------------------------------
+# Extraction (sender side)
+# ---------------------------------------------------------------------------
+
+
+def extract_bundle(
+    program: Program,
+    block_roots: tuple[int, ...] = (),
+    object_roots: tuple[int, ...] = (),
+    group_roots: tuple[int, ...] = (),
+) -> CodeBundle:
+    """Extract the transitive code slice reachable from the given roots."""
+    blocks: dict[int, int] = {}
+    objects: dict[int, int] = {}
+    groups: dict[int, int] = {}
+    order_blocks: list[int] = []
+    order_objects: list[int] = []
+    order_groups: list[int] = []
+
+    def visit_block(bid: int) -> None:
+        if bid in blocks:
+            return
+        if not (0 <= bid < len(program.blocks)):
+            raise LinkError(f"block {bid} not in program area")
+        blocks[bid] = len(order_blocks)
+        order_blocks.append(bid)
+        for ins in program.blocks[bid].instrs:
+            if ins.op is Op.FORK:
+                visit_block(ins.args[0])
+            elif ins.op is Op.TROBJ:
+                visit_object(ins.args[0])
+            elif ins.op in (Op.DEFGROUP, Op.EXPORTCLASS):
+                visit_group(ins.args[0])
+
+    def visit_object(oid: int) -> None:
+        if oid in objects:
+            return
+        if not (0 <= oid < len(program.objects)):
+            raise LinkError(f"object {oid} not in program area")
+        objects[oid] = len(order_objects)
+        order_objects.append(oid)
+        for bid in program.objects[oid].methods.values():
+            visit_block(bid)
+
+    def visit_group(gid: int) -> None:
+        if gid in groups:
+            return
+        if not (0 <= gid < len(program.groups)):
+            raise LinkError(f"group {gid} not in program area")
+        groups[gid] = len(order_groups)
+        order_groups.append(gid)
+        for _hint, bid in program.groups[gid].clauses:
+            visit_block(bid)
+
+    for oid in object_roots:
+        visit_object(oid)
+    for gid in group_roots:
+        visit_group(gid)
+    for bid in block_roots:
+        visit_block(bid)
+
+    bundle = CodeBundle()
+    for bid in order_blocks:
+        src = program.blocks[bid]
+        bundle.blocks.append(CodeBlock(
+            instrs=tuple(_remap_instr(i, blocks, objects, groups)
+                         for i in src.instrs),
+            nfree=src.nfree,
+            nparams=src.nparams,
+            frame_size=src.frame_size,
+            name=src.name,
+        ))
+    for oid in order_objects:
+        src_o = program.objects[oid]
+        bundle.objects.append(ObjectCode(
+            methods={l: blocks[b] for l, b in src_o.methods.items()},
+            name=src_o.name,
+        ))
+    for gid in order_groups:
+        src_g = program.groups[gid]
+        bundle.groups.append(ClassGroup(
+            clauses=tuple((h, blocks[b]) for h, b in src_g.clauses),
+            nfree=src_g.nfree,
+            name=src_g.name,
+        ))
+    bundle.entry_blocks = [blocks[b] for b in block_roots]
+    bundle.entry_objects = [objects[o] for o in object_roots]
+    bundle.entry_groups = [groups[g] for g in group_roots]
+    return bundle
+
+
+def _remap_instr(ins: Instr, blocks: dict[int, int],
+                 objects: dict[int, int], groups: dict[int, int]) -> Instr:
+    if ins.op is Op.FORK:
+        return Instr(Op.FORK, (blocks[ins.args[0]], ins.args[1]))
+    if ins.op is Op.TROBJ:
+        return Instr(Op.TROBJ, (objects[ins.args[0]], ins.args[1]))
+    if ins.op is Op.DEFGROUP:
+        return Instr(Op.DEFGROUP, (groups[ins.args[0]],) + ins.args[1:])
+    if ins.op is Op.EXPORTCLASS:
+        return Instr(Op.EXPORTCLASS, (groups[ins.args[0]],) + ins.args[1:])
+    return ins
+
+
+# ---------------------------------------------------------------------------
+# Linking (receiver side)
+# ---------------------------------------------------------------------------
+
+
+def link_bundle(program: Program, bundle: CodeBundle) -> LinkResult:
+    """Append a bundle to ``program``, renumbering all references.
+
+    This is the "dynamically linked to the local program" step of the
+    FETCH protocol (and of object migration).
+    """
+    block_map = {i: len(program.blocks) + i for i in range(len(bundle.blocks))}
+    object_map = {i: len(program.objects) + i for i in range(len(bundle.objects))}
+    group_map = {i: len(program.groups) + i for i in range(len(bundle.groups))}
+
+    for blk in bundle.blocks:
+        program.blocks.append(CodeBlock(
+            instrs=tuple(_remap_instr(i, block_map, object_map, group_map)
+                         for i in blk.instrs),
+            nfree=blk.nfree,
+            nparams=blk.nparams,
+            frame_size=blk.frame_size,
+            name=blk.name,
+        ))
+    for obj in bundle.objects:
+        program.objects.append(ObjectCode(
+            methods={l: block_map[b] for l, b in obj.methods.items()},
+            name=obj.name,
+        ))
+    for grp in bundle.groups:
+        program.groups.append(ClassGroup(
+            clauses=tuple((h, block_map[b]) for h, b in grp.clauses),
+            nfree=grp.nfree,
+            name=grp.name,
+        ))
+    return LinkResult(block_map=block_map, object_map=object_map,
+                      group_map=group_map)

@@ -1,0 +1,100 @@
+"""The TyCO / DiTyCO calculus: terms, semantics, distribution, mobility.
+
+This subpackage is the *formal* layer of the reproduction (paper
+sections 2-4): the process syntax, the base-calculus reduction engine,
+networks of located processes, the ``sigma_rs`` translation, the
+SHIPM/SHIPO/FETCH mobility rules, and the export/import programming
+constructs.  The executable runtime (compiler + virtual machine +
+daemons, paper section 5) lives in :mod:`repro.compiler`,
+:mod:`repro.vm` and :mod:`repro.runtime`.
+"""
+
+from .congruence import alpha_equal, congruent, normalize_par
+from .evalexpr import EvalError, evaluate, truth
+from .names import (
+    VAL,
+    ClassVar,
+    Label,
+    LocatedClassVar,
+    LocatedName,
+    Name,
+    Site,
+    located,
+)
+from .network import (
+    ExportDef,
+    ExportNew,
+    ExportedInterface,
+    ImportClass,
+    ImportName,
+    LocatedProcess,
+    NetDef,
+    NetNew,
+    NetNil,
+    NetPar,
+    Network,
+    UnresolvedImportError,
+    elaborate_network,
+    elaborate_site_program,
+    flatten_network,
+    net_par,
+    networks_congruent,
+    normalize_network,
+)
+from .network_reduction import NetworkEngine, Packet, UnknownSiteError, run_network
+from .reduction import (
+    BuiltinProtocolError,
+    ChannelState,
+    LocalEngine,
+    PendingMessage,
+    PendingObject,
+    RemoteIdentifierError,
+    TycoRuntimeError,
+    UnboundClassError,
+    run_process,
+)
+from .subst import (
+    ArityError,
+    SubstitutionError,
+    free_classvars,
+    free_located_classvars,
+    free_located_names,
+    free_names,
+    instantiate_method,
+    rename_everywhere,
+    substitute,
+)
+from .terms import (
+    BinOp,
+    Def,
+    Definitions,
+    Expr,
+    If,
+    Instance,
+    Lit,
+    Message,
+    Method,
+    New,
+    Nil,
+    Object,
+    Par,
+    Process,
+    UnOp,
+    Value,
+    flatten_par,
+    msg,
+    obj,
+    par,
+    single_def,
+    val_msg,
+    val_obj,
+)
+from .translate import (
+    sigma_classvar,
+    sigma_definitions,
+    sigma_name,
+    sigma_process,
+    sigma_value,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

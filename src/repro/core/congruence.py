@@ -1,0 +1,198 @@
+"""Alpha-equivalence and structural-congruence helpers (paper section 2/3).
+
+The reduction engines realise structural congruence operationally (they
+flatten compositions and open binders), but tests and the network
+semantics also need a *decision procedure* for alpha-equivalence of
+terms, plus normalisation helpers corresponding to the monoid laws of
+parallel composition.
+"""
+
+from __future__ import annotations
+
+from .names import ClassVar, LocatedClassVar, LocatedName, Name
+from .terms import (
+    BinOp,
+    Def,
+    Expr,
+    If,
+    Instance,
+    Lit,
+    Message,
+    Method,
+    New,
+    Nil,
+    Object,
+    Par,
+    Process,
+    UnOp,
+    flatten_par,
+    par,
+)
+
+
+def alpha_equal(p: Process, q: Process) -> bool:
+    """Decide alpha-equivalence of two processes.
+
+    Bound names/class variables are matched positionally; free
+    identifiers must coincide exactly (object identity for names and
+    class variables, structural equality for located identifiers and
+    literals).  Parallel composition is compared *structurally* -- use
+    :func:`congruent` for comparison modulo the monoid laws.
+    """
+    return _alpha(p, q, {}, {})
+
+
+def _expr_alpha(a: Expr, b: Expr, env: dict[Name, Name]) -> bool:
+    if isinstance(a, Name) and isinstance(b, Name):
+        return env.get(a, a) is b
+    if isinstance(a, Lit) and isinstance(b, Lit):
+        return (
+            isinstance(a.value, bool) == isinstance(b.value, bool)
+            and a.value == b.value
+        )
+    if isinstance(a, LocatedName) and isinstance(b, LocatedName):
+        return a.site == b.site and a.name is b.name
+    if isinstance(a, BinOp) and isinstance(b, BinOp):
+        return (
+            a.op == b.op
+            and _expr_alpha(a.left, b.left, env)
+            and _expr_alpha(a.right, b.right, env)
+        )
+    if isinstance(a, UnOp) and isinstance(b, UnOp):
+        return a.op == b.op and _expr_alpha(a.operand, b.operand, env)
+    return False
+
+
+def _subject_alpha(a, b, env: dict[Name, Name]) -> bool:
+    if isinstance(a, Name) and isinstance(b, Name):
+        return env.get(a, a) is b
+    if isinstance(a, LocatedName) and isinstance(b, LocatedName):
+        return a.site == b.site and a.name is b.name
+    return False
+
+
+def _classref_alpha(a, b, cenv: dict[ClassVar, ClassVar]) -> bool:
+    if isinstance(a, ClassVar) and isinstance(b, ClassVar):
+        return cenv.get(a, a) is b
+    if isinstance(a, LocatedClassVar) and isinstance(b, LocatedClassVar):
+        return a.site == b.site and a.var is b.var
+    return False
+
+
+def _method_alpha(m: Method, n: Method, env, cenv) -> bool:
+    if len(m.params) != len(n.params):
+        return False
+    inner = dict(env)
+    inner.update(zip(m.params, n.params))
+    return _alpha(m.body, n.body, inner, cenv)
+
+
+def _alpha(p: Process, q: Process, env: dict[Name, Name],
+           cenv: dict[ClassVar, ClassVar]) -> bool:
+    if isinstance(p, Nil) and isinstance(q, Nil):
+        return True
+    if isinstance(p, Par) and isinstance(q, Par):
+        return _alpha(p.left, q.left, env, cenv) and _alpha(p.right, q.right, env, cenv)
+    if isinstance(p, New) and isinstance(q, New):
+        if len(p.names) != len(q.names):
+            return False
+        inner = dict(env)
+        inner.update(zip(p.names, q.names))
+        return _alpha(p.body, q.body, inner, cenv)
+    if isinstance(p, Message) and isinstance(q, Message):
+        return (
+            p.label == q.label
+            and len(p.args) == len(q.args)
+            and _subject_alpha(p.subject, q.subject, env)
+            and all(_expr_alpha(a, b, env) for a, b in zip(p.args, q.args))
+        )
+    if isinstance(p, Object) and isinstance(q, Object):
+        if not _subject_alpha(p.subject, q.subject, env):
+            return False
+        if set(p.methods) != set(q.methods):
+            return False
+        return all(
+            _method_alpha(p.methods[l], q.methods[l], env, cenv)
+            for l in p.methods
+        )
+    if isinstance(p, Instance) and isinstance(q, Instance):
+        return (
+            len(p.args) == len(q.args)
+            and _classref_alpha(p.classref, q.classref, cenv)
+            and all(_expr_alpha(a, b, env) for a, b in zip(p.args, q.args))
+        )
+    if isinstance(p, Def) and isinstance(q, Def):
+        pc = list(p.definitions.clauses)
+        qc = list(q.definitions.clauses)
+        if len(pc) != len(qc):
+            return False
+        # Match clauses by their hint-order position: definitions are
+        # ordered mappings, and alpha-equivalence of defs matches them
+        # positionally.
+        inner_c = dict(cenv)
+        inner_c.update(zip(pc, qc))
+        for x, y in zip(pc, qc):
+            if not _method_alpha(
+                p.definitions.clauses[x], q.definitions.clauses[y], env, inner_c
+            ):
+                return False
+        return _alpha(p.body, q.body, env, inner_c)
+    if isinstance(p, If) and isinstance(q, If):
+        return (
+            _expr_alpha(p.condition, q.condition, env)
+            and _alpha(p.then_branch, q.then_branch, env, cenv)
+            and _alpha(p.else_branch, q.else_branch, env, cenv)
+        )
+    return False
+
+
+def normalize_par(p: Process) -> Process:
+    """Apply the monoid laws: drop ``0`` factors, right-nest compositions."""
+    return par(*[_normalize_inside(x) for x in flatten_par(p)])
+
+
+def _normalize_inside(p: Process) -> Process:
+    if isinstance(p, New):
+        return New(p.names, normalize_par(p.body))
+    if isinstance(p, Def):
+        from .terms import Definitions
+
+        clauses = {
+            x: Method(m.params, normalize_par(m.body))
+            for x, m in p.definitions.clauses.items()
+        }
+        return Def(Definitions(clauses), normalize_par(p.body))
+    if isinstance(p, Object):
+        methods = {
+            l: Method(m.params, normalize_par(m.body)) for l, m in p.methods.items()
+        }
+        return Object(p.subject, methods)
+    if isinstance(p, If):
+        return If(p.condition, normalize_par(p.then_branch), normalize_par(p.else_branch))
+    return p
+
+
+def congruent(p: Process, q: Process) -> bool:
+    """Alpha-equivalence modulo the parallel-composition monoid laws
+    (associativity, commutativity, ``0`` as unit).
+
+    Factors of the flattened compositions are matched greedily
+    (quadratic).  Greedy matching is exact when factors are pairwise
+    alpha-distinct or syntactically equal duplicates -- every case the
+    test suites produce; a pathological multiset where one factor is
+    alpha-equal to several *different* candidates could in principle
+    need backtracking, which this decision procedure does not attempt.
+    """
+    ps = flatten_par(normalize_par(p))
+    qs = flatten_par(normalize_par(q))
+    if len(ps) != len(qs):
+        return False
+    remaining = list(qs)
+    for a in ps:
+        for i, b in enumerate(remaining):
+            if alpha_equal(a, b):
+                del remaining[i]
+                break
+        else:
+            return False
+    return True

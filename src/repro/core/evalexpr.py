@@ -1,0 +1,129 @@
+"""Evaluation of builtin expressions to ground values.
+
+The TyCO virtual machine has "a stack for evaluating builtin
+expressions" (paper section 5); at the calculus level the corresponding
+notion is: when a prefix (message, instance, conditional) fires, its
+argument expressions are evaluated to *values* -- literals or names --
+before anything is communicated.
+"""
+
+from __future__ import annotations
+
+from .names import LocatedName, Name
+from .terms import BinOp, Expr, Lit, UnOp, Value
+
+
+class EvalError(Exception):
+    """An expression could not be reduced to a value."""
+
+
+_ARITH = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: _div(a, b),
+    "%": lambda a, b: _mod(a, b),
+}
+
+
+def _mod(a, b):
+    if b == 0:
+        raise EvalError("modulo by zero")
+    return a % b
+
+_COMPARE = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+_BOOL = {
+    "and": lambda a, b: a and b,
+    "or": lambda a, b: a or b,
+}
+
+
+def _div(a, b):
+    if isinstance(a, int) and isinstance(b, int):
+        if b == 0:
+            raise EvalError("division by zero")
+        return a // b
+    if b == 0:
+        raise EvalError("division by zero")
+    return a / b
+
+
+def evaluate(e: Expr) -> Value:
+    """Evaluate a (closed) expression to a value.
+
+    Names and located names are values; arithmetic over non-literals is
+    a runtime type error, matching the dynamic checks of the VM's
+    builtin instructions.
+    """
+    if isinstance(e, (Name, LocatedName, Lit)):
+        return e
+    if isinstance(e, BinOp):
+        lv = evaluate(e.left)
+        rv = evaluate(e.right)
+        if e.op == "==":
+            return Lit(_equal(lv, rv))
+        if e.op == "!=":
+            return Lit(not _equal(lv, rv))
+        if not isinstance(lv, Lit) or not isinstance(rv, Lit):
+            raise EvalError(f"operator {e.op!r} applied to a channel name")
+        a, b = lv.value, rv.value
+        if e.op in _ARITH:
+            if isinstance(a, bool) or isinstance(b, bool):
+                raise EvalError(f"operator {e.op!r} applied to a boolean")
+            if isinstance(a, str) != isinstance(b, str):
+                raise EvalError(f"operator {e.op!r} applied to mixed str/number")
+            if isinstance(a, str) and e.op != "+":
+                raise EvalError(f"operator {e.op!r} not defined on strings")
+            return Lit(_ARITH[e.op](a, b))
+        if e.op in _COMPARE:
+            if isinstance(a, bool) or isinstance(b, bool):
+                raise EvalError(f"operator {e.op!r} applied to a boolean")
+            if isinstance(a, str) != isinstance(b, str):
+                raise EvalError(f"comparison {e.op!r} on mixed str/number")
+            return Lit(_COMPARE[e.op](a, b))
+        if e.op in _BOOL:
+            if not isinstance(a, bool) or not isinstance(b, bool):
+                raise EvalError(f"operator {e.op!r} requires booleans")
+            return Lit(_BOOL[e.op](a, b))
+        raise EvalError(f"unknown operator {e.op!r}")
+    if isinstance(e, UnOp):
+        v = evaluate(e.operand)
+        if not isinstance(v, Lit):
+            raise EvalError(f"operator {e.op!r} applied to a channel name")
+        if e.op == "not":
+            if not isinstance(v.value, bool):
+                raise EvalError("'not' requires a boolean")
+            return Lit(not v.value)
+        if e.op == "-":
+            if isinstance(v.value, bool) or not isinstance(v.value, (int, float)):
+                raise EvalError("unary '-' requires a number")
+            return Lit(-v.value)
+        raise EvalError(f"unknown operator {e.op!r}")
+    raise EvalError(f"not an expression: {e!r}")
+
+
+def _equal(a: Value, b: Value) -> bool:
+    """Value equality: literals by content, names by identity."""
+    if isinstance(a, Lit) and isinstance(b, Lit):
+        # Guard against 1 == True.
+        if isinstance(a.value, bool) != isinstance(b.value, bool):
+            return False
+        return a.value == b.value
+    if isinstance(a, Name) and isinstance(b, Name):
+        return a is b
+    if isinstance(a, LocatedName) and isinstance(b, LocatedName):
+        return a.site == b.site and a.name is b.name
+    return False
+
+
+def truth(v: Value) -> bool:
+    """Coerce a value to a boolean, as the VM's conditional does."""
+    if isinstance(v, Lit) and isinstance(v.value, bool):
+        return v.value
+    raise EvalError(f"conditional requires a boolean, got {v}")

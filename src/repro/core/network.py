@@ -1,0 +1,364 @@
+"""Networks of located processes, and the export/import constructs.
+
+Section 3 builds the distributed layer in two steps: located
+identifiers are added to the base calculus, and *networks* are formed
+from located processes::
+
+    N ::= 0 | s[P] | N || N | new s.x N | def s.D in N
+
+Section 4 adds the two programming constructs and their translation
+into the located calculus::
+
+    [ s[export new x P]   || N ]  =  new s.x (s[P] || [N])
+    [ import x from s in P ]      =  P{s.x/x}
+    [ s[export def D in P] || N ]  =  def s.D in (s[P] || [N])
+    [ import X from s in P ]      =  P{s.X/X}
+
+This module defines the symbolic network syntax, the surface
+export/import process forms, and :func:`elaborate_site_program`, which
+applies the translation, returning the located-calculus process
+together with the identifiers the site exports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from .names import (
+    ClassVar,
+    LocatedClassVar,
+    LocatedName,
+    Name,
+    Site,
+)
+from .subst import substitute
+from .terms import (
+    Def,
+    Definitions,
+    ExportDef,
+    ExportNew,
+    ImportClass,
+    ImportName,
+    New,
+    Nil,
+    Par,
+    Process,
+    SiteProgram,
+)
+
+
+# ---------------------------------------------------------------------------
+# Symbolic networks (section 3 grammar)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class NetNil:
+    """The terminated network ``0``."""
+
+    def __str__(self) -> str:
+        return "0"
+
+
+@dataclass(frozen=True, slots=True)
+class LocatedProcess:
+    """``s[P]`` -- process ``P`` running at site ``s``."""
+
+    site: Site
+    process: Process
+
+    def __str__(self) -> str:
+        return f"{self.site}[{self.process}]"
+
+
+@dataclass(frozen=True, slots=True)
+class NetPar:
+    """``N1 || N2`` -- concurrent composition of networks."""
+
+    left: "Network"
+    right: "Network"
+
+    def __str__(self) -> str:
+        return f"({self.left} || {self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class NetNew:
+    """``new s.x N`` -- scope restriction of a located name."""
+
+    name: LocatedName
+    body: "Network"
+
+    def __str__(self) -> str:
+        return f"new {self.name} {self.body}"
+
+
+@dataclass(frozen=True, slots=True)
+class NetDef:
+    """``def s.D in N`` -- class definitions located at ``s``."""
+
+    site: Site
+    definitions: Definitions
+    body: "Network"
+
+    def __str__(self) -> str:
+        return f"def {self.site}.{self.definitions} in {self.body}"
+
+
+Network = Union[NetNil, LocatedProcess, NetPar, NetNew, NetDef]
+
+
+def net_par(*nets: Network) -> Network:
+    """Right-nested ``||`` composition; ``net_par()`` is the empty network."""
+    if not nets:
+        return NetNil()
+    result = nets[-1]
+    for n in reversed(nets[:-1]):
+        result = NetPar(n, result)
+    return result
+
+
+def normalize_network(n: Network) -> Network:
+    """Normalise a network by the structural-congruence rules of
+    section 3, applied left-to-right:
+
+    * **Nil**: ``s[0] == 0`` -- terminated located processes are
+      garbage collected;
+    * **Split**: ``s[P1] || s[P2] == s[P1 | P2]`` -- processes gather
+      under one location;
+    * **GcN / GcD**: restrictions and definitions whose scope is the
+      terminated network are dropped;
+    * the monoid laws of ``||``.
+
+    Definitions and restrictions are hoisted to the outside (ExN/ExD
+    read left-to-right), sites ordered by name, and each site's process
+    normalised by the process-level monoid laws.
+    """
+    from .congruence import normalize_par
+    from .subst import free_located_classvars, free_located_names
+
+    defs, names, procs = flatten_network(n)
+    by_site: dict[Site, list[Process]] = {}
+    for lp in procs:
+        norm = normalize_par(lp.process)
+        if isinstance(norm, Nil):
+            continue  # rule Nil
+        by_site.setdefault(lp.site, []).append(norm)
+
+    body: Network = NetNil()
+    for site in sorted(by_site, key=lambda s: s.text, reverse=True):
+        merged = by_site[site]
+        proc = merged[0]
+        for extra in merged[1:]:
+            proc = Par(proc, extra)  # rule Split, right to left
+        body = LocatedProcess(site, normalize_par(proc)) if isinstance(body, NetNil) \
+            else NetPar(LocatedProcess(site, normalize_par(proc)), body)
+
+    # Re-wrap restrictions/definitions that are still used (GcN / GcD).
+    from .subst import free_classvars, free_names
+
+    used_located_names = set()
+    used_located_classes = set()
+    simple_names_at: dict[Site, set] = {}
+    simple_classes_at: dict[Site, set] = {}
+    for site, procs_list in by_site.items():
+        for p in procs_list:
+            used_located_names |= free_located_names(p)
+            used_located_classes |= free_located_classvars(p)
+            simple_names_at.setdefault(site, set()).update(free_names(p))
+            simple_classes_at.setdefault(site, set()).update(free_classvars(p))
+
+    for site, group in reversed(defs):
+        located_use = any(lcv.site == site and lcv.var in group.clauses
+                          for lcv in used_located_classes)
+        local_use = bool(simple_classes_at.get(site, set())
+                         & set(group.clauses))
+        if located_use or local_use:  # else rule GcD drops it
+            body = NetDef(site, group, body)
+    for ln in reversed(names):
+        located_use = ln in used_located_names
+        local_use = ln.name in simple_names_at.get(ln.site, set())
+        if located_use or local_use:  # else rule GcN drops it
+            body = NetNew(ln, body)
+    return body
+
+
+def networks_congruent(n1: Network, n2: Network) -> bool:
+    """Structural congruence of networks (section 3 rules), decided by
+    comparing normal forms: same located definitions, same restricted
+    names (by identity), and per-site congruent process soups."""
+    from .congruence import congruent
+
+    d1, names1, _ = flatten_network(n1)
+    d2, names2, _ = flatten_network(n2)
+    if sorted((s.text, tuple(g.clauses)) for s, g in d1) != \
+       sorted((s.text, tuple(g.clauses)) for s, g in d2):
+        return False
+
+    def site_soups(n: Network) -> dict[Site, list[Process]]:
+        _, _, procs = flatten_network(n)
+        out: dict[Site, list[Process]] = {}
+        for lp in procs:
+            out.setdefault(lp.site, []).append(lp.process)
+        return out
+
+    soup1, soup2 = site_soups(n1), site_soups(n2)
+    sites = set(soup1) | set(soup2)
+    for site in sites:
+        p1 = soup1.get(site, [])
+        p2 = soup2.get(site, [])
+        merged1 = p1[0] if len(p1) == 1 else _par_all(p1)
+        merged2 = p2[0] if len(p2) == 1 else _par_all(p2)
+        if not congruent(merged1, merged2):
+            return False
+    return True
+
+
+def _par_all(procs: list[Process]) -> Process:
+    if not procs:
+        return Nil()
+    result = procs[-1]
+    for p in reversed(procs[:-1]):
+        result = Par(p, result)
+    return result
+
+
+def flatten_network(n: Network) -> tuple[list[tuple[Site, Definitions]],
+                                         list[LocatedName],
+                                         list[LocatedProcess]]:
+    """Decompose a network into (located defs, restricted names, located
+    processes), applying the SPLIT/EXN/EXD congruence rules left-to-right."""
+    defs: list[tuple[Site, Definitions]] = []
+    names: list[LocatedName] = []
+    procs: list[LocatedProcess] = []
+
+    def walk(m: Network) -> None:
+        if isinstance(m, NetNil):
+            return
+        if isinstance(m, LocatedProcess):
+            procs.append(m)
+            return
+        if isinstance(m, NetPar):
+            walk(m.left)
+            walk(m.right)
+            return
+        if isinstance(m, NetNew):
+            names.append(m.name)
+            walk(m.body)
+            return
+        if isinstance(m, NetDef):
+            defs.append((m.site, m.definitions))
+            walk(m.body)
+            return
+        raise TypeError(f"not a network: {m!r}")
+
+    walk(n)
+    return defs, names, procs
+
+
+# ---------------------------------------------------------------------------
+# Elaboration of site programs (the section-4 translation)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class ExportedInterface:
+    """What a site program declares in its external interface."""
+
+    names: dict[str, Name]
+    classes: dict[str, tuple[ClassVar, Definitions]]
+
+
+class UnresolvedImportError(Exception):
+    """An ``import .. from s`` referred to an identifier ``s`` never exports."""
+
+
+def elaborate_site_program(
+    site: Site,
+    program: SiteProgram,
+    exports_of: dict[Site, ExportedInterface] | None = None,
+) -> tuple[Process, ExportedInterface]:
+    """Translate a site program into the located calculus.
+
+    Export constructs are stripped (their names/definitions are
+    recorded in the returned :class:`ExportedInterface`; the
+    definitions stay in the process as an ordinary ``def`` so that the
+    local site can also use them).  Import constructs are applied as
+    the substitutions ``P{s.x/x}`` / ``P{s.X/X}``; when ``exports_of``
+    is given, the imported identifier is resolved against the exporting
+    site's interface *by lexeme*, which is exactly the name-service
+    lookup of section 5.
+    """
+    interface = ExportedInterface(names={}, classes={})
+
+    def walk(p: SiteProgram) -> Process:
+        if isinstance(p, ExportNew):
+            for n in p.names:
+                interface.names[n.hint] = n
+            # The exported name is global (new s.x at network level);
+            # locally it behaves like an ordinary free name of the site.
+            return walk_proc(p.body)
+        if isinstance(p, ExportDef):
+            for var in p.definitions.clauses:
+                interface.classes[var.hint] = (var, p.definitions)
+            return Def(p.definitions, walk_proc(p.body))
+        if isinstance(p, ImportName):
+            if exports_of is not None:
+                iface = exports_of.get(p.site)
+                if iface is None or p.name.hint not in iface.names:
+                    raise UnresolvedImportError(
+                        f"site {p.site} exports no name {p.name.hint!r}")
+                target = iface.names[p.name.hint]
+            else:
+                target = p.name
+            body = walk_proc(p.body)
+            return substitute(body, {p.name: LocatedName(p.site, target)})
+        if isinstance(p, ImportClass):
+            if exports_of is not None:
+                iface = exports_of.get(p.site)
+                if iface is None or p.var.hint not in iface.classes:
+                    raise UnresolvedImportError(
+                        f"site {p.site} exports no class {p.var.hint!r}")
+                target = iface.classes[p.var.hint][0]
+            else:
+                target = p.var
+            body = walk_proc(p.body)
+            return substitute(body, classvars={
+                p.var: LocatedClassVar(p.site, target)})
+        return walk_proc(p)
+
+    def walk_proc(p: Process) -> Process:
+        # export/import may occur under new / def / par prefixes.
+        if isinstance(p, (ExportNew, ExportDef, ImportName, ImportClass)):
+            return walk(p)
+        if isinstance(p, New):
+            return New(p.names, walk_proc(p.body))
+        if isinstance(p, Def):
+            return Def(p.definitions, walk_proc(p.body))
+        if isinstance(p, Par):
+            return Par(walk_proc(p.left), walk_proc(p.right))
+        return p
+
+    return walk(program), interface
+
+
+def elaborate_network(
+    programs: dict[Site, SiteProgram],
+) -> tuple[dict[Site, Process], dict[Site, ExportedInterface]]:
+    """Elaborate a whole network of site programs.
+
+    A first pass collects every site's exported interface (imports are
+    not resolved), a second pass resolves imports against those
+    interfaces -- mirroring export registration before import lookup in
+    the name service.
+    """
+    exports: dict[Site, ExportedInterface] = {}
+    for site, prog in programs.items():
+        _, iface = elaborate_site_program(site, prog, exports_of=None)
+        exports[site] = iface
+    elaborated: dict[Site, Process] = {}
+    for site, prog in programs.items():
+        proc, _ = elaborate_site_program(site, prog, exports_of=exports)
+        elaborated[site] = proc
+    return elaborated, exports

@@ -1,0 +1,288 @@
+"""Network-level reduction: LOC, SHIPM, SHIPO and FETCH (section 3).
+
+:class:`NetworkEngine` executes a network of located processes.  Each
+site runs a :class:`~repro.core.reduction.LocalEngine` (rule **LOC**);
+prefixes on located identifiers escape the local engine through its
+``remote_handler`` and become *in-flight packets*:
+
+* **SHIPM** ``r[s.x!l[v]] -> s[x!l[sigma_rs(v)]]`` -- remote method
+  invocation: the message travels to the site its subject is lexically
+  bound to, arguments translated by ``sigma_rs`` at send time.
+* **SHIPO** ``r[s.x?M] -> s[x?(M sigma_rs)]`` -- object migration.
+* **FETCH** -- an instance ``r.X[v]`` at site ``s`` requests the
+  defining group ``D`` from ``r``; the reply carries ``D sigma_rs``
+  which is linked locally before the instantiation proceeds.
+
+Each remote interaction is therefore *two* reduction steps -- one ship
+plus one local rendezvous -- exactly as derived for the RPC example in
+section 3 ("the former is an asynchronous operation, the latter
+requires a rendez-vous").
+
+Downloaded definition groups are cached per destination site, so a
+second instantiation of the same remote class is purely local (this is
+the behaviour the applet-server example relies on; disable with
+``fetch_cache=False`` for the A2 ablation).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from .names import ClassVar, LocatedClassVar, LocatedName, Site
+from .network import (
+    ExportedInterface,
+    Network,
+    SiteProgram,
+    flatten_network,
+)
+from .reduction import LocalEngine, TycoRuntimeError, UnboundClassError
+from .terms import Instance, Message, Object, Process, Value
+from .translate import sigma_definitions, sigma_process, sigma_value
+
+
+class UnknownSiteError(TycoRuntimeError):
+    """A located identifier referred to a site not present in the network."""
+
+
+@dataclass(slots=True)
+class Packet:
+    """One in-flight network interaction."""
+
+    kind: str  # "shipm" | "shipo" | "fetch_req" | "fetch_reply"
+    origin: Site
+    dest: Site
+    payload: object
+
+
+class NetworkEngine:
+    """Executes a network of sites with weak code mobility.
+
+    The engine alternates *rounds*: every site runs to local
+    quiescence (LOC closure), then one generation of in-flight packets
+    is delivered.  This macro-step schedule is deterministic and makes
+    hop counts directly comparable with the paper's derivations.
+    """
+
+    def __init__(self, schedule: str = "fifo", fetch_cache: bool = True) -> None:
+        self.engines: dict[Site, LocalEngine] = {}
+        self.exports: dict[Site, ExportedInterface] = {}
+        self.in_flight: deque[Packet] = deque()
+        self.schedule = schedule
+        self.fetch_cache = fetch_cache
+        # In-flight FETCH deduplication: instantiations of a class whose
+        # download is already underway queue on it instead of issuing a
+        # second request (matches the runtime's pending-fetch table).
+        self._pending_fetch: dict[tuple[Site, ClassVar], list[tuple]] = {}
+        # Mobility statistics (experiments E4, E6, E11).
+        self.shipm_count = 0
+        self.shipo_count = 0
+        self.fetch_requests = 0
+        self.fetch_replies = 0
+        self.fetch_cache_hits = 0
+        self.rounds = 0
+
+    # -- construction ---------------------------------------------------------
+
+    def add_site(self, site: Site) -> LocalEngine:
+        """Create (or return) the local engine of ``site``."""
+        if site not in self.engines:
+            engine = LocalEngine(schedule=self.schedule)
+            engine.remote_handler = self._make_handler(site)
+            self.engines[site] = engine
+        return self.engines[site]
+
+    def load_programs(self, programs: dict[Site, SiteProgram]) -> None:
+        """Elaborate export/import constructs and install every program.
+
+        Exported interfaces accumulate across calls: a program loaded
+        later (e.g. a new client submitted through the shell) can
+        import identifiers exported by an earlier load, mirroring the
+        persistent registrations of the network name service.
+        """
+        from .network import ExportedInterface, elaborate_site_program
+
+        for site, prog in programs.items():
+            _, iface = elaborate_site_program(site, prog, exports_of=None)
+            existing = self.exports.setdefault(
+                site, ExportedInterface(names={}, classes={}))
+            existing.names.update(iface.names)
+            existing.classes.update(iface.classes)
+        for site, prog in programs.items():
+            proc, _ = elaborate_site_program(site, prog, exports_of=self.exports)
+            self.add_site(site).install_top(proc)
+
+    def install(self, site: Site, process: Process) -> None:
+        """Install an already-located process at ``site``."""
+        self.add_site(site).install_top(process)
+
+    def load_network(self, network: Network) -> None:
+        """Install a symbolic network term (section 3 grammar)."""
+        defs, _names, procs = flatten_network(network)
+        for site, group in defs:
+            engine = self.add_site(site)
+            engine._register_defs(group)
+        for lp in procs:
+            self.install(lp.site, lp.process)
+
+    # -- remote handling --------------------------------------------------------
+
+    def _make_handler(self, origin: Site):
+        def handler(p: Process) -> None:
+            if isinstance(p, Message):
+                self._ship_message(origin, p)
+            elif isinstance(p, Object):
+                self._ship_object(origin, p)
+            elif isinstance(p, Instance):
+                self._fetch(origin, p)
+            else:  # pragma: no cover - LocalEngine only delegates these three
+                raise TycoRuntimeError(f"unexpected remote process {p!r}")
+
+        return handler
+
+    def _require_site(self, site: Site) -> LocalEngine:
+        engine = self.engines.get(site)
+        if engine is None:
+            raise UnknownSiteError(f"no site {site} in the network")
+        return engine
+
+    def _ship_message(self, origin: Site, p: Message) -> None:
+        assert isinstance(p.subject, LocatedName)
+        dest = p.subject.site
+        self._require_site(dest)
+        translated = Message(
+            p.subject.name,
+            p.label,
+            tuple(sigma_value(a, origin, dest) for a in p.args),
+        )
+        self.shipm_count += 1
+        self.in_flight.append(Packet("shipm", origin, dest, translated))
+
+    def _ship_object(self, origin: Site, p: Object) -> None:
+        assert isinstance(p.subject, LocatedName)
+        dest = p.subject.site
+        self._require_site(dest)
+        # M sigma_rs: translate the whole object, then re-point the
+        # subject at the destination-local name.
+        translated = sigma_process(p, origin, dest)
+        assert isinstance(translated, Object)
+        translated = Object(p.subject.name, translated.methods)
+        self.shipo_count += 1
+        self.in_flight.append(Packet("shipo", origin, dest, translated))
+
+    def _fetch(self, requester: Site, p: Instance) -> None:
+        assert isinstance(p.classref, LocatedClassVar)
+        owner = p.classref.site
+        var = p.classref.var
+        self._require_site(owner)
+        local = self.engines[requester]
+        if self.fetch_cache and var in local.defs:
+            # The group was downloaded before: instantiate locally.
+            self.fetch_cache_hits += 1
+            local.add(Instance(var, p.args))
+            return
+        pending = self._pending_fetch.get((requester, var))
+        if pending is not None:
+            pending.append(p.args)
+            self.fetch_cache_hits += 1
+            return
+        self._pending_fetch[(requester, var)] = []
+        self.fetch_requests += 1
+        self.in_flight.append(
+            Packet("fetch_req", requester, owner, (var, p.args)))
+
+    # -- delivery -----------------------------------------------------------------
+
+    def _deliver(self, pkt: Packet) -> None:
+        engine = self._require_site(pkt.dest)
+        if pkt.kind in ("shipm", "shipo"):
+            engine.add(pkt.payload)  # type: ignore[arg-type]
+            return
+        if pkt.kind == "fetch_req":
+            var, args = pkt.payload  # type: ignore[misc]
+            owner_engine = engine
+            group = owner_engine.def_groups.get(var)
+            if group is None:
+                raise UnboundClassError(
+                    f"site {pkt.dest} has no definition for {var}")
+            translated = sigma_definitions(group, pkt.dest, pkt.origin)
+            self.fetch_replies += 1
+            self.in_flight.append(
+                Packet("fetch_reply", pkt.dest, pkt.origin,
+                       (translated, var, args)))
+            return
+        if pkt.kind == "fetch_reply":
+            group, var, args = pkt.payload  # type: ignore[misc]
+            engine._register_defs(group)
+            engine.add(Instance(var, args))
+            # Release instantiations queued on this in-flight download.
+            for waiting in self._pending_fetch.pop((pkt.dest, var), []):
+                engine.add(Instance(var, waiting))
+            return
+        raise TycoRuntimeError(f"unknown packet kind {pkt.kind!r}")
+
+    # -- execution --------------------------------------------------------------------
+
+    def local_quiescence(self, max_steps_per_site: int | None = None) -> None:
+        """Run every site to local quiescence (closure under LOC)."""
+        # Shipping enqueues packets but never makes another site
+        # runnable directly, so one pass per site suffices.
+        for engine in self.engines.values():
+            engine.run(max_steps_per_site)
+
+    def deliver_generation(self) -> int:
+        """Deliver every packet currently in flight; return how many."""
+        count = len(self.in_flight)
+        for _ in range(count):
+            self._deliver(self.in_flight.popleft())
+        return count
+
+    def step_round(self, max_steps_per_site: int | None = None) -> bool:
+        """One macro-round: LOC closure then one delivery generation.
+
+        Returns True if the round made progress (packets delivered or
+        local steps taken).
+        """
+        before = sum(e.steps for e in self.engines.values())
+        self.local_quiescence(max_steps_per_site)
+        delivered = self.deliver_generation()
+        after = sum(e.steps for e in self.engines.values())
+        progressed = delivered > 0 or after > before
+        if progressed:
+            self.rounds += 1
+        return progressed
+
+    def run(self, max_rounds: int | None = None) -> int:
+        """Run rounds until the whole network is quiescent."""
+        rounds = 0
+        while True:
+            if max_rounds is not None and rounds >= max_rounds:
+                break
+            if not self.step_round():
+                break
+            rounds += 1
+        return rounds
+
+    # -- introspection -----------------------------------------------------------------
+
+    def is_quiescent(self) -> bool:
+        return not self.in_flight and all(
+            e.is_quiescent() for e in self.engines.values())
+
+    @property
+    def total_reductions(self) -> int:
+        local = sum(e.reductions for e in self.engines.values())
+        return local + self.shipm_count + self.shipo_count + self.fetch_replies
+
+    def outputs(self) -> dict[Site, list[Value]]:
+        """Console output of every site."""
+        return {s: list(e.output) for s, e in self.engines.items()}
+
+
+def run_network(programs: dict[Site, SiteProgram],
+                max_rounds: int | None = None) -> NetworkEngine:
+    """Convenience: elaborate, install and run a network of programs."""
+    net = NetworkEngine()
+    net.load_programs(programs)
+    net.run(max_rounds)
+    return net

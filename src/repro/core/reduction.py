@@ -1,0 +1,377 @@
+"""Operational semantics of the base TyCO calculus (paper section 2).
+
+:class:`LocalEngine` interprets the process soup of a single site.  It
+implements the two reduction axioms of the calculus:
+
+* **COMM** -- ``x!li[v] | x?{..., li(xi)=Pi, ...}  ->  Pi{v/xi}``
+* **INST** -- ``def X(z)=P in X[u]  ->  def X(z)=P in P{u/z}``
+
+plus the structural-congruence bookkeeping needed to expose redexes
+(flattening parallel compositions, opening ``new`` binders, moving
+definitions into the environment).  Argument expressions are evaluated
+to values when their prefix fires, mirroring the VM's builtin stack.
+
+Channels are represented as a pair of queues -- pending messages and
+pending objects -- exactly as in the TyCO virtual machine's heap; the
+invariant is that no queued message matches any queued object (such a
+pair would have reduced on arrival).
+
+The engine is the *local* half of the model: encountering a prefix
+whose subject is a :class:`~repro.core.names.LocatedName` (or an
+instance of a located class) is delegated to a ``remote_handler``,
+which the network-level engine (:mod:`repro.core.network_reduction`)
+provides.  Stand-alone use without a handler raises
+:class:`RemoteIdentifierError`, since the base calculus has no sites.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from .evalexpr import evaluate, truth
+from .names import ClassVar, Label, LocatedClassVar, LocatedName, Name
+from .subst import instantiate_method, substitute
+from .terms import (
+    Def,
+    Definitions,
+    If,
+    Instance,
+    Message,
+    Method,
+    New,
+    Nil,
+    Object,
+    Par,
+    Process,
+    Value,
+)
+
+
+class TycoRuntimeError(Exception):
+    """Base class for runtime errors of the calculus engines."""
+
+
+class RemoteIdentifierError(TycoRuntimeError):
+    """A located identifier reached an engine with no network around it."""
+
+
+class UnboundClassError(TycoRuntimeError):
+    """An instantiation referred to a class variable not in scope."""
+
+
+class BuiltinProtocolError(TycoRuntimeError):
+    """A builtin channel was used in a way its handler does not support."""
+
+
+@dataclass(slots=True)
+class PendingMessage:
+    """A message queued at a channel, arguments already evaluated."""
+
+    label: Label
+    args: tuple[Value, ...]
+
+
+@dataclass(slots=True)
+class PendingObject:
+    """An object queued at a channel, waiting for a matching message."""
+
+    methods: dict[Label, Method]
+
+
+@dataclass(slots=True)
+class ChannelState:
+    """Run-time state of one channel: the two wait queues."""
+
+    messages: deque[PendingMessage] = field(default_factory=deque)
+    objects: deque[PendingObject] = field(default_factory=deque)
+
+    def is_idle(self) -> bool:
+        return not self.messages and not self.objects
+
+
+#: A builtin handler receives (label, evaluated args) and may return an
+#: iterable of processes to inject into the soup (e.g. a reply message).
+BuiltinHandler = Callable[[Label, tuple[Value, ...]], Optional[Iterable[Process]]]
+
+#: Remote handler: receives the active prefixed process (whose subject or
+#: class reference is located) and takes responsibility for it.
+RemoteHandler = Callable[[Process], None]
+
+
+class LocalEngine:
+    """A deterministic interpreter for the base TyCO calculus.
+
+    Parameters
+    ----------
+    remote_handler:
+        Callback that receives processes prefixed by located
+        identifiers (messages to ``s.x``, objects at ``s.x``,
+        instances of ``s.X``).  ``None`` means stand-alone base
+        calculus; located prefixes then raise.
+    schedule:
+        ``"fifo"`` (default, breadth-first), ``"lifo"`` (depth-first)
+        or ``"random"`` (seeded by ``seed``).  All schedules execute
+        the same reductions for confluent programs; the knob exists so
+        property tests can explore different interleavings.
+    """
+
+    def __init__(
+        self,
+        remote_handler: RemoteHandler | None = None,
+        schedule: str = "fifo",
+        seed: int = 0,
+    ) -> None:
+        if schedule not in ("fifo", "lifo", "random"):
+            raise ValueError(f"unknown schedule {schedule!r}")
+        self.channels: dict[Name, ChannelState] = {}
+        self.defs: dict[ClassVar, Method] = {}
+        # Each class variable also remembers the whole (possibly mutually
+        # recursive) group it was defined in: FETCH downloads the group,
+        # "since often X will be a mutually recursive definition
+        # involving other classes in D" (section 3).
+        self.def_groups: dict[ClassVar, Definitions] = {}
+        self.pending: deque[Process] = deque()
+        self.builtins: dict[Name, BuiltinHandler] = {}
+        self.remote_handler = remote_handler
+        self.schedule = schedule
+        self._rng = random.Random(seed)
+        # Statistics (benchmarks E1/E11 read these).
+        self.comm_count = 0
+        self.inst_count = 0
+        self.steps = 0
+        self.output: list[Value] = []
+
+    # -- configuration ----------------------------------------------------
+
+    def register_builtin(self, name: Name, handler: BuiltinHandler) -> None:
+        """Bind ``name`` to a host-level handler (e.g. console printing)."""
+        self.builtins[name] = handler
+
+    def make_console(self, hint: str = "print") -> Name:
+        """Create a builtin channel that appends printed values to
+        :attr:`output` -- the ``print`` of the paper's cell example."""
+        name = Name(hint)
+
+        def handler(label: Label, args: tuple[Value, ...]):
+            self.output.extend(args)
+            return None
+
+        self.register_builtin(name, handler)
+        return name
+
+    # -- soup management ---------------------------------------------------
+
+    def add(self, p: Process) -> None:
+        """Inject a process into the soup."""
+        self.pending.append(p)
+
+    def install_top(self, p: Process) -> None:
+        """Install a freshly-built top-level program.
+
+        Unlike :meth:`add` + :meth:`step`, the ``new``/``def``/``|``
+        spine of the program is opened *without* renaming its binders:
+        exported identifiers recorded during elaboration must keep
+        their identity (a site's interface is part of the network's
+        global state, see section 5's export tables).  Programs passed
+        here must be freshly constructed, so their binders are already
+        globally unique.
+        """
+        if isinstance(p, Par):
+            self.install_top(p.left)
+            self.install_top(p.right)
+            return
+        if isinstance(p, New):
+            self.install_top(p.body)
+            return
+        if isinstance(p, Def):
+            self._register_defs(p.definitions)
+            self.install_top(p.body)
+            return
+        if isinstance(p, Nil):
+            return
+        self.pending.append(p)
+
+    @property
+    def reductions(self) -> int:
+        """Total COMM + INST reductions performed so far."""
+        return self.comm_count + self.inst_count
+
+    def is_quiescent(self) -> bool:
+        """True when no further local step is possible."""
+        return not self.pending
+
+    def has_waiting(self) -> bool:
+        """True if any channel holds queued messages or objects."""
+        return any(not st.is_idle() for st in self.channels.values())
+
+    def check_invariant(self) -> None:
+        """Assert no queued message matches a queued object anywhere."""
+        for name, st in self.channels.items():
+            for m in st.messages:
+                for o in st.objects:
+                    if m.label in o.methods:
+                        raise AssertionError(
+                            f"unreduced redex at {name}: {m.label}")
+
+    # -- execution ----------------------------------------------------------
+
+    def _pop(self) -> Process:
+        if self.schedule == "fifo":
+            return self.pending.popleft()
+        if self.schedule == "lifo":
+            return self.pending.pop()
+        i = self._rng.randrange(len(self.pending))
+        self.pending.rotate(-i)
+        p = self.pending.popleft()
+        self.pending.rotate(i)
+        return p
+
+    def step(self) -> bool:
+        """Interpret one process from the soup.  Returns False if idle."""
+        if not self.pending:
+            return False
+        self.steps += 1
+        p = self._pop()
+        self._dispatch(p)
+        return True
+
+    def run(self, max_steps: int | None = None) -> int:
+        """Run until quiescent (or ``max_steps``); return steps taken."""
+        taken = 0
+        while self.pending:
+            if max_steps is not None and taken >= max_steps:
+                break
+            self.step()
+            taken += 1
+        return taken
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _dispatch(self, p: Process) -> None:
+        if isinstance(p, Nil):
+            return
+        if isinstance(p, Par):
+            self.pending.append(p.left)
+            self.pending.append(p.right)
+            return
+        if isinstance(p, New):
+            # Open the binder with fresh channels (heap allocation).
+            mapping = {n: n.fresh() for n in p.names}
+            self.pending.append(substitute(p.body, mapping))
+            return
+        if isinstance(p, Def):
+            self._register_defs(p.definitions)
+            self.pending.append(p.body)
+            return
+        if isinstance(p, Message):
+            self._exec_message(p)
+            return
+        if isinstance(p, Object):
+            self._exec_object(p)
+            return
+        if isinstance(p, Instance):
+            self._exec_instance(p)
+            return
+        if isinstance(p, If):
+            cond = evaluate(p.condition)
+            if truth(cond):
+                self.pending.append(p.then_branch)
+            else:
+                self.pending.append(p.else_branch)
+            return
+        raise TycoRuntimeError(f"cannot execute {p!r}")
+
+    def _register_defs(self, defs: Definitions) -> None:
+        for var, clause in defs.clauses.items():
+            self.defs[var] = clause
+            self.def_groups[var] = defs
+
+    # -- message ---------------------------------------------------------------
+
+    def _exec_message(self, p: Message) -> None:
+        args = tuple(evaluate(a) for a in p.args)
+        subject = p.subject
+        if isinstance(subject, LocatedName):
+            self._remote(Message(subject, p.label, args))
+            return
+        if subject in self.builtins:
+            produced = self.builtins[subject](p.label, args)
+            if produced:
+                for q in produced:
+                    self.pending.append(q)
+            return
+        state = self.channels.setdefault(subject, ChannelState())
+        # Scan for the first queued object offering this label.
+        for i, o in enumerate(state.objects):
+            if p.label in o.methods:
+                del state.objects[i]
+                self._fire_comm(o.methods[p.label], args)
+                return
+        state.messages.append(PendingMessage(p.label, args))
+
+    # -- object -------------------------------------------------------------------
+
+    def _exec_object(self, p: Object) -> None:
+        subject = p.subject
+        if isinstance(subject, LocatedName):
+            self._remote(p)
+            return
+        if subject in self.builtins:
+            raise BuiltinProtocolError(
+                f"cannot locate an object at builtin channel {subject}")
+        state = self.channels.setdefault(subject, ChannelState())
+        methods = dict(p.methods)
+        # Scan for the first queued message this object can consume.
+        for i, m in enumerate(state.messages):
+            if m.label in methods:
+                del state.messages[i]
+                self._fire_comm(methods[m.label], m.args)
+                return
+        state.objects.append(PendingObject(methods))
+
+    def _fire_comm(self, method: Method, args: tuple[Value, ...]) -> None:
+        self.comm_count += 1
+        self.pending.append(instantiate_method(method, args))
+
+    # -- instance --------------------------------------------------------------------
+
+    def _exec_instance(self, p: Instance) -> None:
+        args = tuple(evaluate(a) for a in p.args)
+        cref = p.classref
+        if isinstance(cref, LocatedClassVar):
+            self._remote(Instance(cref, args))
+            return
+        clause = self.defs.get(cref)
+        if clause is None:
+            raise UnboundClassError(f"unbound class variable {cref}")
+        self.inst_count += 1
+        self.pending.append(instantiate_method(clause, args))
+
+    # -- remote delegation -------------------------------------------------------------
+
+    def _remote(self, p: Process) -> None:
+        if self.remote_handler is None:
+            raise RemoteIdentifierError(
+                f"located identifier in a local-only engine: {p}")
+        self.remote_handler(p)
+
+    # -- introspection helpers (used by tests) -----------------------------------------
+
+    def queued_messages(self, name: Name) -> list[PendingMessage]:
+        st = self.channels.get(name)
+        return list(st.messages) if st else []
+
+    def queued_objects(self, name: Name) -> list[PendingObject]:
+        st = self.channels.get(name)
+        return list(st.objects) if st else []
+
+
+def run_process(p: Process, max_steps: int | None = None) -> LocalEngine:
+    """Convenience: run ``p`` in a fresh engine until quiescence."""
+    engine = LocalEngine()
+    engine.add(p)
+    engine.run(max_steps)
+    return engine

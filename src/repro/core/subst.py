@@ -1,0 +1,439 @@
+"""Free identifiers, substitution, and alpha-conversion for TyCO terms.
+
+The reduction rules of the paper (COMM, INST, SHIPM, SHIPO, FETCH) are
+all expressed with substitutions ``P{v/x}`` of values for names and --
+for the translation ``sigma_rs`` of section 3 -- substitutions of
+located identifiers for names and class variables.
+
+:func:`substitute` is capture-avoiding *and* freshening: every binder
+traversed is renamed to a fresh identifier.  Freshening makes each
+``INST`` unfolding of a recursive class body produce brand-new bound
+names, which is exactly the behaviour of the virtual machine (each
+instantiation allocates fresh channels in the heap).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .names import (
+    ClassVar,
+    LocatedClassVar,
+    LocatedName,
+    Name,
+)
+from .terms import (
+    BinOp,
+    Def,
+    Definitions,
+    ExportDef,
+    ExportNew,
+    Expr,
+    If,
+    ImportClass,
+    ImportName,
+    Instance,
+    Message,
+    Method,
+    New,
+    Nil,
+    Object,
+    Par,
+    Process,
+    UnOp,
+)
+
+# A substitution maps names to expressions (usually values) and class
+# variables to class identifiers.
+NameSubst = Mapping[Name, Expr]
+ClassSubst = Mapping[ClassVar, ClassVar | LocatedClassVar]
+
+
+# ---------------------------------------------------------------------------
+# Free identifiers
+# ---------------------------------------------------------------------------
+
+
+def free_names(p: Process) -> set[Name]:
+    """The set of free simple names of ``p`` (paper: fn)."""
+    out: set[Name] = set()
+    _walk_names(p, set(), out)
+    return out
+
+
+def _expr_names(e: Expr, bound: set[Name], out: set[Name]) -> None:
+    if isinstance(e, Name):
+        if e not in bound:
+            out.add(e)
+    elif isinstance(e, BinOp):
+        _expr_names(e.left, bound, out)
+        _expr_names(e.right, bound, out)
+    elif isinstance(e, UnOp):
+        _expr_names(e.operand, bound, out)
+    # Lit and LocatedName contribute no free simple names.
+
+
+def _walk_names(p: Process, bound: set[Name], out: set[Name]) -> None:
+    if isinstance(p, Nil):
+        return
+    if isinstance(p, Par):
+        _walk_names(p.left, bound, out)
+        _walk_names(p.right, bound, out)
+        return
+    if isinstance(p, New):
+        inner = bound | set(p.names)
+        _walk_names(p.body, inner, out)
+        return
+    if isinstance(p, Message):
+        if isinstance(p.subject, Name) and p.subject not in bound:
+            out.add(p.subject)
+        for a in p.args:
+            _expr_names(a, bound, out)
+        return
+    if isinstance(p, Object):
+        if isinstance(p.subject, Name) and p.subject not in bound:
+            out.add(p.subject)
+        for m in p.methods.values():
+            _walk_names(m.body, bound | set(m.params), out)
+        return
+    if isinstance(p, Instance):
+        for a in p.args:
+            _expr_names(a, bound, out)
+        return
+    if isinstance(p, Def):
+        for m in p.definitions.clauses.values():
+            _walk_names(m.body, bound | set(m.params), out)
+        _walk_names(p.body, bound, out)
+        return
+    if isinstance(p, If):
+        _expr_names(p.condition, bound, out)
+        _walk_names(p.then_branch, bound, out)
+        _walk_names(p.else_branch, bound, out)
+        return
+    # Surface export/import constructs (section 4) bind identifiers too.
+    if isinstance(p, ExportNew):
+        _walk_names(p.body, bound | set(p.names), out)
+        return
+    if isinstance(p, ExportDef):
+        for m in p.definitions.clauses.values():
+            _walk_names(m.body, bound | set(m.params), out)
+        _walk_names(p.body, bound, out)
+        return
+    if isinstance(p, ImportName):
+        _walk_names(p.body, bound | {p.name}, out)
+        return
+    if isinstance(p, ImportClass):
+        _walk_names(p.body, bound, out)
+        return
+    raise TypeError(f"not a process: {p!r}")
+
+
+def free_classvars(p: Process) -> set[ClassVar]:
+    """The set of free simple class variables of ``p`` (paper: ft)."""
+    out: set[ClassVar] = set()
+    _walk_classvars(p, set(), out)
+    return out
+
+
+def _walk_classvars(p: Process, bound: set[ClassVar], out: set[ClassVar]) -> None:
+    if isinstance(p, Nil):
+        return
+    if isinstance(p, Par):
+        _walk_classvars(p.left, bound, out)
+        _walk_classvars(p.right, bound, out)
+        return
+    if isinstance(p, New):
+        _walk_classvars(p.body, bound, out)
+        return
+    if isinstance(p, Message):
+        return
+    if isinstance(p, Object):
+        for m in p.methods.values():
+            _walk_classvars(m.body, bound, out)
+        return
+    if isinstance(p, Instance):
+        if isinstance(p.classref, ClassVar) and p.classref not in bound:
+            out.add(p.classref)
+        return
+    if isinstance(p, Def):
+        inner = bound | set(p.definitions.clauses)
+        for m in p.definitions.clauses.values():
+            _walk_classvars(m.body, inner, out)
+        _walk_classvars(p.body, inner, out)
+        return
+    if isinstance(p, If):
+        _walk_classvars(p.then_branch, bound, out)
+        _walk_classvars(p.else_branch, bound, out)
+        return
+    if isinstance(p, ExportNew):
+        _walk_classvars(p.body, bound, out)
+        return
+    if isinstance(p, ExportDef):
+        inner = bound | set(p.definitions.clauses)
+        for m in p.definitions.clauses.values():
+            _walk_classvars(m.body, inner, out)
+        _walk_classvars(p.body, inner, out)
+        return
+    if isinstance(p, ImportName):
+        _walk_classvars(p.body, bound, out)
+        return
+    if isinstance(p, ImportClass):
+        _walk_classvars(p.body, bound | {p.var}, out)
+        return
+    raise TypeError(f"not a process: {p!r}")
+
+
+def free_located_names(p: Process) -> set[LocatedName]:
+    """All located names ``s.x`` occurring in ``p`` (always free)."""
+    out: set[LocatedName] = set()
+
+    def expr(e: Expr) -> None:
+        if isinstance(e, LocatedName):
+            out.add(e)
+        elif isinstance(e, BinOp):
+            expr(e.left)
+            expr(e.right)
+        elif isinstance(e, UnOp):
+            expr(e.operand)
+
+    def walk(q: Process) -> None:
+        if isinstance(q, Par):
+            walk(q.left)
+            walk(q.right)
+        elif isinstance(q, New):
+            walk(q.body)
+        elif isinstance(q, Message):
+            if isinstance(q.subject, LocatedName):
+                out.add(q.subject)
+            for a in q.args:
+                expr(a)
+        elif isinstance(q, Object):
+            if isinstance(q.subject, LocatedName):
+                out.add(q.subject)
+            for m in q.methods.values():
+                walk(m.body)
+        elif isinstance(q, Instance):
+            for a in q.args:
+                expr(a)
+        elif isinstance(q, Def):
+            for m in q.definitions.clauses.values():
+                walk(m.body)
+            walk(q.body)
+        elif isinstance(q, If):
+            expr(q.condition)
+            walk(q.then_branch)
+            walk(q.else_branch)
+
+    walk(p)
+    return out
+
+
+def free_located_classvars(p: Process) -> set[LocatedClassVar]:
+    """All located class variables ``s.X`` occurring in ``p``."""
+    out: set[LocatedClassVar] = set()
+
+    def walk(q: Process) -> None:
+        if isinstance(q, Par):
+            walk(q.left)
+            walk(q.right)
+        elif isinstance(q, New):
+            walk(q.body)
+        elif isinstance(q, Object):
+            for m in q.methods.values():
+                walk(m.body)
+        elif isinstance(q, Instance):
+            if isinstance(q.classref, LocatedClassVar):
+                out.add(q.classref)
+        elif isinstance(q, Def):
+            for m in q.definitions.clauses.values():
+                walk(m.body)
+            walk(q.body)
+        elif isinstance(q, If):
+            walk(q.then_branch)
+            walk(q.else_branch)
+
+    walk(p)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Substitution
+# ---------------------------------------------------------------------------
+
+
+def substitute(
+    p: Process,
+    names: NameSubst | None = None,
+    classvars: ClassSubst | None = None,
+) -> Process:
+    """Apply ``P{names}{classvars}``, freshening every binder traversed.
+
+    ``names`` maps :class:`Name` to expressions (values in practice);
+    ``classvars`` maps :class:`ClassVar` to (possibly located) class
+    variables.  Binders shadow: a substitution for ``x`` does not enter
+    the scope of a binder for ``x`` (the binder is renamed anyway).
+    """
+    ns: dict[Name, Expr] = dict(names or {})
+    cs: dict[ClassVar, ClassVar | LocatedClassVar] = dict(classvars or {})
+    return _subst(p, ns, cs)
+
+
+def _subst_expr(e: Expr, ns: Mapping[Name, Expr]) -> Expr:
+    if isinstance(e, Name):
+        return ns.get(e, e)
+    if isinstance(e, BinOp):
+        return BinOp(e.op, _subst_expr(e.left, ns), _subst_expr(e.right, ns))
+    if isinstance(e, UnOp):
+        return UnOp(e.op, _subst_expr(e.operand, ns))
+    return e  # Lit, LocatedName
+
+
+def _subst_subject(s, ns: Mapping[Name, Expr]):
+    if isinstance(s, Name):
+        v = ns.get(s, s)
+        if not isinstance(v, (Name, LocatedName)):
+            raise SubstitutionError(
+                f"subject position requires a name, got {v!r} for {s!r}")
+        return v
+    return s
+
+
+class SubstitutionError(Exception):
+    """A literal or compound expression flowed into a name-only position."""
+
+
+def _subst(p: Process, ns: dict[Name, Expr],
+           cs: dict[ClassVar, ClassVar | LocatedClassVar]) -> Process:
+    if isinstance(p, Nil):
+        return p
+    if isinstance(p, Par):
+        return Par(_subst(p.left, ns, cs), _subst(p.right, ns, cs))
+    if isinstance(p, New):
+        fresh = tuple(n.fresh() for n in p.names)
+        inner = dict(ns)
+        inner.update(zip(p.names, fresh))
+        return New(fresh, _subst(p.body, inner, cs))
+    if isinstance(p, Message):
+        return Message(
+            _subst_subject(p.subject, ns),
+            p.label,
+            tuple(_subst_expr(a, ns) for a in p.args),
+        )
+    if isinstance(p, Object):
+        methods = {}
+        for label, m in p.methods.items():
+            fresh = tuple(x.fresh() for x in m.params)
+            inner = dict(ns)
+            inner.update(zip(m.params, fresh))
+            methods[label] = Method(fresh, _subst(m.body, inner, cs))
+        return Object(_subst_subject(p.subject, ns), methods)
+    if isinstance(p, Instance):
+        cref = p.classref
+        if isinstance(cref, ClassVar):
+            cref = cs.get(cref, cref)
+        return Instance(cref, tuple(_subst_expr(a, ns) for a in p.args))
+    if isinstance(p, Def):
+        fresh_vars = {x: x.fresh() for x in p.definitions.clauses}
+        inner_cs = dict(cs)
+        inner_cs.update(fresh_vars)
+        clauses = {}
+        for x, m in p.definitions.clauses.items():
+            fresh = tuple(y.fresh() for y in m.params)
+            inner_ns = dict(ns)
+            inner_ns.update(zip(m.params, fresh))
+            clauses[fresh_vars[x]] = Method(fresh, _subst(m.body, inner_ns, inner_cs))
+        return Def(Definitions(clauses), _subst(p.body, ns, inner_cs))
+    if isinstance(p, If):
+        return If(
+            _subst_expr(p.condition, ns),
+            _subst(p.then_branch, ns, cs),
+            _subst(p.else_branch, ns, cs),
+        )
+    if isinstance(p, ExportNew):
+        # Exported binders keep their identity: they are part of the
+        # site's public interface and must not be freshened away.
+        inner = {k: v for k, v in ns.items() if k not in p.names}
+        return ExportNew(p.names, _subst(p.body, inner, cs))
+    if isinstance(p, ExportDef):
+        inner_cs = {k: v for k, v in cs.items()
+                    if k not in p.definitions.clauses}
+        clauses = {
+            x: Method(m.params,
+                      _subst(m.body,
+                             {k: v for k, v in ns.items() if k not in m.params},
+                             inner_cs))
+            for x, m in p.definitions.clauses.items()
+        }
+        return ExportDef(Definitions(clauses), _subst(p.body, ns, inner_cs))
+    if isinstance(p, ImportName):
+        inner = {k: v for k, v in ns.items() if k is not p.name}
+        return ImportName(p.name, p.site, _subst(p.body, inner, cs))
+    if isinstance(p, ImportClass):
+        inner_cs = {k: v for k, v in cs.items() if k is not p.var}
+        return ImportClass(p.var, p.site, _subst(p.body, ns, inner_cs))
+    raise TypeError(f"not a process: {p!r}")
+
+
+def instantiate_method(m: Method, args: tuple[Expr, ...]) -> Process:
+    """``P{v.../x...}`` for a method ``(x...) = P`` -- the COMM/INST rhs."""
+    if len(m.params) != len(args):
+        raise ArityError(
+            f"method expects {len(m.params)} argument(s), got {len(args)}")
+    return substitute(m.body, dict(zip(m.params, args)))
+
+
+class ArityError(Exception):
+    """Message/instance arity does not match the method/class parameters."""
+
+
+def rename_everywhere(p: Process, mapping: Mapping[Name, Name]) -> Process:
+    """Rename *all* occurrences of the given names, including binders.
+
+    Unlike :func:`substitute` this touches binding occurrences too.  It
+    is used by structural-congruence canonicalisation and by the
+    engines when they open a ``new`` binder.
+    """
+
+    def expr(e: Expr) -> Expr:
+        if isinstance(e, Name):
+            return mapping.get(e, e)
+        if isinstance(e, BinOp):
+            return BinOp(e.op, expr(e.left), expr(e.right))
+        if isinstance(e, UnOp):
+            return UnOp(e.op, expr(e.operand))
+        return e
+
+    def walk(q: Process) -> Process:
+        if isinstance(q, Nil):
+            return q
+        if isinstance(q, Par):
+            return Par(walk(q.left), walk(q.right))
+        if isinstance(q, New):
+            return New(tuple(mapping.get(n, n) for n in q.names), walk(q.body))
+        if isinstance(q, Message):
+            subj = q.subject
+            if isinstance(subj, Name):
+                subj = mapping.get(subj, subj)
+            return Message(subj, q.label, tuple(expr(a) for a in q.args))
+        if isinstance(q, Object):
+            subj = q.subject
+            if isinstance(subj, Name):
+                subj = mapping.get(subj, subj)
+            methods = {
+                l: Method(tuple(mapping.get(x, x) for x in m.params), walk(m.body))
+                for l, m in q.methods.items()
+            }
+            return Object(subj, methods)
+        if isinstance(q, Instance):
+            return Instance(q.classref, tuple(expr(a) for a in q.args))
+        if isinstance(q, Def):
+            clauses = {
+                x: Method(tuple(mapping.get(y, y) for y in m.params), walk(m.body))
+                for x, m in q.definitions.clauses.items()
+            }
+            return Def(Definitions(clauses), walk(q.body))
+        if isinstance(q, If):
+            return If(expr(q.condition), walk(q.then_branch), walk(q.else_branch))
+        raise TypeError(f"not a process: {q!r}")
+
+    return walk(p)

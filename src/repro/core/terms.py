@@ -1,0 +1,386 @@
+"""Abstract syntax of TyCO processes (paper section 2).
+
+The grammar of processes is::
+
+    P ::= 0                 terminated process
+        | P | P             concurrent composition
+        | new x...  P       local channel declaration
+        | x!l[v...]         asynchronous message
+        | x?M               object  (M a collection of methods)
+        | X[v...]           instance of a class
+        | def D in P        definition of classes
+
+plus two extensions present in the real TyCO language and needed by the
+paper's examples: *literal values* (``9``, ``true`` in the cell
+example), *builtin expressions* over them, and a conditional process
+``if e then P else Q``.  These correspond to the virtual machine's
+"stack for evaluating builtin expressions" (section 5).
+
+Terms are immutable (frozen dataclasses).  Binding occurrences
+(``new``, method parameters, class parameters, ``def``) always bind
+*simple* :class:`~repro.core.names.Name` / ``ClassVar`` objects; located
+identifiers only appear in non-binding positions, as required by the
+model (section 3: "there must be no provision in the base calculus for
+binding located identifiers").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Union
+
+from .names import (
+    ClassIdentifier,
+    ClassVar,
+    Identifier,
+    Label,
+    LocatedName,
+    Name,
+    Site,
+    VAL,
+)
+
+# ---------------------------------------------------------------------------
+# Values and builtin expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Lit:
+    """A literal constant: int, float, bool or str."""
+
+    value: int | float | bool | str
+
+    def __str__(self) -> str:
+        if isinstance(self.value, bool):
+            return "true" if self.value else "false"
+        if isinstance(self.value, str):
+            return repr(self.value)
+        return str(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class BinOp:
+    """A builtin binary expression, e.g. ``x + 1``.
+
+    Evaluated by the engine when the enclosing prefix fires (the VM
+    evaluates builtin expressions on its operand stack before a message
+    is sent or an instance created).
+    """
+
+    op: str  # one of + - * / % < <= > >= == != and or
+    left: "Expr"
+    right: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class UnOp:
+    """A builtin unary expression: ``not e`` or ``-e``."""
+
+    op: str  # "not" | "-"
+    operand: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.op} {self.operand})"
+
+
+#: Expressions that may appear in argument position.  A bare ``Name``
+#: stands for the variable holding that name (or, after substitution,
+#: the communicated value).
+Expr = Union[Lit, BinOp, UnOp, Name, LocatedName]
+
+#: Ground values: what expressions evaluate to at reduction time.
+Value = Union[Lit, Name, LocatedName]
+
+
+# ---------------------------------------------------------------------------
+# Processes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Nil:
+    """The terminated process ``0``."""
+
+    def __str__(self) -> str:
+        return "0"
+
+
+@dataclass(frozen=True, slots=True)
+class Par:
+    """Concurrent composition ``P | Q``."""
+
+    left: "Process"
+    right: "Process"
+
+    def __str__(self) -> str:
+        return f"({self.left} | {self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class New:
+    """Local channel declaration ``new x1 ... xn P`` (n >= 1)."""
+
+    names: tuple[Name, ...]
+    body: "Process"
+
+    def __post_init__(self) -> None:
+        if not self.names:
+            raise ValueError("new requires at least one name")
+        if len(set(map(id, self.names))) != len(self.names):
+            raise ValueError("new binds pairwise-distinct names")
+
+    def __str__(self) -> str:
+        ns = " ".join(map(str, self.names))
+        return f"new {ns} {self.body}"
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """Asynchronous message ``x!l[v1 ... vn]``."""
+
+    subject: Identifier
+    label: Label
+    args: tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        args = " ".join(map(str, self.args))
+        return f"{self.subject}!{self.label}[{args}]"
+
+
+@dataclass(frozen=True, slots=True)
+class Method:
+    """One method ``l(x1 ... xn) = P`` of an object or a class body."""
+
+    params: tuple[Name, ...]
+    body: "Process"
+
+    def __post_init__(self) -> None:
+        if len(set(map(id, self.params))) != len(self.params):
+            raise ValueError("method parameters must be pairwise distinct")
+
+    def __str__(self) -> str:
+        ps = " ".join(map(str, self.params))
+        return f"({ps}) = {self.body}"
+
+
+@dataclass(frozen=True, slots=True)
+class Object:
+    """An object ``x?{l1(x...)=P1, ..., ln(x...)=Pn}``.
+
+    ``methods`` maps each label to its :class:`Method`.  An object is
+    *ephemeral*: it is consumed by a single communication (unbounded
+    behaviour is recovered by recursive class instantiation).
+    """
+
+    subject: Identifier
+    methods: Mapping[Label, Method]
+
+    def __post_init__(self) -> None:
+        # Normalise to an immutable, order-preserving mapping.
+        object.__setattr__(self, "methods", dict(self.methods))
+        if not self.methods:
+            raise ValueError("an object needs at least one method")
+
+    def __str__(self) -> str:
+        ms = ", ".join(f"{l}{m}" for l, m in self.methods.items())
+        return f"{self.subject}?{{{ms}}}"
+
+    def __hash__(self) -> int:  # dict field kills the generated hash
+        return hash((id(self.subject), tuple(self.methods)))
+
+
+@dataclass(frozen=True, slots=True)
+class Instance:
+    """A class instantiation ``X[v1 ... vn]``."""
+
+    classref: ClassIdentifier
+    args: tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        args = " ".join(map(str, self.args))
+        return f"{self.classref}[{args}]"
+
+
+@dataclass(frozen=True, slots=True)
+class Definitions:
+    """A group of mutually recursive class definitions
+
+    ``X1(x...) = P1 and ... and Xk(x...) = Pk``.
+    """
+
+    clauses: Mapping[ClassVar, Method]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "clauses", dict(self.clauses))
+        if not self.clauses:
+            raise ValueError("def requires at least one clause")
+
+    def domain(self) -> tuple[ClassVar, ...]:
+        return tuple(self.clauses)
+
+    def __str__(self) -> str:
+        return " and ".join(f"{x}{m}" for x, m in self.clauses.items())
+
+    def __hash__(self) -> int:
+        return hash(tuple(id(x) for x in self.clauses))
+
+
+@dataclass(frozen=True, slots=True)
+class Def:
+    """Class definition ``def D in P``."""
+
+    definitions: Definitions
+    body: "Process"
+
+    def __str__(self) -> str:
+        return f"def {self.definitions} in {self.body}"
+
+
+@dataclass(frozen=True, slots=True)
+class If:
+    """Builtin conditional ``if e then P else Q`` (TyCO language extension)."""
+
+    condition: Expr
+    then_branch: "Process"
+    else_branch: "Process"
+
+    def __str__(self) -> str:
+        return f"if {self.condition} then {self.then_branch} else {self.else_branch}"
+
+
+Process = Union[Nil, Par, New, Message, Object, Instance, Def, If]
+
+PROCESS_TYPES = (Nil, Par, New, Message, Object, Instance, Def, If)
+
+
+# ---------------------------------------------------------------------------
+# Surface constructs of the distributed language (section 4).
+#
+# These may appear on the spine of a *site program* (outside method and
+# clause bodies); the elaboration in :mod:`repro.core.network` translates
+# them into the located calculus, and the compiler turns them into the
+# EXPORT/IMPORT instructions of section 5.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class ExportNew:
+    """``export new x1 ... xn P`` -- declare names in the site's interface."""
+
+    names: tuple[Name, ...]
+    body: "Process"
+
+    def __str__(self) -> str:
+        ns = " ".join(map(str, self.names))
+        return f"export new {ns} {self.body}"
+
+
+@dataclass(frozen=True, slots=True)
+class ExportDef:
+    """``export def D in P`` -- publish class definitions."""
+
+    definitions: Definitions
+    body: "Process"
+
+    def __str__(self) -> str:
+        return f"export def {self.definitions} in {self.body}"
+
+
+@dataclass(frozen=True, slots=True)
+class ImportName:
+    """``import x from s in P`` -- use a name exported by site ``s``."""
+
+    name: Name  # placeholder bound in body
+    site: "Site"
+    body: "Process"
+
+    def __str__(self) -> str:
+        return f"import {self.name} from {self.site} in {self.body}"
+
+
+@dataclass(frozen=True, slots=True)
+class ImportClass:
+    """``import X from s in P`` -- use a class exported by site ``s``."""
+
+    var: ClassVar
+    site: "Site"
+    body: "Process"
+
+    def __str__(self) -> str:
+        return f"import {self.var} from {self.site} in {self.body}"
+
+
+SiteProgram = Union[Process, ExportNew, ExportDef, ImportName, ImportClass]
+
+
+# ---------------------------------------------------------------------------
+# Smart constructors and helpers
+# ---------------------------------------------------------------------------
+
+
+def par(*procs: Process) -> Process:
+    """Right-nested parallel composition of any number of processes.
+
+    ``par()`` is ``0``; ``par(P)`` is ``P``.
+    """
+    if not procs:
+        return Nil()
+    result = procs[-1]
+    for p in reversed(procs[:-1]):
+        result = Par(p, result)
+    return result
+
+
+def msg(subject: Identifier, label: str | Label, *args: Expr) -> Message:
+    """Build ``subject!label[args]``, accepting a plain-string label."""
+    if isinstance(label, str):
+        label = Label(label)
+    return Message(subject, label, tuple(args))
+
+
+def val_msg(subject: Identifier, *args: Expr) -> Message:
+    """The paper's abbreviation ``x![v...] == x!val[v...]``."""
+    return Message(subject, VAL, tuple(args))
+
+
+def obj(subject: Identifier, **methods: tuple) -> Object:
+    """Build an object from ``label=(params_tuple, body)`` keyword pairs."""
+    table = {
+        Label(name): Method(tuple(params), body)
+        for name, (params, body) in methods.items()
+    }
+    return Object(subject, table)
+
+
+def val_obj(subject: Identifier, params: Iterable[Name], body: Process) -> Object:
+    """The paper's abbreviation ``x?(y...) = P == x?{val(y...) = P}``."""
+    return Object(subject, {VAL: Method(tuple(params), body)})
+
+
+def single_def(var: ClassVar, params: Iterable[Name], body: Process,
+               scope: Process) -> Def:
+    """Build ``def X(params) = body in scope``."""
+    return Def(Definitions({var: Method(tuple(params), body)}), scope)
+
+
+def flatten_par(p: Process) -> list[Process]:
+    """Flatten nested ``Par`` into the list of its non-``Par`` leaves.
+
+    ``Nil`` leaves are dropped (monoid laws of structural congruence).
+    """
+    out: list[Process] = []
+    stack = [p]
+    while stack:
+        q = stack.pop()
+        if isinstance(q, Par):
+            stack.append(q.right)
+            stack.append(q.left)
+        elif isinstance(q, Nil):
+            continue
+        else:
+            out.append(q)
+    return out

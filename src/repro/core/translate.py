@@ -1,0 +1,155 @@
+"""The identifier translation ``sigma_rs`` of section 3.
+
+When a prefixed process (message, object, or class code) moves from
+site ``r`` to site ``s``, its free identifiers are rewritten so that
+lexical scope is preserved::
+
+    sigma_rs(x)    = r.x      a local name is uploaded to the origin
+    sigma_rs(s.x)  = x        a name of the destination becomes local
+    sigma_rs(s'.x) = s'.x     third-party names are untouched
+    sigma_rs(X)    = r.X      likewise for class variables
+    sigma_rs(s.X)  = X
+    sigma_rs(s'.X) = s'.X
+
+Only *free* occurrences are translated: names bound inside the shipped
+code travel with it and remain simple.
+"""
+
+from __future__ import annotations
+
+from .names import (
+    ClassVar,
+    LocatedClassVar,
+    LocatedName,
+    Name,
+    Site,
+)
+from .terms import (
+    BinOp,
+    Def,
+    Definitions,
+    Expr,
+    If,
+    Instance,
+    Message,
+    Method,
+    New,
+    Nil,
+    Object,
+    Par,
+    Process,
+    UnOp,
+)
+
+
+def sigma_name(ident: Name | LocatedName, origin: Site, dest: Site):
+    """Apply ``sigma_{origin,dest}`` to one (free) name occurrence."""
+    if isinstance(ident, Name):
+        return LocatedName(origin, ident)
+    if ident.site == dest:
+        return ident.name
+    return ident
+
+
+def sigma_classvar(ident: ClassVar | LocatedClassVar, origin: Site, dest: Site):
+    """Apply ``sigma_{origin,dest}`` to one (free) class-variable occurrence."""
+    if isinstance(ident, ClassVar):
+        return LocatedClassVar(origin, ident)
+    if ident.site == dest:
+        return ident.var
+    return ident
+
+
+def sigma_value(v: Expr, origin: Site, dest: Site) -> Expr:
+    """Translate one argument expression (no binders inside expressions)."""
+    if isinstance(v, (Name, LocatedName)):
+        return sigma_name(v, origin, dest)
+    if isinstance(v, BinOp):
+        return BinOp(v.op, sigma_value(v.left, origin, dest),
+                     sigma_value(v.right, origin, dest))
+    if isinstance(v, UnOp):
+        return UnOp(v.op, sigma_value(v.operand, origin, dest))
+    return v  # Lit
+
+
+def sigma_process(p: Process, origin: Site, dest: Site,
+                  bound: frozenset[Name] = frozenset(),
+                  cbound: frozenset[ClassVar] = frozenset()) -> Process:
+    """Apply ``sigma_{origin,dest}`` to every free identifier of ``p``.
+
+    This is the translation applied by SHIPO to a migrating object's
+    methods (``M sigma_rs``) and by FETCH to a downloaded definition
+    group (``D sigma_rs``).
+    """
+
+    def expr(e: Expr, b: frozenset[Name]) -> Expr:
+        if isinstance(e, Name):
+            return e if e in b else sigma_name(e, origin, dest)
+        if isinstance(e, LocatedName):
+            return sigma_name(e, origin, dest)
+        if isinstance(e, BinOp):
+            return BinOp(e.op, expr(e.left, b), expr(e.right, b))
+        if isinstance(e, UnOp):
+            return UnOp(e.op, expr(e.operand, b))
+        return e
+
+    def subject(sj, b: frozenset[Name]):
+        if isinstance(sj, Name):
+            return sj if sj in b else sigma_name(sj, origin, dest)
+        return sigma_name(sj, origin, dest)
+
+    def walk(q: Process, b: frozenset[Name], cb: frozenset[ClassVar]) -> Process:
+        if isinstance(q, Nil):
+            return q
+        if isinstance(q, Par):
+            return Par(walk(q.left, b, cb), walk(q.right, b, cb))
+        if isinstance(q, New):
+            return New(q.names, walk(q.body, b | frozenset(q.names), cb))
+        if isinstance(q, Message):
+            return Message(subject(q.subject, b), q.label,
+                           tuple(expr(a, b) for a in q.args))
+        if isinstance(q, Object):
+            methods = {
+                l: Method(m.params, walk(m.body, b | frozenset(m.params), cb))
+                for l, m in q.methods.items()
+            }
+            return Object(subject(q.subject, b), methods)
+        if isinstance(q, Instance):
+            cref = q.classref
+            if isinstance(cref, ClassVar):
+                cref = cref if cref in cb else sigma_classvar(cref, origin, dest)
+            else:
+                cref = sigma_classvar(cref, origin, dest)
+            return Instance(cref, tuple(expr(a, b) for a in q.args))
+        if isinstance(q, Def):
+            inner_cb = cb | frozenset(q.definitions.clauses)
+            clauses = {
+                x: Method(m.params,
+                          walk(m.body, b | frozenset(m.params), inner_cb))
+                for x, m in q.definitions.clauses.items()
+            }
+            return Def(Definitions(clauses), walk(q.body, b, inner_cb))
+        if isinstance(q, If):
+            return If(expr(q.condition, b), walk(q.then_branch, b, cb),
+                      walk(q.else_branch, b, cb))
+        raise TypeError(f"not a process: {q!r}")
+
+    return walk(p, bound, cbound)
+
+
+def sigma_definitions(d: Definitions, origin: Site, dest: Site) -> Definitions:
+    """Translate a definition group ``D sigma_rs`` for FETCH.
+
+    The variables defined by ``D`` are binding occurrences and stay
+    simple; everything free in the bodies is translated.
+    """
+    cbound = frozenset(d.clauses)
+    clauses = {
+        x: Method(
+            m.params,
+            sigma_process(m.body, origin, dest,
+                          bound=frozenset(m.params), cbound=cbound),
+        )
+        for x, m in d.clauses.items()
+    }
+    return Definitions(clauses)

@@ -1,0 +1,27 @@
+"""The DiTyCO source language: lexer, parser, pretty-printer.
+
+Programs written in the paper's concrete syntax are parsed directly
+into core-calculus terms (:mod:`repro.core.terms`); the abbreviations
+of section 2 (``x![v]``, ``x?(y)=P``) and the ``let`` synchronous-call
+sugar are expanded during parsing.
+"""
+
+from .lexer import KEYWORDS, LexError, Lexer, Token, TokenKind
+from .parser import ParseError, ParsedProgram, Parser, parse_process, parse_program
+from .pretty import is_printable_source, pretty, pretty_expr
+
+__all__ = [
+    "KEYWORDS",
+    "LexError",
+    "Lexer",
+    "ParseError",
+    "ParsedProgram",
+    "Parser",
+    "Token",
+    "TokenKind",
+    "is_printable_source",
+    "parse_process",
+    "parse_program",
+    "pretty",
+    "pretty_expr",
+]

@@ -1,0 +1,213 @@
+"""Lexer for the DiTyCO source language.
+
+The concrete syntax follows the paper's notation as closely as plain
+text allows::
+
+    def Cell(self, v) =
+      self ? { read(r) = r![v] | Cell[self, v],
+               write(u) = Cell[self, u] }
+    in new x Cell[x, 9] | new y Cell[y, true]
+
+Tokens:
+
+* lowercase identifiers -- names and labels (``x``, ``read``);
+* capitalised identifiers -- class variables (``Cell``);
+* integer / float / string literals, ``true`` / ``false``;
+* keywords: ``new def in and if then else let export import from not``;
+* punctuation: ``! ? [ ] ( ) { } , = | .``  plus the operators
+  ``+ - * / % < <= > >= == != or``.
+
+Comments run from ``--`` or ``//`` to end of line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class TokenKind(Enum):
+    IDENT = auto()      # lowercase identifier
+    CLASSID = auto()    # Capitalised identifier
+    INT = auto()
+    FLOAT = auto()
+    STRING = auto()
+    KEYWORD = auto()
+    PUNCT = auto()
+    EOF = auto()
+
+
+KEYWORDS = {
+    "new", "def", "in", "and", "if", "then", "else", "let",
+    "export", "import", "from", "not", "or", "true", "false",
+}
+
+# ASCII-only digits: str.isdigit() accepts Unicode digits (e.g. '\u00b2')
+# that int() rejects, so the lexer must not use it.
+_ASCII_DIGITS = frozenset("0123456789")
+
+# Multi-character punctuation first so the lexer is greedy.
+PUNCTUATION = [
+    "<=", ">=", "==", "!=",
+    "!", "?", "[", "]", "(", ")", "{", "}", ",", "=", "|", ".",
+    "+", "-", "*", "/", "%", "<", ">",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+    value: object = None  # decoded literal value for INT/FLOAT/STRING
+
+    def __str__(self) -> str:
+        return f"{self.text!r}@{self.line}:{self.column}"
+
+
+class LexError(Exception):
+    """Malformed input at the character level."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{line}:{column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class Lexer:
+    """Streaming tokenizer with one-token-at-a-time interface."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def tokens(self) -> list[Token]:
+        """Tokenize the whole input (EOF token included)."""
+        out = []
+        while True:
+            tok = self.next_token()
+            out.append(tok)
+            if tok.kind is TokenKind.EOF:
+                return out
+
+    # -- internals ---------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        i = self.pos + offset
+        return self.source[i] if i < len(self.source) else ""
+
+    def _advance(self, n: int = 1) -> None:
+        for _ in range(n):
+            if self.pos < len(self.source):
+                if self.source[self.pos] == "\n":
+                    self.line += 1
+                    self.column = 1
+                else:
+                    self.column += 1
+                self.pos += 1
+
+    def _skip_trivia(self) -> None:
+        while True:
+            c = self._peek()
+            if not c:
+                return
+            if c in " \t\r\n":
+                self._advance()
+                continue
+            if c == "-" and self._peek(1) == "-":
+                while self._peek() and self._peek() != "\n":
+                    self._advance()
+                continue
+            if c == "/" and self._peek(1) == "/":
+                while self._peek() and self._peek() != "\n":
+                    self._advance()
+                continue
+            return
+
+    def next_token(self) -> Token:
+        self._skip_trivia()
+        line, column = self.line, self.column
+        c = self._peek()
+        if not c:
+            return Token(TokenKind.EOF, "", line, column)
+
+        if c.isalpha() or c == "_":
+            start = self.pos
+            while True:
+                ch = self._peek()
+                if not ch or not (ch.isalnum() or ch in "_'"):
+                    break
+                self._advance()
+            text = self.source[start:self.pos]
+            if text in ("true", "false"):
+                return Token(TokenKind.KEYWORD, text, line, column,
+                             value=(text == "true"))
+            if text in KEYWORDS:
+                return Token(TokenKind.KEYWORD, text, line, column)
+            kind = TokenKind.CLASSID if text[0].isupper() else TokenKind.IDENT
+            return Token(kind, text, line, column)
+
+        if c in _ASCII_DIGITS:
+            return self._number(line, column)
+
+        if c == '"':
+            return self._string(line, column)
+
+        for p in PUNCTUATION:
+            if self.source.startswith(p, self.pos):
+                self._advance(len(p))
+                return Token(TokenKind.PUNCT, p, line, column)
+
+        raise LexError(f"unexpected character {c!r}", line, column)
+
+    def _number(self, line: int, column: int) -> Token:
+        start = self.pos
+        while self._peek() in _ASCII_DIGITS:
+            self._advance()
+        is_float = False
+        if self._peek() == "." and self._peek(1) in _ASCII_DIGITS:
+            is_float = True
+            self._advance()
+            while self._peek() in _ASCII_DIGITS:
+                self._advance()
+        if self._peek() in "eE" and (
+            self._peek(1) in _ASCII_DIGITS
+            or (self._peek(1) in "+-" and self._peek(2) in _ASCII_DIGITS)
+        ):
+            is_float = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek() in _ASCII_DIGITS:
+                self._advance()
+        text = self.source[start:self.pos]
+        if is_float:
+            return Token(TokenKind.FLOAT, text, line, column, value=float(text))
+        return Token(TokenKind.INT, text, line, column, value=int(text))
+
+    _ESCAPES = {"n": "\n", "t": "\t", "r": "\r", '"': '"', "\\": "\\", "0": "\0"}
+
+    def _string(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            c = self._peek()
+            if not c or c == "\n":
+                raise LexError("unterminated string literal", line, column)
+            if c == '"':
+                self._advance()
+                text = '"' + "".join(chars) + '"'
+                return Token(TokenKind.STRING, text, line, column,
+                             value="".join(chars))
+            if c == "\\":
+                esc = self._peek(1)
+                if esc not in self._ESCAPES:
+                    raise LexError(f"bad escape \\{esc}", self.line, self.column)
+                chars.append(self._ESCAPES[esc])
+                self._advance(2)
+                continue
+            chars.append(c)
+            self._advance()

@@ -1,0 +1,234 @@
+"""The network name service (section 5, NETWORKS).
+
+"Explicitly exported identifiers, as well as site names are registered
+in a Network Name Service.  Conceptually, the service maintains two
+tables, one for sites and another for exported identifiers."
+
+::
+
+    SiteTable : SiteName -> SiteId x IpAddress
+    IdTable   : SiteName x IdName -> HeapId
+
+We add a third table for exported *classes* (the code-fetching side of
+the model): ``ClassTable : SiteName x IdName -> ClassId``.
+
+"Currently, in this first implementation, the network name service is
+centralized and all sites know its location in advance.  This will
+change, as the system matures, into a distributed network name
+service."  Both are provided: :class:`NameService` is the paper's
+centralized first implementation; :class:`ReplicatedNameService`
+realises the future-work design with one replica per node, synchronous
+writes to all replicas and local reads, giving the redundancy and read
+performance the paper asks for (benchmark E7 compares them).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.vm.values import NetRef, RemoteClassRef
+
+
+class NameServiceError(Exception):
+    """Registration conflicts and malformed queries."""
+
+
+class UnknownSiteName(NameServiceError):
+    """A lookup named a site that never registered."""
+
+
+@dataclass(frozen=True, slots=True)
+class SiteRecord:
+    """One SiteTable row."""
+
+    site_name: str
+    site_id: int
+    ip: str
+
+
+@dataclass(slots=True)
+class NameServiceStats:
+    """Operation counters (experiment E7)."""
+
+    site_registrations: int = 0
+    name_registrations: int = 0
+    class_registrations: int = 0
+    lookups: int = 0
+    misses: int = 0
+
+
+class NameService:
+    """The centralized network name service.
+
+    Thread-safe: the threaded transport calls in from node threads.
+    ``subscribe`` registers a callback fired after each registration --
+    sites use it to retry imports that were pending on a not-yet
+    exported identifier.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._sites: dict[str, SiteRecord] = {}
+        self._names: dict[tuple[str, str], int] = {}
+        self._classes: dict[tuple[str, str], int] = {}
+        self._next_site_id = 1
+        self._subscribers: list[Callable[[], None]] = []
+        self.stats = NameServiceStats()
+
+    # -- registration -------------------------------------------------------
+
+    def register_site(self, site_name: str, ip: str) -> int:
+        """SiteTable insert; returns the assigned SiteId."""
+        with self._lock:
+            existing = self._sites.get(site_name)
+            if existing is not None:
+                if existing.ip != ip:
+                    raise NameServiceError(
+                        f"site {site_name!r} already registered at {existing.ip}")
+                return existing.site_id
+            site_id = self._next_site_id
+            self._next_site_id += 1
+            self._sites[site_name] = SiteRecord(site_name, site_id, ip)
+            self.stats.site_registrations += 1
+        self._notify()
+        return site_id
+
+    def export_name(self, site_name: str, id_name: str, heap_id: int) -> None:
+        """IdTable insert (the VM's ``export`` instruction)."""
+        with self._lock:
+            if site_name not in self._sites:
+                raise UnknownSiteName(f"unregistered site {site_name!r}")
+            self._names[(site_name, id_name)] = heap_id
+            self.stats.name_registrations += 1
+        self._notify()
+
+    def export_class(self, site_name: str, id_name: str, class_id: int) -> None:
+        """ClassTable insert (the VM's ``exportclass`` instruction)."""
+        with self._lock:
+            if site_name not in self._sites:
+                raise UnknownSiteName(f"unregistered site {site_name!r}")
+            self._classes[(site_name, id_name)] = class_id
+            self.stats.class_registrations += 1
+        self._notify()
+
+    # -- lookups ---------------------------------------------------------------
+
+    def lookup_site(self, site_name: str) -> SiteRecord:
+        with self._lock:
+            self.stats.lookups += 1
+            rec = self._sites.get(site_name)
+            if rec is None:
+                self.stats.misses += 1
+                raise UnknownSiteName(f"no site named {site_name!r}")
+            return rec
+
+    def lookup_name(self, site_name: str, id_name: str) -> Optional[NetRef]:
+        """The network reference for an exported identifier:
+
+        ``(IdTable(site, id), SiteTable(site))`` -- or None while the
+        identifier is not (yet) exported.
+        """
+        with self._lock:
+            self.stats.lookups += 1
+            rec = self._sites.get(site_name)
+            heap_id = self._names.get((site_name, id_name))
+            if rec is None or heap_id is None:
+                self.stats.misses += 1
+                return None
+            return NetRef(heap_id=heap_id, site_id=rec.site_id, ip=rec.ip)
+
+    def lookup_class(self, site_name: str, id_name: str) -> Optional[RemoteClassRef]:
+        with self._lock:
+            self.stats.lookups += 1
+            rec = self._sites.get(site_name)
+            class_id = self._classes.get((site_name, id_name))
+            if rec is None or class_id is None:
+                self.stats.misses += 1
+                return None
+            return RemoteClassRef(class_id=class_id, site_id=rec.site_id,
+                                  ip=rec.ip)
+
+    def site_count(self) -> int:
+        with self._lock:
+            return len(self._sites)
+
+    def exported_count(self) -> int:
+        with self._lock:
+            return len(self._names) + len(self._classes)
+
+    # -- notification ------------------------------------------------------------
+
+    def subscribe(self, callback: Callable[[], None]) -> None:
+        """Call ``callback`` after every successful registration."""
+        with self._lock:
+            self._subscribers.append(callback)
+
+    def _notify(self) -> None:
+        for cb in list(self._subscribers):
+            cb()
+
+
+class ReplicatedNameService(NameService):
+    """The distributed name service of the paper's future work.
+
+    One primary plus one replica per node: writes go to every replica
+    synchronously (sequential consistency is enough for a registry
+    that is write-once per key); reads are served by the local replica,
+    which is both the redundancy ("for failure recovery") and the
+    performance ("and performance") motivation given in section 5.
+
+    The implementation models replicas as full copies sharing the
+    site-id supply; :meth:`replica` hands out per-node read views and
+    :meth:`drop_replica` simulates losing one (reads fail over to any
+    surviving replica transparently because every copy is complete).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._replicas: dict[str, NameService] = {}
+        self.replica_writes = 0
+
+    def replica(self, ip: str) -> NameService:
+        """The (create-on-demand) replica local to node ``ip``."""
+        with self._lock:
+            if ip not in self._replicas:
+                rep = NameService()
+                # Copy current state into the new replica.
+                rep._sites = dict(self._sites)
+                rep._names = dict(self._names)
+                rep._classes = dict(self._classes)
+                rep._next_site_id = self._next_site_id
+                self._replicas[ip] = rep
+            return self._replicas[ip]
+
+    def drop_replica(self, ip: str) -> None:
+        """Simulate the loss of one replica (failure recovery path)."""
+        with self._lock:
+            self._replicas.pop(ip, None)
+
+    # Writes propagate to every replica.
+
+    def register_site(self, site_name: str, ip: str) -> int:
+        site_id = super().register_site(site_name, ip)
+        with self._lock:
+            for rep in self._replicas.values():
+                rep._sites[site_name] = self._sites[site_name]
+                rep._next_site_id = self._next_site_id
+                self.replica_writes += 1
+        return site_id
+
+    def export_name(self, site_name: str, id_name: str, heap_id: int) -> None:
+        super().export_name(site_name, id_name, heap_id)
+        with self._lock:
+            for rep in self._replicas.values():
+                rep._names[(site_name, id_name)] = heap_id
+                self.replica_writes += 1
+
+    def export_class(self, site_name: str, id_name: str, class_id: int) -> None:
+        super().export_class(site_name, id_name, class_id)
+        with self._lock:
+            for rep in self._replicas.values():
+                rep._classes[(site_name, id_name)] = class_id
+                self.replica_writes += 1

@@ -1,0 +1,112 @@
+"""The DiTyCO network facade: nodes + name service + transport.
+
+This is the top of the runtime stack (figure 2): "the network is
+composed of multiple DiTyCO nodes connected in a static IP topology.
+Message passing and code mobility occurs at the level of sites, and at
+this level the communication topology changes dynamically."
+
+:class:`DiTyCONetwork` assembles a world (simulated by default), the
+centralized network name service, and any number of nodes; programs
+are submitted through each node's TyCOi exactly as TyCOsh would.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.compiler.assembly import Program
+from repro.transport.base import World
+from repro.transport.links import ClusterModel
+from repro.transport.sim import SimWorld
+
+from .nameservice import NameService
+from .node import Node
+from .site import Site
+
+
+class DiTyCONetwork:
+    """One DiTyCO network: a static topology of nodes.
+
+    Parameters
+    ----------
+    world:
+        The substrate driving nodes and packets.  Defaults to a fresh
+        :class:`~repro.transport.sim.SimWorld` (deterministic,
+        virtual-clock).
+    nameservice:
+        Defaults to the paper's centralized :class:`NameService`; pass
+        a :class:`~repro.runtime.nameservice.ReplicatedNameService`
+        for the future-work distributed variant.
+    local_fast_path / fetch_cache:
+        Toggles for ablations A3 and A2 respectively.
+    """
+
+    def __init__(self, world: Optional[World] = None,
+                 nameservice: Optional[NameService] = None,
+                 cluster: Optional[ClusterModel] = None,
+                 local_fast_path: bool = True,
+                 fetch_cache: bool = True,
+                 typecheck: bool = False) -> None:
+        if world is None:
+            world = SimWorld(cluster) if cluster else SimWorld()
+        elif cluster is not None:
+            raise ValueError("pass cluster or world, not both")
+        self.world = world
+        self.nameservice = nameservice or NameService()
+        self.local_fast_path = local_fast_path
+        self.fetch_cache = fetch_cache
+        self.typecheck = typecheck
+
+    # -- topology -------------------------------------------------------------
+
+    def add_node(self, ip: str) -> Node:
+        """Create one node at a (static) IP address."""
+        node = Node(ip, self.nameservice,
+                    local_fast_path=self.local_fast_path,
+                    fetch_cache=self.fetch_cache,
+                    typecheck=self.typecheck)
+        self.world.add_node(node)
+        return node
+
+    def add_nodes(self, ips: Iterable[str]) -> list[Node]:
+        return [self.add_node(ip) for ip in ips]
+
+    def node(self, ip: str) -> Node:
+        return self.world.node(ip)
+
+    # -- program submission (what TyCOsh does) -----------------------------------
+
+    def launch(self, ip: str, site_name: str, program: str | Program) -> Site:
+        """Submit a program to the node at ``ip`` (TyCOi path)."""
+        return self.node(ip).tycoi.submit(site_name, program)
+
+    # -- execution -------------------------------------------------------------------
+
+    def run(self, max_time: float | None = None) -> float:
+        """Run the whole network to quiescence; returns elapsed time."""
+        return self.world.run(max_time)
+
+    def is_quiescent(self) -> bool:
+        return self.world.is_quiescent()
+
+    @property
+    def time(self) -> float:
+        return self.world.time
+
+    # -- observation ------------------------------------------------------------------
+
+    def site(self, site_name: str) -> Site:
+        """Find a site anywhere in the network by name."""
+        for node in self.world.nodes.values():
+            found = node.sites_by_name.get(site_name)
+            if found is not None:
+                return found
+        raise KeyError(f"no site named {site_name!r}")
+
+    def outputs(self) -> dict[str, list]:
+        """Console output of every site, keyed by site name."""
+        out = {}
+        for node in self.world.nodes.values():
+            for site in node.sites.values():
+                out[site.site_name] = list(site.output)
+        return out

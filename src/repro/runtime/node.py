@@ -1,0 +1,152 @@
+"""DiTyCO nodes (section 5).
+
+"NODES are composed of a pool of sites running concurrently, a
+dedicated communication daemon (TyCOd), and a user interface daemon
+(TyCOi).  There is one DiTyCO node per IP node. ... A DiTyCO node is
+implemented as a Unix process.  The sites, the communication daemon
+(TyCOd), and the user interface daemon (TyCOi) are implemented as
+threads sharing the address space of the node."
+
+In this reproduction a node is one Python object; *how* its sites get
+CPU time is decided by the attached world: the simulated transport
+calls :meth:`step` from its event loop (deterministic, virtual time),
+the threaded transport runs one OS thread per node calling the same
+method (the paper's process/thread architecture).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.compiler.assembly import Program
+
+from .daemon import TyCOd, TyCOi
+from .nameservice import NameService
+from .site import Site
+
+
+@dataclass(slots=True)
+class NodeStepReport:
+    """What one scheduling quantum of a node actually did."""
+
+    instructions: int
+    context_switches: int
+    packets_moved: int
+
+    @property
+    def busy(self) -> bool:
+        return self.instructions > 0 or self.packets_moved > 0
+
+
+class Node:
+    """One IP node: a pool of sites plus the TyCOd/TyCOi daemons."""
+
+    def __init__(self, ip: str, nameservice: NameService,
+                 send: Optional[Callable[[str, str, bytes], None]] = None,
+                 local_fast_path: bool = True,
+                 fetch_cache: bool = True,
+                 typecheck: bool = False) -> None:
+        self.ip = ip
+        self.nameservice = nameservice
+        self.sites: dict[int, Site] = {}
+        self.sites_by_name: dict[str, Site] = {}
+        self.tycod = TyCOd(self, local_fast_path=local_fast_path)
+        self.tycoi = TyCOi(self)
+        self.fetch_cache = fetch_cache
+        self.typecheck = typecheck
+        self._send = send
+        self._wakeup: Optional[Callable[[], None]] = None
+        self._switches_seen = 0
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach_transport(self, send: Callable[[str, str, bytes], None],
+                         wakeup: Optional[Callable[[], None]] = None) -> None:
+        """Connect the node to a world: ``send(src_ip, dst_ip, data)``
+        forwards a buffer; ``wakeup`` reschedules the node when new
+        work appears (used by both transports)."""
+        self._send = send
+        self._wakeup = wakeup
+
+    def transport_send(self, dest_ip: str, data: bytes) -> None:
+        if self._send is None:
+            raise RuntimeError(f"node {self.ip} has no transport attached")
+        self._send(self.ip, dest_ip, data)
+
+    def on_work_available(self) -> None:
+        if self._wakeup is not None:
+            self._wakeup()
+
+    # -- site pool ----------------------------------------------------------------
+
+    def create_site(self, site_name: str, program: Program,
+                    name_signatures: Optional[dict] = None) -> Site:
+        """Register with the name service, create and boot a site."""
+        site_id = self.nameservice.register_site(site_name, self.ip)
+        site = Site(site_name, site_id, self.ip, program,
+                    self.nameservice, fetch_cache=self.fetch_cache,
+                    name_signatures=name_signatures)
+        self.sites[site_id] = site
+        self.sites_by_name[site_name] = site
+        site.on_work = self.on_work_available
+        self.nameservice.subscribe(self._on_ns_update)
+        site.boot()
+        self.on_work_available()
+        return site
+
+    def _on_ns_update(self) -> None:
+        for site in self.sites.values():
+            site.on_nameservice_update()
+        self.on_work_available()
+
+    def site(self, site_name: str) -> Site:
+        return self.sites_by_name[site_name]
+
+    # -- execution -------------------------------------------------------------------
+
+    def receive(self, data: bytes) -> None:
+        """A buffer arrives from the network (called by the world)."""
+        self.tycod.receive(data)
+
+    def step(self, quantum: int = 256) -> NodeStepReport:
+        """One scheduling quantum: pump the daemon, then round-robin
+        the site pool with a per-site instruction budget."""
+        moved = self.tycod.pump()
+        executed = 0
+        nsites = len(self.sites)
+        if nsites:
+            per_site = max(1, quantum // nsites)
+            for site in list(self.sites.values()):
+                executed += site.step(per_site)
+        moved += self.tycod.pump()
+        switches = sum(s.vm.runqueue.context_switches
+                       for s in self.sites.values())
+        delta_switches = switches - self._switches_seen
+        self._switches_seen = switches
+        return NodeStepReport(instructions=executed,
+                              context_switches=delta_switches,
+                              packets_moved=moved)
+
+    def has_work(self) -> bool:
+        """Anything runnable or queued on this node?"""
+        return any(
+            not site.vm.is_idle() or site.incoming or site.outgoing
+            for site in self.sites.values()
+        )
+
+    def is_quiescent(self) -> bool:
+        """Nothing runnable, queued, stalled or awaiting FETCH."""
+        return all(
+            site.vm.is_idle() and not site.incoming and not site.outgoing
+            and not site.vm.has_stalled() and not site._pending_fetch
+            for site in self.sites.values()
+        )
+
+    # -- aggregate statistics -----------------------------------------------------------
+
+    def total_instructions(self) -> int:
+        return sum(s.vm.stats.instructions for s in self.sites.values())
+
+    def total_reductions(self) -> int:
+        return sum(s.vm.stats.reductions for s in self.sites.values())

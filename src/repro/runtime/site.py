@@ -1,0 +1,429 @@
+"""Sites: the basic units of the DiTyCO implementation (section 5).
+
+"SITES are the basic units of the implementation.  They are
+implemented as threads, each running a re-engineered TyCO virtual
+machine."  A :class:`Site` wraps one :class:`~repro.vm.machine.TycoVM`
+and provides everything the extension list in section 5 requires:
+
+* **local vs network references** and the **export table** mapping the
+  local channels that have left the site to their network references
+  (plus the reverse direction for incoming references);
+* the **two-step free-variable translation**: outgoing values are
+  marshalled (local channels -> NetRefs, everything else untouched)
+  here at the sender, and incoming NetRefs that point at *this* site
+  are resolved back to heap pointers on delivery;
+* the **new instructions** ``export``/``import`` (delegated to the
+  network name service through the node's TyCOd);
+* the re-implemented ``trmsg``/``trobj``/``instof`` -- their remote
+  halves arrive here as :meth:`ship_message`, :meth:`ship_object` and
+  :meth:`fetch_instance`;
+* **incoming/outgoing queues** -- the TyCOd daemon of the node moves
+  packets between them;
+* the **I/O port** -- the VM's console output list.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.compiler.assembly import Program
+from repro.compiler.linker import extract_bundle, link_bundle
+from repro.vm.machine import ImportPending, TycoVM, VMRuntimeError
+from repro.vm.values import Channel, ClassRef, NetRef, RemoteClassRef
+
+from .nameservice import NameService
+from .wire import (
+    KIND_FETCH_REPLY,
+    KIND_FETCH_REQUEST,
+    KIND_MESSAGE,
+    KIND_OBJECT,
+    Packet,
+)
+
+
+class DeliveryError(VMRuntimeError):
+    """An incoming packet referenced an unknown or unexported entity."""
+
+
+@dataclass(slots=True)
+class SiteStats:
+    """Distribution counters of one site."""
+
+    marshalled_channels: int = 0
+    packets_sent: int = 0
+    packets_received: int = 0
+    fetch_requests_sent: int = 0
+    fetch_replies_served: int = 0
+    fetch_cache_hits: int = 0
+    imports_resolved: int = 0
+    imports_stalled: int = 0
+
+
+class Site:
+    """One site: an extended TyCO VM plus its network plumbing."""
+
+    def __init__(self, site_name: str, site_id: int, ip: str,
+                 program: Program, nameservice: NameService,
+                 fetch_cache: bool = True,
+                 name_signatures: Optional[dict] = None) -> None:
+        self.site_name = site_name
+        self.site_id = site_id
+        self.ip = ip
+        self.nameservice = nameservice
+        self.fetch_cache = fetch_cache
+        self.vm = TycoVM(program, port=self, name=site_name)
+        self.stats = SiteStats()
+        # Dynamic-checking signatures (section 7): hint -> WireSignature
+        # from the static pass; heap id -> WireSignature once exported.
+        self.name_signatures: dict = dict(name_signatures or {})
+        self.wire_signatures: dict[int, object] = {}
+        # Export table: which heap ids have legitimately left the site.
+        self.exported_ids: set[int] = set()
+        # Class export table: ClassRef <-> class id.
+        self._class_exports: dict[int, ClassRef] = {}
+        self._class_ids: dict[int, int] = {}  # id(ClassRef) -> class id
+        self._next_class_id = 1
+        # FETCH cache: (owner ip, owner site, class id) -> local ClassRef.
+        self._fetched: dict[tuple[str, int, int], ClassRef] = {}
+        # Instantiations waiting for an in-flight FETCH.
+        self._pending_fetch: dict[tuple[str, int, int], list[tuple]] = {}
+        # Incoming/outgoing packet queues (pumped by the node's TyCOd).
+        self.incoming: deque[Packet] = deque()
+        self.outgoing: deque[Packet] = deque()
+        # Set by the owning node: reschedules the node when outside
+        # events (user input) make this site runnable again.
+        self.on_work: Optional[callable] = None
+
+    # -- life-cycle ----------------------------------------------------------
+
+    def boot(self) -> None:
+        self.vm.boot()
+
+    def is_idle(self) -> bool:
+        return (self.vm.is_idle() and not self.incoming and not self.outgoing)
+
+    def is_blocked(self) -> bool:
+        """Idle but holding parked work (stalled imports / pending FETCH)."""
+        return self.is_idle() and (
+            self.vm.has_stalled() or bool(self._pending_fetch))
+
+    def step(self, budget: int) -> int:
+        """Drain the incoming queue, then run the VM for ``budget``."""
+        self.pump_incoming()
+        return self.vm.step(budget)
+
+    def pump_incoming(self) -> int:
+        """Process every queued incoming packet."""
+        count = 0
+        while self.incoming:
+            self._deliver(self.incoming.popleft())
+            count += 1
+        return count
+
+    def on_nameservice_update(self) -> None:
+        """Retry imports stalled on missing registrations."""
+        if self.vm.has_stalled():
+            self.vm.resume_stalled()
+
+    def collect_garbage(self) -> int:
+        """Site-level GC: exported channels are pinned (a remote site
+        may hold a network reference to them); arguments parked with
+        pending FETCHes are extra roots."""
+        fetch_roots = [args for waiting in self._pending_fetch.values()
+                       for args in waiting]
+        return self.vm.collect_garbage(pinned=set(self.exported_ids),
+                                       extra_roots=fetch_roots)
+
+    def debug_report(self) -> str:
+        """Human-readable state dump: what the site is waiting on.
+
+        The first tool for "why did my network stop?": lists channels
+        with queued messages/objects, stalled imports and pending
+        FETCHes.
+        """
+        lines = [f"site {self.site_name} (id {self.site_id}) @ {self.ip}:"]
+        s = self.vm.stats
+        lines.append(
+            f"  executed {s.instructions} instr, "
+            f"{s.comm_reductions} comm, {s.inst_reductions} inst; "
+            f"runnable: {len(self.vm.runqueue)}")
+        waiting = [ch for ch in self.vm.heap if not ch.is_idle()]
+        for ch in waiting:
+            if ch.messages:
+                labels = ", ".join(l for l, _ in ch.messages)
+                lines.append(
+                    f"  channel {ch.hint}#{ch.heap_id}: "
+                    f"{len(ch.messages)} queued message(s) [{labels}]")
+            if ch.objects:
+                suites = ", ".join(
+                    "{" + ", ".join(sorted(m)) + "}" for m, _ in ch.objects)
+                lines.append(
+                    f"  channel {ch.hint}#{ch.heap_id}: "
+                    f"{len(ch.objects)} waiting object(s) {suites}")
+        if self.vm.has_stalled():
+            lines.append(f"  {len(self.vm.stalled)} thread(s) stalled on "
+                         f"unresolved imports")
+        for key, args_list in self._pending_fetch.items():
+            ip, sid, cid = key
+            lines.append(f"  FETCH pending from {ip}/s{sid}/c{cid} "
+                         f"({len(args_list)} instantiation(s) parked)")
+        if len(lines) == 2 and not waiting:
+            lines.append("  idle, no queued work")
+        return "\n".join(lines)
+
+    @property
+    def output(self) -> list:
+        return self.vm.output
+
+    def post_input(self, hint: str, label: str, args: tuple = ()) -> None:
+        """The input half of the site I/O port (section 5): "users may
+        selectively provide data to running programs".
+
+        Delivers a message to the program's free channel named
+        ``hint`` -- e.g. a program containing ``stdin?(v) = ...``
+        receives ``site.post_input("stdin", "val", (42,))``.
+        """
+        channel = self.vm.externals.get(hint)
+        if channel is None:
+            raise KeyError(
+                f"{self.site_name}: program has no external channel "
+                f"{hint!r} (externals: {sorted(self.vm.externals)})")
+        self.vm._trmsg(channel, label, args)
+        if self.on_work is not None:
+            self.on_work()
+
+    # -- RemotePort: externals -------------------------------------------------
+
+    def resolve_external(self, hint: str) -> Optional[Channel]:
+        return None  # default policy (console/fresh) decided by the VM
+
+    # -- RemotePort: name service ------------------------------------------------
+
+    def export_name(self, hint: str, channel) -> None:
+        if not isinstance(channel, Channel):
+            raise VMRuntimeError(
+                f"{self.site_name}: export of non-channel {channel!r}")
+        self.exported_ids.add(channel.heap_id)
+        ws = self.name_signatures.get(hint)
+        if ws is not None:
+            self.wire_signatures[channel.heap_id] = ws
+        self.nameservice.export_name(self.site_name, hint, channel.heap_id)
+
+    def import_name(self, hint: str, site: str):
+        ref = self.nameservice.lookup_name(site, hint)
+        if ref is None:
+            self.stats.imports_stalled += 1
+            raise ImportPending(f"{site}.{hint}")
+        self.stats.imports_resolved += 1
+        # Same-site optimisation: an import of our own export is local.
+        if ref.site_id == self.site_id and ref.ip == self.ip:
+            return self.vm.heap.get(ref.heap_id)
+        return ref
+
+    def export_class(self, hint: str, classref) -> None:
+        if not isinstance(classref, ClassRef):
+            raise VMRuntimeError(
+                f"{self.site_name}: export of non-class {classref!r}")
+        class_id = self._class_id_for(classref)
+        self.nameservice.export_class(self.site_name, hint, class_id)
+
+    def import_class(self, hint: str, site: str):
+        ref = self.nameservice.lookup_class(site, hint)
+        if ref is None:
+            self.stats.imports_stalled += 1
+            raise ImportPending(f"{site}.{hint}")
+        self.stats.imports_resolved += 1
+        if ref.site_id == self.site_id and ref.ip == self.ip:
+            return self._class_exports[ref.class_id]
+        return ref
+
+    def _class_id_for(self, classref: ClassRef) -> int:
+        key = id(classref)
+        existing = self._class_ids.get(key)
+        if existing is not None:
+            return existing
+        class_id = self._next_class_id
+        self._next_class_id += 1
+        self._class_ids[key] = class_id
+        self._class_exports[class_id] = classref
+        return class_id
+
+    # -- RemotePort: shipping ------------------------------------------------------
+
+    def ship_message(self, target: NetRef, label: str, args: tuple) -> None:
+        """SHIPM at the VM level: marshal args and enqueue the packet."""
+        payload = (target.heap_id, label,
+                   tuple(self.marshal_value(a) for a in args))
+        self._send(KIND_MESSAGE, target, payload)
+
+    def ship_object(self, target: NetRef, methods: dict[str, int],
+                    env: tuple) -> None:
+        """SHIPO: extract the movable byte-code slice, marshal the
+        environment, enqueue the packet."""
+        block_ids = tuple(methods.values())
+        bundle = extract_bundle(self.vm.program, block_roots=block_ids)
+        local_methods = {
+            label: bundle.entry_blocks[i]
+            for i, label in enumerate(methods.keys())
+        }
+        payload = (target.heap_id, local_methods, bundle,
+                   tuple(self.marshal_value(v) for v in env))
+        self._send(KIND_OBJECT, target, payload)
+
+    def fetch_instance(self, cref: RemoteClassRef, args: tuple) -> None:
+        """INSTOF on a remote class: FETCH protocol with caching."""
+        key = (cref.ip, cref.site_id, cref.class_id)
+        if self.fetch_cache:
+            cached = self._fetched.get(key)
+            if cached is not None:
+                self.stats.fetch_cache_hits += 1
+                self.vm.spawn_instance(cached, args)
+                return
+        pending = self._pending_fetch.get(key)
+        if pending is not None:
+            pending.append(args)
+            return
+        self._pending_fetch[key] = [args]
+        self.stats.fetch_requests_sent += 1
+        self.outgoing.append(Packet(
+            kind=KIND_FETCH_REQUEST,
+            src_ip=self.ip, src_site_id=self.site_id,
+            dest_ip=cref.ip, dest_site_id=cref.site_id,
+            payload=(cref.class_id,),
+        ))
+        self.stats.packets_sent += 1
+
+    def stall(self, thread) -> None:  # pragma: no cover - via ImportPending
+        self.vm.stalled.append(thread)
+
+    def _send(self, kind: str, target: NetRef, payload) -> None:
+        self.outgoing.append(Packet(
+            kind=kind,
+            src_ip=self.ip, src_site_id=self.site_id,
+            dest_ip=target.ip, dest_site_id=target.site_id,
+            payload=payload,
+        ))
+        self.stats.packets_sent += 1
+
+    # -- marshalling (the two-step translation of section 5) ------------------------
+
+    def marshal_value(self, v: Any) -> Any:
+        """Sender half: local references become network references."""
+        if isinstance(v, Channel):
+            self.exported_ids.add(v.heap_id)
+            self.stats.marshalled_channels += 1
+            return NetRef(heap_id=v.heap_id, site_id=self.site_id, ip=self.ip)
+        if isinstance(v, ClassRef):
+            # A class value leaving the site becomes a remote class
+            # reference bound to this site (lexical scope on classes).
+            return RemoteClassRef(class_id=self._class_id_for(v),
+                                  site_id=self.site_id, ip=self.ip)
+        if isinstance(v, (bool, int, float, str, NetRef, RemoteClassRef)):
+            return v
+        raise VMRuntimeError(
+            f"{self.site_name}: value {v!r} cannot cross the network")
+
+    def unmarshal_value(self, v: Any) -> Any:
+        """Receiver half: references bound to this site become local."""
+        if isinstance(v, NetRef):
+            if v.site_id == self.site_id and v.ip == self.ip:
+                if v.heap_id not in self.exported_ids:
+                    raise DeliveryError(
+                        f"{self.site_name}: reference to unexported "
+                        f"heap id {v.heap_id}")
+                return self.vm.heap.get(v.heap_id)
+            return v
+        if isinstance(v, RemoteClassRef):
+            if v.site_id == self.site_id and v.ip == self.ip:
+                classref = self._class_exports.get(v.class_id)
+                if classref is None:
+                    raise DeliveryError(
+                        f"{self.site_name}: unknown class id {v.class_id}")
+                return classref
+            if self.fetch_cache:
+                cached = self._fetched.get((v.ip, v.site_id, v.class_id))
+                if cached is not None:
+                    return cached
+            return v
+        return v
+
+    # -- delivery -------------------------------------------------------------------
+
+    def _deliver(self, packet: Packet) -> None:
+        self.stats.packets_received += 1
+        if packet.kind == KIND_MESSAGE:
+            heap_id, label, args = packet.payload
+            self._check_target(heap_id)
+            values = tuple(self.unmarshal_value(a) for a in args)
+            signature = self.wire_signatures.get(heap_id)
+            if signature is not None:
+                # Dynamic half of the section-7 checking scheme.
+                signature.check(label, values)
+            self.vm.deliver_message(heap_id, label, values)
+            return
+        if packet.kind == KIND_OBJECT:
+            heap_id, methods, bundle, env = packet.payload
+            self._check_target(heap_id)
+            result = link_bundle(self.vm.program, bundle)
+            linked = {label: result.block_map[b] for label, b in methods.items()}
+            self.vm.deliver_object(
+                heap_id, linked, tuple(self.unmarshal_value(v) for v in env))
+            return
+        if packet.kind == KIND_FETCH_REQUEST:
+            (class_id,) = packet.payload
+            self._serve_fetch(packet, class_id)
+            return
+        if packet.kind == KIND_FETCH_REPLY:
+            self._link_fetched(packet)
+            return
+        raise DeliveryError(f"unknown packet kind {packet.kind!r}")
+
+    def _check_target(self, heap_id: int) -> None:
+        if heap_id not in self.exported_ids:
+            raise DeliveryError(
+                f"{self.site_name}: delivery to unexported heap id {heap_id}")
+
+    def _serve_fetch(self, packet: Packet, class_id: int) -> None:
+        """Owner side of FETCH: package the class group and its
+        captured environment."""
+        classref = self._class_exports.get(class_id)
+        if classref is None:
+            raise DeliveryError(
+                f"{self.site_name}: FETCH of unknown class id {class_id}")
+        bundle = extract_bundle(self.vm.program,
+                                group_roots=(classref.group_id,))
+        group = self.vm.program.groups[classref.group_id]
+        captured = tuple(self.marshal_value(v)
+                         for v in classref.env[:group.nfree])
+        self.stats.fetch_replies_served += 1
+        self.outgoing.append(Packet(
+            kind=KIND_FETCH_REPLY,
+            src_ip=self.ip, src_site_id=self.site_id,
+            dest_ip=packet.src_ip, dest_site_id=packet.src_site_id,
+            payload=(class_id, bundle, bundle.entry_groups[0],
+                     classref.index, captured, classref.hint),
+        ))
+        self.stats.packets_sent += 1
+
+    def _link_fetched(self, packet: Packet) -> None:
+        """Requester side of FETCH: dynamically link and instantiate."""
+        class_id, bundle, entry_group, index, captured, hint = packet.payload
+        result = link_bundle(self.vm.program, bundle)
+        group_id = result.group_map[entry_group]
+        group = self.vm.program.groups[group_id]
+        env: list = [self.unmarshal_value(v) for v in captured]
+        env.extend([None] * len(group.clauses))
+        classrefs = []
+        for i, (clause_hint, block_id) in enumerate(group.clauses):
+            cr = ClassRef(block_id, env, group_id, i, hint=clause_hint)
+            env[group.nfree + i] = cr
+            classrefs.append(cr)
+        target = classrefs[index]
+        key = (packet.src_ip, packet.src_site_id, class_id)
+        if self.fetch_cache:
+            self._fetched[key] = target
+        waiting = self._pending_fetch.pop(key, [])
+        for args in waiting:
+            self.vm.spawn_instance(target, args)

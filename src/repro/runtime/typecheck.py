@@ -1,0 +1,160 @@
+"""Dynamic checking of remote interactions (paper section 7).
+
+"We have developed a type checking scheme that ensures that no type
+mismatch or protocol errors occur in remote interactions.  The scheme
+combines both static and dynamic type checking."
+
+The split implemented here:
+
+* **static** -- at submission time (TyCOi), the site program is
+  inferred in *lenient* single-site mode
+  (:func:`repro.types.infer.infer_site_signature`): local protocol
+  errors are rejected before the program ever runs, and the types of
+  the site's *exported* names are recorded;
+* **dynamic** -- the inferred channel types are lowered to
+  :class:`WireSignature` s (method label -> argument tag list) attached
+  to the site's export table; every incoming remote message is
+  validated against the target channel's signature before delivery.
+  Unknown method, wrong arity, or a tag mismatch raise
+  :class:`ProtocolError` -- the packet is rejected at the boundary, so
+  an ill-typed remote client cannot corrupt a well-typed site.
+
+Tags are deliberately coarse (``int float bool str chan dyn``): this
+is a run-time check on marshalled values, not a second inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.terms import SiteProgram
+from repro.core.names import Site as CoreSite
+from repro.types import Signature
+from repro.types.infer import infer_site_signature
+from repro.types.typeterms import (
+    Basic,
+    ChanType,
+    RowVar,
+    Type,
+    prune,
+    row_entries,
+)
+from repro.vm.values import Channel, NetRef, RemoteClassRef
+
+
+class ProtocolError(Exception):
+    """A remote interaction violated the target's inferred protocol."""
+
+
+#: Argument tags used by the dynamic checks.
+TAG_INT = "int"
+TAG_FLOAT = "float"
+TAG_BOOL = "bool"
+TAG_STR = "str"
+TAG_CHAN = "chan"
+TAG_DYN = "dyn"
+
+
+@dataclass(slots=True)
+class WireSignature:
+    """The dynamic protocol of one exported channel.
+
+    ``methods`` maps each method label to its argument-tag list;
+    ``open_row`` is True when the inferred row had a row variable
+    (the full method set is not statically known), in which case
+    unknown labels are allowed but known labels are still checked.
+    """
+
+    methods: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    open_row: bool = False
+
+    def check(self, label: str, args: tuple) -> None:
+        """Validate one incoming message; raises :class:`ProtocolError`."""
+        tags = self.methods.get(label)
+        if tags is None:
+            if self.open_row:
+                return
+            raise ProtocolError(
+                f"no method {label!r}; protocol offers "
+                f"{sorted(self.methods) or 'nothing'}")
+        if len(tags) != len(args):
+            raise ProtocolError(
+                f"method {label!r} expects {len(tags)} argument(s), "
+                f"got {len(args)}")
+        for i, (tag, value) in enumerate(zip(tags, args)):
+            if not _value_matches(tag, value):
+                raise ProtocolError(
+                    f"method {label!r} argument {i}: expected {tag}, "
+                    f"got {_tag_of(value)}")
+
+
+def _tag_of(value: Any) -> str:
+    if isinstance(value, bool):
+        return TAG_BOOL
+    if isinstance(value, int):
+        return TAG_INT
+    if isinstance(value, float):
+        return TAG_FLOAT
+    if isinstance(value, str):
+        return TAG_STR
+    if isinstance(value, (Channel, NetRef)):
+        return TAG_CHAN
+    if isinstance(value, RemoteClassRef):
+        return TAG_DYN
+    return TAG_DYN
+
+
+def _value_matches(tag: str, value: Any) -> bool:
+    if tag == TAG_DYN:
+        return True
+    return _tag_of(value) == tag
+
+
+def type_to_tag(t: Type) -> str:
+    """Lower one inferred type to a dynamic tag."""
+    t = prune(t)
+    if isinstance(t, Basic):
+        return {"int": TAG_INT, "float": TAG_FLOAT, "bool": TAG_BOOL,
+                "string": TAG_STR}.get(t.name, TAG_DYN)
+    if isinstance(t, ChanType):
+        return TAG_CHAN
+    return TAG_DYN  # TVar (polymorphic) or Dyn
+
+
+def chan_type_to_signature(t: Type) -> WireSignature | None:
+    """Lower an inferred channel type to a wire signature, or None when
+    the identifier is not statically known to be a channel."""
+    t = prune(t)
+    if not isinstance(t, ChanType):
+        return None
+    entries, tail = row_entries(t.row)
+    methods = {
+        label.text: tuple(type_to_tag(a) for a in args)
+        for label, args in entries.items()
+    }
+    return WireSignature(methods=methods, open_row=isinstance(tail, RowVar))
+
+
+@dataclass(slots=True)
+class SiteSignatures:
+    """Per-site result of the static pass: signatures for each exported
+    name lexeme (hint)."""
+
+    names: dict[str, WireSignature] = field(default_factory=dict)
+
+
+def check_site_program(site_name: str, program: SiteProgram) -> SiteSignatures:
+    """The static half: check the program, derive export signatures.
+
+    Raises :class:`~repro.types.TycoTypeError` on a local type error --
+    "no type mismatch or protocol errors" starts with rejecting
+    ill-typed programs at submission.
+    """
+    sig: Signature = infer_site_signature(CoreSite(site_name), program)
+    out = SiteSignatures()
+    for hint, t in sig.names.items():
+        ws = chan_type_to_signature(t)
+        if ws is not None:
+            out.names[hint] = ws
+    return out

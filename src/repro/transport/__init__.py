@@ -1,0 +1,22 @@
+"""Cluster substrates: link models, simulated world, threaded world.
+
+Substitute for the paper's physical Myrinet cluster (see DESIGN.md,
+substitution table): the simulated world reproduces the interconnect's
+latency/bandwidth behaviour on a virtual clock; the threaded world
+reproduces the process/thread deployment architecture.
+"""
+
+from .base import TransportStats, World
+from .links import (
+    FAST_ETHERNET,
+    LOOPBACK,
+    MYRINET,
+    ClusterModel,
+    LinkModel,
+    fast_ethernet_cluster,
+    myrinet_cluster,
+)
+from .sim import SimWorld
+from .threaded import ThreadedWorld
+
+__all__ = [name for name in dir() if not name.startswith("_")]

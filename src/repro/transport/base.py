@@ -1,0 +1,63 @@
+"""The world interface shared by the simulated and threaded transports.
+
+A *world* owns the nodes of one DiTyCO network and decides how they
+get CPU time and how buffers travel between them.  Both concrete
+worlds drive exactly the same :class:`~repro.runtime.node.Node` code:
+
+* :class:`~repro.transport.sim.SimWorld` -- single-threaded
+  discrete-event simulation with a virtual clock and the link models
+  of :mod:`repro.transport.links`; fully deterministic, used by the
+  tests and by every benchmark that reports (simulated) time.
+* :class:`~repro.transport.threaded.ThreadedWorld` -- one OS thread
+  per node plus real queues; this is the paper's deployment
+  architecture (a node is a Unix process whose sites and daemons are
+  threads), used by the integration tests.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.node import Node
+
+
+@dataclass(slots=True)
+class TransportStats:
+    """Traffic accounting common to both worlds."""
+
+    packets: int = 0
+    bytes: int = 0
+    max_in_flight: int = 0
+
+
+class World(ABC):
+    """Owns nodes; delivers buffers; runs the network to quiescence."""
+
+    def __init__(self) -> None:
+        self.nodes: dict[str, "Node"] = {}
+        self.stats = TransportStats()
+
+    @abstractmethod
+    def add_node(self, node: "Node") -> None:
+        """Attach a node to this world."""
+
+    @abstractmethod
+    def run(self, max_time: float | None = None) -> float:
+        """Run until global quiescence (or the bound); returns elapsed
+        time -- virtual seconds for the simulator, wall seconds for
+        the threaded world."""
+
+    @property
+    @abstractmethod
+    def time(self) -> float:
+        """Current time (virtual or wall-clock, world-dependent)."""
+
+    def node(self, ip: str) -> "Node":
+        return self.nodes[ip]
+
+    def is_quiescent(self) -> bool:
+        return all(n.is_quiescent() for n in self.nodes.values())

@@ -1,0 +1,81 @@
+"""Cluster hardware models (paper section 5, figure 1).
+
+"Our test-bed hardware for DiTyCO consists of a cluster of four
+dual-processor PCs interconnected with a 1Gb/s Myrinet switch
+assembled under project Dolphin. ... Each PC is additionally connected
+through a Fast-Ethernet (100Mbps) link to the external network."
+
+The paper has no measured numbers, so the link parameters below are
+the era-accurate published characteristics of the two interconnects;
+what the experiments depend on is their *ratio* (an order of magnitude
+in latency and in bandwidth), not the absolute values:
+
+* Myrinet (1999/2000, LANai-7 with GM): ~9 us one-way latency,
+  1 Gb/s signalling, ~120 MB/s sustained;
+* Fast Ethernet through the kernel TCP stack: ~70-100 us one-way
+  latency, 100 Mb/s, ~11 MB/s sustained.
+
+Compute parameters model the byte-code emulator on the cluster's
+Pentium-class CPUs: a few tens of nanoseconds per emulated
+instruction, a fast user-level context switch (the property the
+latency-hiding argument of sections 1 and 5 rests on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True, slots=True)
+class LinkModel:
+    """Point-to-point link characteristics."""
+
+    name: str
+    latency_s: float          # one-way latency, seconds
+    bandwidth_Bps: float      # sustained bandwidth, bytes/second
+
+    def transfer_time(self, size_bytes: int) -> float:
+        """Latency + serialisation delay for one packet."""
+        return self.latency_s + size_bytes / self.bandwidth_Bps
+
+
+#: 1 Gb/s Myrinet switch (project Dolphin cluster).
+MYRINET = LinkModel(name="myrinet-1g", latency_s=9e-6,
+                    bandwidth_Bps=120e6)
+
+#: 100 Mb/s Fast Ethernet through the OS network stack.
+FAST_ETHERNET = LinkModel(name="fast-ethernet", latency_s=85e-6,
+                          bandwidth_Bps=11e6)
+
+#: A same-machine loopback for calibration runs.
+LOOPBACK = LinkModel(name="loopback", latency_s=5e-7,
+                     bandwidth_Bps=2e9)
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterModel:
+    """A whole cluster: link + per-node compute parameters."""
+
+    name: str
+    link: LinkModel
+    instr_time_s: float = 5e-8          # one emulated byte-code instruction
+    context_switch_s: float = 2e-7      # user-level thread switch
+    cpus_per_node: int = 2              # dual-processor PCs (figure 1)
+
+    def with_link(self, link: LinkModel) -> "ClusterModel":
+        return replace(self, name=f"{self.name}+{link.name}", link=link)
+
+    def with_context_switch(self, cost_s: float) -> "ClusterModel":
+        """Ablation A1: make context switches expensive."""
+        return replace(self, name=f"{self.name}+slow-switch",
+                       context_switch_s=cost_s)
+
+
+def myrinet_cluster() -> ClusterModel:
+    """The paper's test-bed: dual-CPU PCs on a 1 Gb/s Myrinet switch."""
+    return ClusterModel(name="dolphin-myrinet", link=MYRINET)
+
+
+def fast_ethernet_cluster() -> ClusterModel:
+    """The same PCs using their Fast-Ethernet uplinks instead."""
+    return ClusterModel(name="dolphin-fe", link=FAST_ETHERNET)

@@ -1,0 +1,171 @@
+"""Deterministic discrete-event simulation of the DiTyCO cluster.
+
+The simulator is the substitute for the paper's physical test-bed
+(four dual-CPU PCs on a Myrinet switch): a virtual clock, per-packet
+delivery events computed from a :class:`~repro.transport.links.LinkModel`
+(latency + size/bandwidth), and per-node compute events that charge
+``instr_time_s`` per executed byte-code instruction and
+``context_switch_s`` per thread switch.
+
+Determinism: a single event heap ordered by (time, sequence number);
+no wall-clock or randomness anywhere, so every run of a given program
+produces identical timings -- which is what lets the benchmarks report
+stable simulated-time numbers for E2/E3/E8.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Callable
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.node import Node
+
+from .base import World
+from .links import ClusterModel, myrinet_cluster
+
+
+@dataclass(order=True, slots=True)
+class _Event:
+    time: float
+    seq: int
+    action: Callable[[], None] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.action is None:  # pragma: no cover - guarded by callers
+            raise ValueError("event without action")
+
+
+class SimWorld(World):
+    """Single-threaded simulated cluster."""
+
+    def __init__(self, cluster: ClusterModel | None = None,
+                 quantum: int = 256) -> None:
+        super().__init__()
+        self.cluster = cluster or myrinet_cluster()
+        self.quantum = quantum
+        self._clock = 0.0
+        self._events: list[_Event] = []
+        self._seq = itertools.count()
+        self._scheduled: set[str] = set()   # node ips with a pending step
+        self.deliveries = 0
+        self.compute_time = 0.0
+        self.network_time_paid = 0.0
+        self._in_flight = 0
+        # Failure injection (repro.runtime.failure): crashed node ips.
+        self.failed: set[str] = set()
+        self.dropped_packets = 0
+
+    # -- world interface -------------------------------------------------------
+
+    @property
+    def time(self) -> float:
+        return self._clock
+
+    def add_node(self, node: "Node") -> None:
+        if node.ip in self.nodes:
+            raise ValueError(f"duplicate node ip {node.ip}")
+        self.nodes[node.ip] = node
+        node.attach_transport(self._send, wakeup=lambda: self._wake(node.ip))
+
+    def _wake(self, ip: str) -> None:
+        if ip not in self._scheduled:
+            self._scheduled.add(ip)
+            self._push(self._clock, lambda: self._node_step(ip))
+
+    def _push(self, time: float, action: Callable[[], None]) -> None:
+        heapq.heappush(self._events, _Event(time, next(self._seq), action))
+
+    # -- packet transport ----------------------------------------------------------
+
+    def _send(self, src_ip: str, dst_ip: str, data: bytes) -> None:
+        if src_ip in self.failed:
+            self.dropped_packets += 1
+            return
+        size = len(data)
+        self.stats.packets += 1
+        self.stats.bytes += size
+        delay = self.cluster.link.transfer_time(size)
+        self.network_time_paid += delay
+        dst = self.nodes.get(dst_ip)
+        if dst is None:
+            raise LookupError(f"no node at {dst_ip}")
+
+        def deliver() -> None:
+            self._in_flight -= 1
+            if dst_ip in self.failed:
+                self.dropped_packets += 1
+                return
+            self.deliveries += 1
+            dst.receive(data)
+            self._wake(dst_ip)
+
+        self._in_flight += 1
+        if self._in_flight > self.stats.max_in_flight:
+            self.stats.max_in_flight = self._in_flight
+        self._push(self._clock + delay, deliver)
+
+    # -- compute scheduling -----------------------------------------------------------
+
+    def _node_step(self, ip: str) -> None:
+        self._scheduled.discard(ip)
+        node = self.nodes.get(ip)
+        if node is None or ip in self.failed:
+            return
+        report = node.step(self.quantum)
+        cost = (report.instructions * self.cluster.instr_time_s
+                + report.context_switches * self.cluster.context_switch_s)
+        # Dual-processor nodes (figure 1): the site pool effectively
+        # progresses cpus_per_node instructions per cycle.
+        cost /= max(1, self.cluster.cpus_per_node)
+        if report.busy:
+            self.compute_time += cost
+            next_time = self._clock + max(cost, self.cluster.instr_time_s)
+            self._scheduled.add(ip)
+            self._push(next_time, lambda: self._node_step(ip))
+        elif node.has_work():  # pragma: no cover - defensive
+            self._wake(ip)
+
+    # -- main loop ----------------------------------------------------------------------
+
+    def run(self, max_time: float | None = None) -> float:
+        """Process events until the queue drains (global quiescence)."""
+        start = self._clock
+        while self._events:
+            event = heapq.heappop(self._events)
+            if max_time is not None and event.time > max_time:
+                heapq.heappush(self._events, event)
+                self._clock = max(self._clock, max_time)
+                break
+            self._clock = max(self._clock, event.time)
+            event.action()
+        return self._clock - start
+
+    def kick(self) -> None:
+        """Schedule an initial step for every node (used after loading
+        programs directly, without going through the shell)."""
+        for ip in self.nodes:
+            self._wake(ip)
+
+    # -- control plane ---------------------------------------------------------
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> None:
+        """Schedule an arbitrary control-plane action on the virtual
+        clock (heartbeats, monitors, workload generators)."""
+        if time < self._clock:
+            raise ValueError(f"cannot schedule in the past ({time} < {self._clock})")
+        self._push(time, action)
+
+    def fail_node(self, ip: str) -> None:
+        """Crash a node: it stops computing, and packets to or from it
+        are silently dropped (a dead machine on a switched network)."""
+        if ip not in self.nodes:
+            raise LookupError(f"no node at {ip}")
+        self.failed.add(ip)
+
+    def is_failed(self, ip: str) -> bool:
+        return ip in self.failed

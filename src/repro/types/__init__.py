@@ -1,0 +1,45 @@
+"""The TyCO polymorphic type system (paper sections 2 and 7).
+
+Damas-Milner inference with row-polymorphic method-record channel
+types, equi-recursive unification, per-``def`` generalisation, and the
+combined static/dynamic checking scheme for remote interactions.
+"""
+
+from .display import format_env, format_type
+from .infer import (
+    DYNAMIC_SCHEME,
+    ClassArityError,
+    CyclicImportError,
+    Inferencer,
+    Signature,
+    TycoTypeError,
+    UnboundClassVarError,
+    check_network,
+    infer_program,
+    infer_site_signature,
+)
+from .typeterms import (
+    BOOL,
+    DYN,
+    FLOAT,
+    INT,
+    STRING,
+    Basic,
+    ChanType,
+    Dyn,
+    Row,
+    RowEmpty,
+    RowEntry,
+    RowVar,
+    Scheme,
+    TVar,
+    Type,
+    free_type_vars,
+    make_row,
+    prune,
+    prune_row,
+    row_entries,
+)
+from .unify import MethodArityError, MissingMethodError, UnifyError, unify, unify_rows
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,90 @@
+"""Readable rendering of inferred types, including recursive ones.
+
+Channel types in TyCO are equi-recursive (rational trees); the naive
+``str`` of a cyclic type would not terminate.  :func:`format_type`
+renders cycles with the standard mu-notation::
+
+    rec t1 . ^{ next(t1), value(int) }
+
+and gives unbound variables stable, readable names ('a, 'b, ... in
+first-occurrence order).  Used by ``python -m repro check`` and by
+type-error messages in tests.
+"""
+
+from __future__ import annotations
+
+import string
+
+from .typeterms import (
+    Basic,
+    Dyn,
+    Row,
+    RowVar,
+    TVar,
+    Type,
+    prune,
+    row_entries,
+)
+
+
+def _var_namer():
+    """'a, 'b, ..., 'z, 'a1, 'b1, ..."""
+    assigned: dict[int, str] = {}
+
+    def name(var_id: int) -> str:
+        if var_id not in assigned:
+            i = len(assigned)
+            letter = string.ascii_lowercase[i % 26]
+            suffix = str(i // 26) if i >= 26 else ""
+            assigned[var_id] = f"'{letter}{suffix}"
+        return assigned[var_id]
+
+    return name
+
+
+def format_type(t: Type) -> str:
+    """Render one type; cycles become ``rec tN . ...`` binders."""
+    name_of = _var_namer()
+    rec_names: dict[int, str] = {}
+    rec_counter = [0]
+
+    def fmt(u: Type, visiting: tuple[int, ...]) -> str:
+        u = prune(u)
+        if isinstance(u, Basic):
+            return u.name
+        if isinstance(u, Dyn):
+            return "dyn"
+        if isinstance(u, TVar):
+            return name_of(u.id)
+        # ChanType: detect cycles by object identity.
+        uid = id(u)
+        if uid in rec_names:
+            return rec_names[uid]
+        if uid in visiting:
+            rec_counter[0] += 1
+            rec_names[uid] = f"t{rec_counter[0]}"
+            return rec_names[uid]
+        body = fmt_row(u.row, visiting + (uid,))
+        if uid in rec_names:
+            return f"rec {rec_names[uid]} . ^{{{body}}}"
+        return f"^{{{body}}}"
+
+    def fmt_row(r: Row, visiting: tuple[int, ...]) -> str:
+        entries, tail = row_entries(r)
+        parts = []
+        for label, args in sorted(entries.items(), key=lambda kv: kv[0].text):
+            rendered = ", ".join(fmt(a, visiting) for a in args)
+            parts.append(f"{label}({rendered})")
+        if isinstance(tail, RowVar):
+            parts.append(f"..{name_of(tail.id)}")
+        return ", ".join(parts)
+
+    return fmt(t, ())
+
+
+def format_env(env: dict) -> str:
+    """Render a name->type environment, one binding per line."""
+    lines = []
+    for name, t in sorted(env.items(), key=lambda kv: str(kv[0])):
+        lines.append(f"{getattr(name, 'hint', name)} : {format_type(t)}")
+    return "\n".join(lines)

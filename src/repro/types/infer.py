@@ -1,0 +1,551 @@
+"""Damas-Milner type inference for TyCO / DiTyCO (paper sections 2, 7).
+
+The inferencer reconstructs channel types (row-polymorphic method
+records) for every name, generalises class definitions at ``def`` --
+this is what makes the paper's Cell polymorphic in its value attribute
+-- and checks whole networks of site programs.
+
+Two checking modes implement the combined static/dynamic scheme of
+section 7:
+
+* **Single-site mode** (:func:`infer_program`): located identifiers
+  and builtin channels type as ``dyn``; their uses are deferred to the
+  runtime checker (:mod:`repro.runtime.typecheck`).
+* **Network mode** (:func:`check_network`): every site program is
+  inferred against a shared export table, so imported names unify with
+  the exporter's inferred type and cross-site protocol errors are
+  caught statically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from graphlib import CycleError, TopologicalSorter
+
+from repro.core.names import ClassVar, Label, LocatedClassVar, LocatedName, Name, Site
+from repro.core.network import (
+    ExportDef,
+    ExportNew,
+    ImportClass,
+    ImportName,
+    SiteProgram,
+)
+from repro.core.terms import (
+    BinOp,
+    Def,
+    Expr,
+    If,
+    Instance,
+    Lit,
+    Message,
+    New,
+    Nil,
+    Object,
+    Par,
+    Process,
+    UnOp,
+)
+
+from .typeterms import (
+    BOOL,
+    DYN,
+    FLOAT,
+    INT,
+    STRING,
+    Basic,
+    ChanType,
+    Dyn,
+    Row,
+    RowEmpty,
+    RowEntry,
+    RowVar,
+    Scheme,
+    TVar,
+    Type,
+    make_row,
+    prune,
+    prune_row,
+)
+from .unify import UnifyError, unify
+
+
+class TycoTypeError(Exception):
+    """A type error detected by the static checker."""
+
+
+class UnboundClassVarError(TycoTypeError):
+    """An instantiation used a class variable not bound by any def."""
+
+
+class ClassArityError(TycoTypeError):
+    """An instantiation's argument count differs from the class header."""
+
+
+class CyclicImportError(TycoTypeError):
+    """Two sites import classes from each other: no inference order."""
+
+
+_NUMERIC = {"int", "float"}
+_ADDABLE = {"int", "float", "string"}
+
+#: Free names bound by the runtime to builtin console channels; they
+#: accept any value and are checked dynamically (section 7), so the
+#: static checker types them as ``dyn``.
+CONSOLE_HINTS = frozenset({"print", "console"})
+
+
+@dataclass(slots=True)
+class Signature:
+    """The inferred external interface of one site (network mode)."""
+
+    names: dict[str, Type] = field(default_factory=dict)
+    classes: dict[str, Scheme] = field(default_factory=dict)
+
+
+class _DynamicScheme:
+    """Sentinel scheme for classes whose signature is unknown
+    statically (lenient single-site checking): instantiations of such
+    classes defer entirely to the dynamic checks of section 7."""
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<dynamic scheme>"
+
+
+DYNAMIC_SCHEME = _DynamicScheme()
+
+
+class Inferencer:
+    """A single inference session (one program or one whole network)."""
+
+    def __init__(self) -> None:
+        self.level = 0
+        # Network mode: per-site signatures of exported identifiers.
+        self.signatures: dict[Site, Signature] = {}
+
+    # -- variable supply ----------------------------------------------------
+
+    def fresh(self) -> TVar:
+        return TVar(self.level)
+
+    def fresh_row(self) -> RowVar:
+        return RowVar(self.level)
+
+    # -- instantiation of class schemes --------------------------------------
+
+    def instantiate(self, scheme: Scheme) -> tuple[Type, ...]:
+        """Copy the scheme's argument types, refreshing generalised
+        variables (those with level deeper than the scheme's)."""
+        memo_t: dict[int, Type] = {}
+        memo_r: dict[int, Row] = {}
+
+        def copy_type(t: Type) -> Type:
+            t = prune(t)
+            if isinstance(t, TVar):
+                if t.level <= scheme.level:
+                    return t
+                if t.id not in memo_t:
+                    memo_t[t.id] = self.fresh()
+                return memo_t[t.id]
+            if isinstance(t, ChanType):
+                if id(t) in memo_t:
+                    return memo_t[id(t)]
+                out = ChanType(RowEmpty())  # placeholder for cycles
+                memo_t[id(t)] = out
+                out.row = copy_row(t.row)
+                return out
+            return t  # Basic, Dyn
+
+        def copy_row(r: Row) -> Row:
+            r = prune_row(r)
+            if isinstance(r, RowVar):
+                if r.level <= scheme.level:
+                    return r
+                if r.id not in memo_r:
+                    memo_r[r.id] = self.fresh_row()
+                return memo_r[r.id]
+            if isinstance(r, RowEntry):
+                if id(r) in memo_r:
+                    return memo_r[id(r)]
+                out = RowEntry(r.label, (), RowEmpty())
+                memo_r[id(r)] = out
+                out.args = tuple(copy_type(a) for a in r.args)
+                out.rest = copy_row(r.rest)
+                return out
+            return r  # RowEmpty
+
+        return tuple(copy_type(a) for a in scheme.args)
+
+    # -- expressions ----------------------------------------------------------
+
+    def infer_expr(self, e: Expr, env: dict[Name, Type]) -> Type:
+        if isinstance(e, Lit):
+            v = e.value
+            if isinstance(v, bool):
+                return BOOL
+            if isinstance(v, int):
+                return INT
+            if isinstance(v, float):
+                return FLOAT
+            return STRING
+        if isinstance(e, Name):
+            if e not in env:
+                # Free name of the program: implicitly a channel of the
+                # enclosing site; console names are dynamic builtins.
+                env[e] = DYN if e.hint in CONSOLE_HINTS else self.fresh()
+            return env[e]
+        if isinstance(e, LocatedName):
+            return self.remote_name_type(e)
+        if isinstance(e, BinOp):
+            lt = self.infer_expr(e.left, env)
+            rt = self.infer_expr(e.right, env)
+            op = e.op
+            if op in ("+", "-", "*", "/", "%"):
+                self._unify(lt, rt, f"operands of {op!r}")
+                t = prune(lt)
+                if isinstance(t, Dyn) or isinstance(prune(rt), Dyn):
+                    return DYN
+                if isinstance(t, TVar):
+                    # Default unconstrained arithmetic to int.
+                    self._unify(t, INT, f"operands of {op!r}")
+                    t = INT
+                allowed = _ADDABLE if op == "+" else _NUMERIC
+                if not (isinstance(t, Basic) and t.name in allowed):
+                    raise TycoTypeError(
+                        f"operator {op!r} not defined at type {t}")
+                return t
+            if op in ("<", "<=", ">", ">="):
+                self._unify(lt, rt, f"operands of {op!r}")
+                t = prune(lt)
+                if isinstance(t, TVar):
+                    self._unify(t, INT, f"operands of {op!r}")
+                    t = INT
+                if not isinstance(t, Dyn) and not (
+                    isinstance(t, Basic) and t.name in _ADDABLE
+                ):
+                    raise TycoTypeError(
+                        f"comparison {op!r} not defined at type {t}")
+                return BOOL
+            if op in ("==", "!="):
+                self._unify(lt, rt, f"operands of {op!r}")
+                return BOOL
+            if op in ("and", "or"):
+                self._unify(lt, BOOL, f"left operand of {op!r}")
+                self._unify(rt, BOOL, f"right operand of {op!r}")
+                return BOOL
+            raise TycoTypeError(f"unknown operator {op!r}")
+        if isinstance(e, UnOp):
+            t = self.infer_expr(e.operand, env)
+            if e.op == "not":
+                self._unify(t, BOOL, "operand of 'not'")
+                return BOOL
+            if e.op == "-":
+                tp = prune(t)
+                if isinstance(tp, TVar):
+                    self._unify(tp, INT, "operand of unary '-'")
+                    tp = INT
+                if not isinstance(tp, Dyn) and not (
+                    isinstance(tp, Basic) and tp.name in _NUMERIC
+                ):
+                    raise TycoTypeError(f"unary '-' not defined at type {tp}")
+                return tp
+            raise TycoTypeError(f"unknown operator {e.op!r}")
+        raise TycoTypeError(f"not an expression: {e!r}")
+
+    # -- remote identifiers ------------------------------------------------------
+
+    def remote_name_type(self, ln: LocatedName) -> Type:
+        """Single-site mode: remote names are dynamically checked."""
+        sig = self.signatures.get(ln.site)
+        if sig is not None and ln.name.hint in sig.names:
+            return sig.names[ln.name.hint]
+        return DYN
+
+    def remote_class_scheme(self, lcv: LocatedClassVar) -> Scheme | None:
+        sig = self.signatures.get(lcv.site)
+        if sig is not None:
+            return sig.classes.get(lcv.var.hint)
+        return None
+
+    # -- processes -------------------------------------------------------------
+
+    def infer_process(
+        self,
+        p: Process,
+        env: dict[Name, Type],
+        cenv: dict[ClassVar, Scheme],
+    ) -> None:
+        if isinstance(p, Nil):
+            return
+        if isinstance(p, Par):
+            self.infer_process(p.left, env, cenv)
+            self.infer_process(p.right, env, cenv)
+            return
+        if isinstance(p, New):
+            inner = dict(env)
+            for n in p.names:
+                inner[n] = self.fresh()
+            self.infer_process(p.body, inner, cenv)
+            return
+        if isinstance(p, Message):
+            subject_t = self._subject_type(p.subject, env)
+            arg_ts = tuple(self.infer_expr(a, env) for a in p.args)
+            want = ChanType(RowEntry(p.label, arg_ts, self.fresh_row()))
+            self._unify(subject_t, want, f"message {p.subject}!{p.label}")
+            return
+        if isinstance(p, Object):
+            subject_t = self._subject_type(p.subject, env)
+            entries: dict[Label, tuple[Type, ...]] = {}
+            for label, m in p.methods.items():
+                inner = dict(env)
+                params = tuple(self.fresh() for _ in m.params)
+                inner.update(zip(m.params, params))
+                self.infer_process(m.body, inner, cenv)
+                entries[label] = params
+            want = ChanType(make_row(entries, RowEmpty()))
+            self._unify(subject_t, want, f"object at {p.subject}")
+            return
+        if isinstance(p, Instance):
+            arg_ts = tuple(self.infer_expr(a, env) for a in p.args)
+            cref = p.classref
+            if isinstance(cref, LocatedClassVar):
+                scheme = self.remote_class_scheme(cref)
+                if scheme is None:
+                    return  # dynamic: checked at FETCH time
+            else:
+                scheme = cenv.get(cref)
+                if scheme is None:
+                    raise UnboundClassVarError(f"unbound class variable {cref}")
+            if scheme is DYNAMIC_SCHEME:
+                return  # arity/types checked dynamically at FETCH time
+            params = self.instantiate(scheme)
+            if len(params) != len(arg_ts):
+                raise ClassArityError(
+                    f"class {cref} expects {len(params)} argument(s), "
+                    f"got {len(arg_ts)}")
+            for want, got in zip(params, arg_ts):
+                self._unify(want, got, f"instantiation of {cref}")
+            return
+        if isinstance(p, Def):
+            self.level += 1
+            try:
+                inner_c = dict(cenv)
+                mono: dict[ClassVar, tuple[Type, ...]] = {}
+                for var, clause in p.definitions.clauses.items():
+                    params = tuple(self.fresh() for _ in clause.params)
+                    mono[var] = params
+                    # Recursive uses inside the group are monomorphic
+                    # (standard Damas-Milner): a scheme at the current
+                    # level generalises nothing.
+                    inner_c[var] = Scheme(params, self.level)
+                for var, clause in p.definitions.clauses.items():
+                    inner_e = dict(env)
+                    inner_e.update(zip(clause.params, mono[var]))
+                    self.infer_process(clause.body, inner_e, inner_c)
+            finally:
+                self.level -= 1
+            gen_c = dict(cenv)
+            for var in p.definitions.clauses:
+                gen_c[var] = Scheme(mono[var], self.level)
+            self.infer_process(p.body, env, gen_c)
+            return
+        if isinstance(p, If):
+            ct = self.infer_expr(p.condition, env)
+            self._unify(ct, BOOL, "condition of 'if'")
+            self.infer_process(p.then_branch, env, cenv)
+            self.infer_process(p.else_branch, env, cenv)
+            return
+        raise TycoTypeError(f"cannot type {p!r}")
+
+    def _subject_type(self, subject, env: dict[Name, Type]) -> Type:
+        if isinstance(subject, Name):
+            if subject not in env:
+                env[subject] = (DYN if subject.hint in CONSOLE_HINTS
+                                else self.fresh())
+            return env[subject]
+        return self.remote_name_type(subject)
+
+    def _unify(self, t1: Type, t2: Type, context: str) -> None:
+        try:
+            unify(t1, t2)
+        except UnifyError as exc:
+            raise TycoTypeError(f"{context}: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Public entry points
+# ---------------------------------------------------------------------------
+
+
+def infer_program(
+    p: Process,
+    env: dict[Name, Type] | None = None,
+) -> dict[Name, Type]:
+    """Type-check a single-site program; return the (pruned) types of
+    its free names.  Raises :class:`TycoTypeError` on failure."""
+    from repro.core.subst import free_names
+
+    inf = Inferencer()
+    environment: dict[Name, Type] = dict(env or {})
+    # Seed every free name up front so occurrences in different scopes
+    # share one type and the caller sees the full environment.  Console
+    # names are builtin dynamic sinks.
+    for n in sorted(free_names(p), key=lambda n: n.serial):
+        environment.setdefault(
+            n, DYN if n.hint in CONSOLE_HINTS else inf.fresh())
+    inf.infer_process(p, environment, {})
+    return {n: prune(t) for n, t in environment.items()}
+
+
+def _collect_class_imports(prog: SiteProgram) -> set[Site]:
+    """Sites whose *classes* this program imports (scheme dependency)."""
+    out: set[Site] = set()
+
+    def walk(q) -> None:
+        if isinstance(q, ImportClass):
+            out.add(q.site)
+            walk(q.body)
+        elif isinstance(q, (ImportName,)):
+            walk(q.body)
+        elif isinstance(q, (ExportNew, ExportDef)):
+            walk(q.body)
+        elif isinstance(q, New):
+            walk(q.body)
+        elif isinstance(q, Def):
+            walk(q.body)
+        elif isinstance(q, Par):
+            walk(q.left)
+            walk(q.right)
+
+    walk(prog)
+    return out
+
+
+def check_network(programs: dict[Site, SiteProgram]) -> dict[Site, Signature]:
+    """Statically check a whole network of site programs (section 7).
+
+    Sites are processed in class-import dependency order so that a
+    downloaded class's scheme is available when its importer is
+    checked; imported *names* unify through shared signature entries
+    and need no ordering.  Returns each site's inferred signature.
+    """
+    graph = {site: _collect_class_imports(prog) & set(programs)
+             for site, prog in programs.items()}
+    try:
+        order = list(TopologicalSorter(graph).static_order())
+    except CycleError as exc:
+        raise CyclicImportError(
+            f"cyclic class imports between sites: {exc.args[1]}") from exc
+
+    inf = Inferencer()
+    for site in programs:
+        inf.signatures.setdefault(site, Signature())
+
+    for site in order:
+        _infer_site(inf, site, programs[site])
+    return inf.signatures
+
+
+def infer_site_signature(site: Site, prog: SiteProgram) -> Signature:
+    """Single-site *lenient* checking (the static half of section 7's
+    hybrid scheme): imports from unseen sites type as dynamic, the
+    program itself is fully checked, and the inferred signature of its
+    exported identifiers is returned for the runtime's dynamic checks.
+    """
+    inf = Inferencer()
+    inf.signatures[site] = Signature()
+    _infer_site(inf, site, prog, lenient=True)
+    return inf.signatures[site]
+
+
+def _infer_site(inf: Inferencer, site: Site, prog: SiteProgram,
+                lenient: bool = False) -> None:
+    from repro.core.subst import free_names
+
+    env: dict[Name, Type] = {}
+    for n in sorted(free_names(prog), key=lambda n: n.serial):
+        env[n] = DYN if n.hint in CONSOLE_HINTS else inf.fresh()
+    cenv: dict[ClassVar, Scheme] = {}
+    sig = inf.signatures[site]
+
+    def walk(q: SiteProgram) -> None:
+        if isinstance(q, ExportNew):
+            for n in q.names:
+                t = sig.names.setdefault(n.hint, inf.fresh())
+                env[n] = t
+            walk(q.body)
+            return
+        if isinstance(q, ExportDef):
+            # Type the definition group, then publish the schemes.
+            inf.level += 1
+            try:
+                mono = {
+                    var: tuple(inf.fresh() for _ in clause.params)
+                    for var, clause in q.definitions.clauses.items()
+                }
+                inner_c = dict(cenv)
+                for var, params in mono.items():
+                    inner_c[var] = Scheme(params, inf.level)
+                for var, clause in q.definitions.clauses.items():
+                    inner_e = dict(env)
+                    inner_e.update(zip(clause.params, mono[var]))
+                    inf.infer_process(clause.body, inner_e, inner_c)
+            finally:
+                inf.level -= 1
+            for var in q.definitions.clauses:
+                scheme = Scheme(mono[var], inf.level)
+                cenv[var] = scheme
+                sig.classes[var.hint] = scheme
+            walk(q.body)
+            return
+        if isinstance(q, ImportName):
+            other = inf.signatures.setdefault(q.site, Signature())
+            t = other.names.setdefault(q.name.hint, inf.fresh())
+            env[q.name] = t
+            walk(q.body)
+            return
+        if isinstance(q, ImportClass):
+            other = inf.signatures.setdefault(q.site, Signature())
+            scheme = other.classes.get(q.var.hint)
+            if scheme is None:
+                if lenient:
+                    cenv[q.var] = DYNAMIC_SCHEME
+                    walk(q.body)
+                    return
+                raise TycoTypeError(
+                    f"site {q.site} exports no class {q.var.hint!r} "
+                    f"(or it is not yet checked)")
+            cenv[q.var] = scheme
+            walk(q.body)
+            return
+        if isinstance(q, New):
+            for n in q.names:
+                env[n] = inf.fresh()
+            walk(q.body)
+            return
+        if isinstance(q, Par):
+            walk(q.left)
+            walk(q.right)
+            return
+        if isinstance(q, Def):
+            # A def on the spine may scope later export/import forms.
+            inf.level += 1
+            try:
+                mono = {
+                    var: tuple(inf.fresh() for _ in clause.params)
+                    for var, clause in q.definitions.clauses.items()
+                }
+                for var, params in mono.items():
+                    cenv[var] = Scheme(params, inf.level)
+                for var, clause in q.definitions.clauses.items():
+                    inner_e = dict(env)
+                    inner_e.update(zip(clause.params, mono[var]))
+                    inf.infer_process(clause.body, inner_e, cenv)
+            finally:
+                inf.level -= 1
+            for var in q.definitions.clauses:
+                cenv[var] = Scheme(mono[var], inf.level)
+            walk(q.body)
+            return
+        inf.infer_process(q, env, cenv)
+
+    walk(prog)

@@ -1,0 +1,245 @@
+"""Type terms for the TyCO type system.
+
+TyCO features "a (Damas-Milner) polymorphic type-system" (paper
+section 2); names carry *channel types* describing the collection of
+methods that can be invoked on them -- row-polymorphic records in the
+style of Remy/Ohori, which is the standard reconstruction technique for
+object calculi of this family.
+
+The grammar of types::
+
+    T ::= int | float | bool | string      basic types
+        | 'a                                type variable
+        | ^{ l1: (T...), ..., ln: (T...) | r }   channel type with row r
+        | dyn                               dynamic (boundary) type
+
+    r ::= {}        closed row
+        | 'r        row variable
+        | l:(T...); r
+
+``dyn`` implements the *dynamic* half of the paper's hybrid
+static/dynamic checking (section 7): values that cross a boundary the
+checker cannot see -- an imported remote name checked in single-site
+mode, or a builtin channel -- type as ``dyn`` statically and are
+re-checked at run time by :mod:`repro.runtime.typecheck`.
+
+Type variables are mutable union-find cells (``instance`` link) with
+Remy-style levels for efficient generalisation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.names import Label
+
+_var_ids = itertools.count(1)
+
+
+class Type:
+    """Base class of all type terms."""
+
+    __slots__ = ()
+
+
+class Row:
+    """Base class of all row terms."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Basic(Type):
+    """A basic type: ``int``, ``float``, ``bool`` or ``string``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+INT = Basic("int")
+FLOAT = Basic("float")
+BOOL = Basic("bool")
+STRING = Basic("string")
+
+
+@dataclass(frozen=True, slots=True)
+class Dyn(Type):
+    """The dynamic type: statically compatible with everything.
+
+    Assigned to identifiers whose type the static checker cannot know
+    (remote names in single-site mode, builtin consoles); uses of such
+    values are validated dynamically by the runtime (section 7's
+    combined static/dynamic scheme).
+    """
+
+    def __str__(self) -> str:
+        return "dyn"
+
+
+DYN = Dyn()
+
+
+class TVar(Type):
+    """A unifiable type variable (union-find cell with a level)."""
+
+    __slots__ = ("id", "level", "instance")
+
+    def __init__(self, level: int) -> None:
+        self.id = next(_var_ids)
+        self.level = level
+        self.instance: Optional[Type] = None
+
+    def __str__(self) -> str:
+        return f"'t{self.id}"
+
+
+@dataclass(slots=True)
+class ChanType(Type):
+    """The type of a channel name: ``^{ row }``.
+
+    A name of this type locates objects offering (at least) the
+    methods listed in the row.
+    """
+
+    row: Row
+
+    def __str__(self) -> str:
+        return f"^{{{_row_str(self.row)}}}"
+
+
+class RowVar(Row):
+    """A unifiable row variable."""
+
+    __slots__ = ("id", "level", "instance")
+
+    def __init__(self, level: int) -> None:
+        self.id = next(_var_ids)
+        self.level = level
+        self.instance: Optional[Row] = None
+
+    def __str__(self) -> str:
+        return f"'r{self.id}"
+
+
+@dataclass(frozen=True, slots=True)
+class RowEmpty(Row):
+    """The closed row: no further methods."""
+
+    def __str__(self) -> str:
+        return ""
+
+
+@dataclass(slots=True)
+class RowEntry(Row):
+    """One method entry ``l: (T...)`` followed by the rest of the row."""
+
+    label: Label
+    args: tuple[Type, ...]
+    rest: Row
+
+    def __str__(self) -> str:
+        return _row_str(self)
+
+
+def prune(t: Type) -> Type:
+    """Follow variable instantiation links; path-compress."""
+    while isinstance(t, TVar) and t.instance is not None:
+        nxt = t.instance
+        if isinstance(nxt, TVar) and nxt.instance is not None:
+            t.instance = nxt.instance  # path compression
+        t = nxt
+    return t
+
+
+def prune_row(r: Row) -> Row:
+    """Follow row-variable instantiation links; path-compress."""
+    while isinstance(r, RowVar) and r.instance is not None:
+        nxt = r.instance
+        if isinstance(nxt, RowVar) and nxt.instance is not None:
+            r.instance = nxt.instance
+        r = nxt
+    return r
+
+
+def row_entries(r: Row) -> tuple[dict[Label, tuple[Type, ...]], Row]:
+    """Flatten a row into (entries, tail); tail is RowEmpty or a RowVar."""
+    entries: dict[Label, tuple[Type, ...]] = {}
+    r = prune_row(r)
+    while isinstance(r, RowEntry):
+        if r.label not in entries:  # first occurrence wins
+            entries[r.label] = r.args
+        r = prune_row(r.rest)
+    return entries, r
+
+
+def make_row(entries: dict[Label, tuple[Type, ...]], tail: Row) -> Row:
+    """Build a row term from an entries map and a tail."""
+    row = tail
+    for label in reversed(list(entries)):
+        row = RowEntry(label, entries[label], row)
+    return row
+
+
+def _row_str(r: Row, seen: frozenset[int] = frozenset()) -> str:
+    entries, tail = row_entries(r)
+    parts = []
+    for label, args in sorted(entries.items(), key=lambda kv: kv[0].text):
+        parts.append(f"{label}({', '.join(map(str, args))})")
+    if isinstance(tail, RowVar):
+        parts.append(f"..{tail}")
+    return ", ".join(parts)
+
+
+@dataclass(slots=True)
+class Scheme:
+    """A type scheme for a class definition: ``forall vars. (T...)``.
+
+    ``args`` are the parameter types of the class; generalised
+    variables are identified by level during instantiation rather than
+    being listed explicitly (Remy's level discipline).
+    """
+
+    args: tuple[Type, ...]
+    level: int  # variables with level > this are generalised
+
+    def __str__(self) -> str:
+        return f"forall(>{self.level}). ({', '.join(map(str, self.args))})"
+
+
+def free_type_vars(t: Type, acc: set[int] | None = None,
+                   seen: set[int] | None = None) -> set[int]:
+    """Collect ids of unbound type/row variables reachable from ``t``.
+
+    Cycle-tolerant (equi-recursive types are rational trees).
+    """
+    acc = set() if acc is None else acc
+    seen = set() if seen is None else seen
+
+    def walk_type(u: Type) -> None:
+        u = prune(u)
+        if id(u) in seen:
+            return
+        seen.add(id(u))
+        if isinstance(u, TVar):
+            acc.add(u.id)
+        elif isinstance(u, ChanType):
+            walk_row(u.row)
+
+    def walk_row(r: Row) -> None:
+        r = prune_row(r)
+        if id(r) in seen:
+            return
+        seen.add(id(r))
+        if isinstance(r, RowVar):
+            acc.add(r.id)
+        elif isinstance(r, RowEntry):
+            for a in r.args:
+                walk_type(a)
+            walk_row(r.rest)
+
+    walk_type(t)
+    return acc

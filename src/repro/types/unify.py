@@ -1,0 +1,186 @@
+"""Unification for TyCO types: rational trees plus row rewriting.
+
+Channel types of this calculus are *equi-recursive*: the type of the
+``self`` parameter of a recursive class may mention itself (consider a
+list cell whose ``cons`` method carries another list).  Unification is
+therefore performed over rational trees -- no occurs-check on type
+variables, and an in-progress pair set guarantees termination on
+cyclic structures.
+
+Rows are unified with the standard rewriting technique (Remy): to
+unify ``(l: A; r1)`` with a row lacking ``l`` but ending in a row
+variable, the variable is instantiated with ``l: A'; r'`` and the
+tails are unified.  Row variables *do* carry an occurs-check: a row
+that contains itself as its own tail would denote an infinite record,
+which is a genuine type error.
+"""
+
+from __future__ import annotations
+
+
+from .typeterms import (
+    Basic,
+    ChanType,
+    Dyn,
+    Row,
+    RowEmpty,
+    RowEntry,
+    RowVar,
+    TVar,
+    Type,
+    make_row,
+    prune,
+    prune_row,
+    row_entries,
+)
+
+
+class UnifyError(Exception):
+    """Two types (or rows) cannot be made equal."""
+
+
+class MissingMethodError(UnifyError):
+    """A closed channel row lacks a method some use requires."""
+
+
+class MethodArityError(UnifyError):
+    """Two occurrences of a method disagree on the number of arguments."""
+
+
+def unify(t1: Type, t2: Type, _seen: set[tuple[int, int]] | None = None) -> None:
+    """Make ``t1`` and ``t2`` equal, instantiating variables in place."""
+    seen = set() if _seen is None else _seen
+    t1, t2 = prune(t1), prune(t2)
+    if t1 is t2:
+        return
+    # dyn absorbs everything: the static checker defers to the runtime.
+    if isinstance(t1, Dyn) or isinstance(t2, Dyn):
+        return
+    if isinstance(t1, TVar):
+        _bind_var(t1, t2)
+        return
+    if isinstance(t2, TVar):
+        _bind_var(t2, t1)
+        return
+    key = (id(t1), id(t2))
+    if key in seen:
+        return  # already unifying this pair: rational-tree cycle
+    seen.add(key)
+    if isinstance(t1, Basic) and isinstance(t2, Basic):
+        if t1.name != t2.name:
+            raise UnifyError(f"type mismatch: {t1} vs {t2}")
+        return
+    if isinstance(t1, ChanType) and isinstance(t2, ChanType):
+        unify_rows(t1.row, t2.row, seen)
+        return
+    raise UnifyError(f"type mismatch: {t1} vs {t2}")
+
+
+def _bind_var(v: TVar, t: Type) -> None:
+    # Lower the level of every variable in t to v's level so that
+    # generalisation never captures a variable from an outer scope.
+    _update_levels(t, v.level, set())
+    v.instance = t
+
+
+def _update_levels(t: Type, level: int, seen: set[int]) -> None:
+    t = prune(t)
+    if id(t) in seen:
+        return
+    seen.add(id(t))
+    if isinstance(t, TVar):
+        t.level = min(t.level, level)
+        return
+    if isinstance(t, ChanType):
+        _update_row_levels(t.row, level, seen)
+
+
+def _update_row_levels(r: Row, level: int, seen: set[int]) -> None:
+    r = prune_row(r)
+    if id(r) in seen:
+        return
+    seen.add(id(r))
+    if isinstance(r, RowVar):
+        r.level = min(r.level, level)
+        return
+    if isinstance(r, RowEntry):
+        for a in r.args:
+            _update_levels(a, level, seen)
+        _update_row_levels(r.rest, level, seen)
+
+
+def unify_rows(r1: Row, r2: Row, _seen: set[tuple[int, int]] | None = None) -> None:
+    """Unify two method rows by rewriting."""
+    seen = set() if _seen is None else _seen
+    r1, r2 = prune_row(r1), prune_row(r2)
+    if r1 is r2:
+        return
+    key = (id(r1), id(r2))
+    if key in seen:
+        return
+    seen.add(key)
+
+    e1, tail1 = row_entries(r1)
+    e2, tail2 = row_entries(r2)
+
+    common = set(e1) & set(e2)
+    only1 = {l: e1[l] for l in e1 if l not in common}
+    only2 = {l: e2[l] for l in e2 if l not in common}
+
+    for l in common:
+        a1, a2 = e1[l], e2[l]
+        if len(a1) != len(a2):
+            raise MethodArityError(
+                f"method {l} used with {len(a1)} and {len(a2)} argument(s)")
+        for x, y in zip(a1, a2):
+            unify(x, y, seen)
+
+    # Entries present on one side only must flow into the other side's
+    # tail variable.
+    if only1 and not isinstance(tail2, RowVar):
+        raise MissingMethodError(
+            f"object type lacks method(s): {', '.join(str(l) for l in only1)}")
+    if only2 and not isinstance(tail1, RowVar):
+        raise MissingMethodError(
+            f"object type lacks method(s): {', '.join(str(l) for l in only2)}")
+
+    if not only1 and not only2:
+        _unify_tails(tail1, tail2)
+        return
+
+    if isinstance(tail1, RowVar) and isinstance(tail2, RowVar):
+        if tail1 is tail2:
+            # Same tail on both sides but different entries: the row
+            # would have to contain itself.
+            raise UnifyError("recursive row: a record cannot extend itself")
+        level = min(tail1.level, tail2.level)
+        fresh = RowVar(level)
+        _bind_row_var(tail1, make_row(only2, fresh))
+        _bind_row_var(tail2, make_row(only1, fresh))
+        return
+    if isinstance(tail1, RowVar):
+        # tail2 closed; only1 is empty (checked above).
+        _bind_row_var(tail1, make_row(only2, RowEmpty()))
+        return
+    if isinstance(tail2, RowVar):
+        _bind_row_var(tail2, make_row(only1, RowEmpty()))
+        return
+    # Both closed with identical label sets: nothing left to do.
+
+
+def _bind_row_var(v: RowVar, r: Row) -> None:
+    _update_row_levels(r, v.level, set())
+    v.instance = r
+
+
+def _unify_tails(tail1: Row, tail2: Row) -> None:
+    tail1, tail2 = prune_row(tail1), prune_row(tail2)
+    if tail1 is tail2:
+        return
+    if isinstance(tail1, RowVar):
+        _bind_row_var(tail1, tail2)
+        return
+    if isinstance(tail2, RowVar):
+        _bind_row_var(tail2, tail1)
+        return
+    # Both RowEmpty.

@@ -1,0 +1,30 @@
+"""The TyCO virtual machine (section 5).
+
+Program area, heap, run-queue, local-variable frames and the builtin
+expression stack; communication (``trmsg``/``trobj``), instantiation
+(``instof``) and the distribution instructions re-implemented for
+DiTyCO are executed here, with network effects delegated to a
+:class:`~repro.vm.machine.RemotePort`.
+"""
+
+from .heap import Heap
+from .machine import (
+    ImportPending,
+    NoPortError,
+    RemotePort,
+    TycoVM,
+    VMRuntimeError,
+    VMStats,
+)
+from .scheduler import RunQueue, Thread
+from .values import (
+    Channel,
+    ClassRef,
+    NetRef,
+    RemoteClassRef,
+    VMValue,
+    is_channel_value,
+    value_repr,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

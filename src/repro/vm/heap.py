@@ -1,0 +1,87 @@
+"""The heap of a TyCO virtual machine.
+
+"a heap area for dynamic data-structures such as names, messages and
+objects" (section 5).  Names are :class:`~repro.vm.values.Channel`
+objects; pending messages and objects live in their channels' wait
+queues, so the heap proper is the channel table plus the id supply
+that export tables and network references key on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from .values import Channel
+
+
+class Heap:
+    """Channel allocator and table for one site."""
+
+    def __init__(self) -> None:
+        self._next_id = 1
+        self._channels: dict[int, Channel] = {}
+
+    def new_channel(self, hint: str = "chan",
+                    builtin: Optional[Callable] = None) -> Channel:
+        """Allocate a fresh channel (optionally with a builtin handler)."""
+        ch = Channel(self._next_id, hint=hint, builtin=builtin)
+        self._channels[ch.heap_id] = ch
+        self._next_id += 1
+        return ch
+
+    def get(self, heap_id: int) -> Channel:
+        """Resolve a heap id (e.g. from an incoming network reference)."""
+        try:
+            return self._channels[heap_id]
+        except KeyError:
+            raise KeyError(f"no channel with heap id {heap_id}") from None
+
+    def __len__(self) -> int:
+        return len(self._channels)
+
+    def __iter__(self) -> Iterator[Channel]:
+        return iter(self._channels.values())
+
+    def live_queues(self) -> int:
+        """Number of channels with non-empty wait queues (diagnostics)."""
+        return sum(1 for ch in self._channels.values() if not ch.is_idle())
+
+    def collect(self, roots, pinned: set[int] = frozenset()) -> int:
+        """Garbage-collect unreachable channels (the heap-level image
+        of the calculus rule GcN: unused restrictions disappear).
+
+        ``roots`` is an iterable of VM values -- thread frames, stacks,
+        captured environments -- from which reachability is traced
+        through channel queues and class environments.  ``pinned``
+        heap ids (exported identifiers: a remote site may still hold a
+        network reference) always survive.  Returns how many channels
+        were reclaimed.
+        """
+        from .values import Channel, ClassRef
+
+        reachable: set[int] = set()
+        seen: set[int] = set()
+        stack = list(roots)
+        while stack:
+            v = stack.pop()
+            vid = id(v)
+            if vid in seen:
+                continue
+            seen.add(vid)
+            if isinstance(v, Channel):
+                if v.heap_id in reachable:
+                    continue
+                reachable.add(v.heap_id)
+                for _label, args in v.messages:
+                    stack.extend(args)
+                for _methods, env in v.objects:
+                    stack.extend(env)
+            elif isinstance(v, ClassRef):
+                stack.extend(v.env)
+            elif isinstance(v, (tuple, list)):
+                stack.extend(v)
+        keep = reachable | set(pinned)
+        dead = [hid for hid in self._channels if hid not in keep]
+        for hid in dead:
+            del self._channels[hid]
+        return len(dead)

@@ -1,0 +1,50 @@
+"""The run-queue of a TyCO virtual machine.
+
+"a runqueue to keep runnable byte-code blocks and their corresponding
+environment bindings" (section 5).  A runnable item is a
+:class:`Thread`: a block id, the frame (environment + parameters +
+locals), a program counter and an expression stack.  Threads are tiny
+-- "typically a few tens of byte-code instructions per thread" -- and
+the scheduler switches between them at every HALT, which is what hides
+remote-operation latency (section 5, 'Re-implementation of
+Instructions for Instantiation').
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class Thread:
+    """One runnable byte-code block with its bindings."""
+
+    block_id: int
+    frame: list
+    pc: int = 0
+    stack: list = field(default_factory=list)
+
+
+class RunQueue:
+    """FIFO scheduler with context-switch accounting."""
+
+    def __init__(self) -> None:
+        self._queue: deque[Thread] = deque()
+        self.context_switches = 0
+        self.max_depth = 0
+
+    def push(self, thread: Thread) -> None:
+        self._queue.append(thread)
+        if len(self._queue) > self.max_depth:
+            self.max_depth = len(self._queue)
+
+    def pop(self) -> Thread:
+        self.context_switches += 1
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)

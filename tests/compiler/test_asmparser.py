@@ -1,0 +1,159 @@
+"""Round-trip tests: disassemble -> parse_assembly -> same program."""
+
+import pytest
+
+from repro.compiler import (
+    AsmParseError,
+    Op,
+    compile_source,
+    parse_assembly,
+    validate_program,
+)
+from repro.vm import TycoVM
+
+
+SOURCES = [
+    "0",
+    "print![42]",
+    "new x (x![9] | x?(w) = print![w])",
+    "x?{ read(r) = r![1], write(u) = 0 }",
+    "if 1 < 2 then print![1] else print![2]",
+    "def Cell(self, v) = self?{ read(r) = r![v] | Cell[self, v], "
+    "write(u) = Cell[self, u] } in new x Cell[x, 9]",
+    "def Even(n) = Odd[n - 1] and Odd(n) = Even[n - 1] in Even[4]",
+    "export new svc svc?(w) = print![w]",
+    "import Applet from server in Applet[1]",
+    'print!["quoted, with comma", true, 1.5]',
+]
+
+
+def structurally_equal(p1, p2) -> bool:
+    if p1.main != p2.main or p1.externals != p2.externals:
+        return False
+    if len(p1.blocks) != len(p2.blocks):
+        return False
+    for b1, b2 in zip(p1.blocks, p2.blocks):
+        if (b1.instrs, b1.nfree, b1.nparams, b1.frame_size) != \
+           (b2.instrs, b2.nfree, b2.nparams, b2.frame_size):
+            return False
+    for o1, o2 in zip(p1.objects, p2.objects):
+        if o1.methods != o2.methods:
+            return False
+    for g1, g2 in zip(p1.groups, p2.groups):
+        if (g1.clauses, g1.nfree) != (g2.clauses, g2.nfree):
+            return False
+    return True
+
+
+@pytest.mark.parametrize("src", SOURCES)
+def test_round_trip(src):
+    original = compile_source(src)
+    reparsed = parse_assembly(original.disassemble())
+    validate_program(reparsed)
+    assert structurally_equal(original, reparsed)
+
+
+@pytest.mark.parametrize("src", [
+    "print![2 + 3]",
+    "new x (x![9] | x?(w) = print![w])",
+    "def C(n) = if n > 0 then C[n - 1] else print![0] in C[5]",
+])
+def test_reassembled_program_runs_identically(src):
+    original = compile_source(src)
+    reparsed = parse_assembly(original.disassemble())
+
+    def run(prog):
+        vm = TycoVM(prog)
+        vm.boot()
+        vm.run()
+        return vm.output, vm.stats.reductions
+
+    assert run(original) == run(reparsed)
+
+
+class TestHandWritten:
+    def test_minimal_program(self):
+        prog = parse_assembly("""
+        ; main: block 0
+        block 0 (main) [free=0 params=0 frame=1]
+           0  newch 0
+           1  pushl 0
+           2  pushc 5
+           3  trmsg 'val', 1
+           4  halt
+        """)
+        validate_program(prog)
+        vm = TycoVM(prog)
+        vm.boot()
+        vm.run()
+        assert vm.stats.messages_queued == 1
+
+    def test_externals_parsed(self):
+        prog = parse_assembly("""
+        ; externals: print, amb
+        ; main: block 0
+        block 0 (main) [free=2 params=0 frame=2]
+           0  pushl 0
+           1  pushc 7
+           2  trmsg 'val', 1
+           3  halt
+        """)
+        assert prog.externals == ["print", "amb"]
+        vm = TycoVM(prog)
+        vm.boot()
+        vm.run()
+        assert vm.output == [7]
+
+    def test_comments_and_blanks_ignored(self):
+        prog = parse_assembly("""
+        ; a comment
+
+        block 0 (main) [free=0 params=0 frame=0]
+           0  halt
+        """)
+        assert len(prog.blocks) == 1
+
+
+class TestErrors:
+    def test_unknown_opcode(self):
+        with pytest.raises(AsmParseError):
+            parse_assembly("""
+            block 0 (main) [free=0 params=0 frame=0]
+               0  frobnicate
+            """)
+
+    def test_instruction_outside_block(self):
+        with pytest.raises(AsmParseError):
+            parse_assembly("0  halt")
+
+    def test_garbage_line(self):
+        with pytest.raises(AsmParseError):
+            parse_assembly("this is not assembly")
+
+    def test_empty_input(self):
+        with pytest.raises(AsmParseError):
+            parse_assembly("")
+
+    def test_bad_operand(self):
+        with pytest.raises(AsmParseError):
+            parse_assembly("""
+            block 0 (main) [free=0 params=0 frame=1]
+               0  pushc @@@
+            """)
+
+    def test_bad_method_entry(self):
+        with pytest.raises(AsmParseError):
+            parse_assembly("""
+            block 0 (main) [free=0 params=0 frame=0]
+               0  halt
+            object 0 (o): garbage
+            """)
+
+    def test_error_reports_line(self):
+        try:
+            parse_assembly("block 0 (m) [free=0 params=0 frame=0]\n"
+                           "   0  nope")
+        except AsmParseError as exc:
+            assert "line 2" in str(exc)
+        else:  # pragma: no cover
+            pytest.fail("expected AsmParseError")

@@ -1,0 +1,131 @@
+"""Unit tests for code-bundle extraction and dynamic linking."""
+
+import pytest
+
+from repro.compiler import (
+    CodeBundle,
+    LinkError,
+    Op,
+    compile_source,
+    extract_bundle,
+    link_bundle,
+    validate_program,
+)
+
+
+NESTED = """
+def Outer(x) =
+  x?{ go(p) = (p?(q) = (def Inner(y) = q![y] in Inner[1])) }
+in new a Outer[a]
+"""
+
+
+class TestExtraction:
+    def test_object_bundle_contains_method_blocks(self):
+        prog = compile_source("new a x?{ m(p) = p![1], n() = a![2] }")
+        roots = tuple(prog.objects[0].methods.values())
+        bundle = extract_bundle(prog, block_roots=roots)
+        assert len(bundle.blocks) == 2
+        assert bundle.entry_blocks == [0, 1]
+
+    def test_transitive_closure_through_nested_objects(self):
+        prog = compile_source(NESTED)
+        # Extract the *Outer* class group: must pull in the nested
+        # object code and the Inner class group transitively.
+        (outer_gid,) = [i for i, g in enumerate(prog.groups)
+                        if g.clauses[0][0] == "Outer"]
+        bundle = extract_bundle(prog, group_roots=(outer_gid,))
+        assert len(bundle.groups) == 2  # Outer's group + Inner's group
+        assert len(bundle.objects) >= 1
+        assert bundle.entry_groups == [0]
+
+    def test_bundle_ids_are_local(self):
+        prog = compile_source(NESTED)
+        bundle = extract_bundle(prog, group_roots=(0,))
+        nblocks = len(bundle.blocks)
+        for blk in bundle.blocks:
+            for ins in blk.instrs:
+                if ins.op is Op.FORK:
+                    assert 0 <= ins.args[0] < nblocks
+                elif ins.op is Op.TROBJ:
+                    assert 0 <= ins.args[0] < len(bundle.objects)
+                elif ins.op is Op.DEFGROUP:
+                    assert 0 <= ins.args[0] < len(bundle.groups)
+
+    def test_shared_block_extracted_once(self):
+        prog = compile_source("""
+        def Twice(x) = (x![1] | x![2])
+        in new a (Twice[a] | Twice[a])
+        """)
+        bundle = extract_bundle(prog, group_roots=(0,))
+        names = [b.name for b in bundle.blocks]
+        assert len(names) == len(set(names))
+
+    def test_bad_root_rejected(self):
+        prog = compile_source("0")
+        with pytest.raises(LinkError):
+            extract_bundle(prog, block_roots=(99,))
+        with pytest.raises(LinkError):
+            extract_bundle(prog, object_roots=(0,))
+        with pytest.raises(LinkError):
+            extract_bundle(prog, group_roots=(5,))
+
+    def test_code_size_metric(self):
+        prog = compile_source(NESTED)
+        bundle = extract_bundle(prog, group_roots=(0,))
+        assert bundle.code_size() >= bundle.instruction_count()
+
+
+class TestLinking:
+    def test_link_appends_and_remaps(self):
+        src_prog = compile_source(NESTED)
+        bundle = extract_bundle(src_prog, group_roots=(0,))
+
+        dst_prog = compile_source("print![0]")
+        before_blocks = len(dst_prog.blocks)
+        result = link_bundle(dst_prog, bundle)
+        assert len(dst_prog.blocks) == before_blocks + len(bundle.blocks)
+        validate_program(dst_prog)
+        # Entry group resolvable through the map.
+        linked_group = result.group_map[bundle.entry_groups[0]]
+        assert 0 <= linked_group < len(dst_prog.groups)
+
+    def test_linked_code_runs(self):
+        """Extract an object's code, link it into a fresh program, and
+        fire it by hand -- the migration path minus the network."""
+        from repro.vm import TycoVM
+
+        src_prog = compile_source("new a x?(w) = a![w]")
+        roots = tuple(src_prog.objects[0].methods.values())
+        bundle = extract_bundle(src_prog, block_roots=roots)
+
+        dst_prog = compile_source("0")
+        result = link_bundle(dst_prog, bundle)
+        vm = TycoVM(dst_prog)
+        vm.boot()
+        vm.run()
+        # Fire the linked method body directly.
+        a = vm.heap.new_channel(hint="a")
+        block_id = result.block_map[bundle.entry_blocks[0]]
+        vm.spawn(block_id, (a,), (42,))
+        vm.run()
+        assert a.messages == [("val", (42,))]
+
+    def test_double_link_no_interference(self):
+        src_prog = compile_source(NESTED)
+        bundle = extract_bundle(src_prog, group_roots=(0,))
+        dst_prog = compile_source("0")
+        r1 = link_bundle(dst_prog, bundle)
+        r2 = link_bundle(dst_prog, bundle)
+        validate_program(dst_prog)
+        assert set(r1.block_map.values()).isdisjoint(r2.block_map.values())
+
+    def test_wire_round_trip_then_link(self):
+        from repro.runtime.wire import decode, encode
+
+        src_prog = compile_source(NESTED)
+        bundle = extract_bundle(src_prog, group_roots=(0,))
+        shipped = decode(encode(bundle))
+        dst_prog = compile_source("0")
+        link_bundle(dst_prog, shipped)
+        validate_program(dst_prog)

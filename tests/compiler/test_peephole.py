@@ -1,0 +1,173 @@
+"""Unit tests for the peephole optimiser."""
+
+import pytest
+
+from repro.compiler import (
+    CodeBlock,
+    Instr,
+    Op,
+    compile_source,
+    eliminate_dead_code,
+    fold_constants,
+    optimize_block,
+    optimize_program,
+    simplify_branches,
+    validate_program,
+)
+
+
+def block(*instrs, nfree=0, nparams=0, frame=4):
+    return CodeBlock(instrs=tuple(instrs), nfree=nfree, nparams=nparams,
+                     frame_size=frame, name="t")
+
+
+def ops(b):
+    return [i.op for i in b.instrs]
+
+
+class TestConstantFolding:
+    def test_add_folds(self):
+        b = block(Instr(Op.PUSHC, (2,)), Instr(Op.PUSHC, (3,)),
+                  Instr(Op.ADD), Instr(Op.HALT))
+        out = fold_constants(b)
+        assert ops(out) == [Op.PUSHC, Op.HALT]
+        assert out.instrs[0].args == (5,)
+
+    def test_nested_folds_to_fixed_point(self):
+        # (1+2)*4 => 12
+        b = block(Instr(Op.PUSHC, (1,)), Instr(Op.PUSHC, (2,)),
+                  Instr(Op.ADD), Instr(Op.PUSHC, (4,)),
+                  Instr(Op.MUL), Instr(Op.HALT))
+        out = fold_constants(b)
+        assert ops(out) == [Op.PUSHC, Op.HALT]
+        assert out.instrs[0].args == (12,)
+
+    def test_division_by_zero_not_folded(self):
+        b = block(Instr(Op.PUSHC, (1,)), Instr(Op.PUSHC, (0,)),
+                  Instr(Op.DIV), Instr(Op.HALT))
+        out = fold_constants(b)
+        assert Op.DIV in ops(out)  # the dynamic error must survive
+
+    def test_bool_arith_not_folded(self):
+        b = block(Instr(Op.PUSHC, (True,)), Instr(Op.PUSHC, (1,)),
+                  Instr(Op.ADD), Instr(Op.HALT))
+        assert Op.ADD in ops(fold_constants(b))
+
+    def test_string_concat_folds(self):
+        b = block(Instr(Op.PUSHC, ("a",)), Instr(Op.PUSHC, ("b",)),
+                  Instr(Op.ADD), Instr(Op.HALT))
+        out = fold_constants(b)
+        assert out.instrs[0].args == ("ab",)
+
+    def test_comparison_folds_to_bool(self):
+        b = block(Instr(Op.PUSHC, (1,)), Instr(Op.PUSHC, (2,)),
+                  Instr(Op.LT), Instr(Op.HALT))
+        out = fold_constants(b)
+        assert out.instrs[0].args == (True,)
+
+    def test_eq_bool_vs_int_folds_false(self):
+        b = block(Instr(Op.PUSHC, (1,)), Instr(Op.PUSHC, (True,)),
+                  Instr(Op.EQ), Instr(Op.HALT))
+        out = fold_constants(b)
+        assert out.instrs[0].args == (False,)
+
+    def test_not_folds(self):
+        b = block(Instr(Op.PUSHC, (True,)), Instr(Op.BNOT), Instr(Op.HALT))
+        out = fold_constants(b)
+        assert out.instrs[0].args == (False,)
+
+    def test_neg_folds(self):
+        b = block(Instr(Op.PUSHC, (5,)), Instr(Op.NEG), Instr(Op.HALT))
+        out = fold_constants(b)
+        assert out.instrs[0].args == (-5,)
+
+    def test_jump_targets_remapped(self):
+        # fold shrinks the prefix; the JMPF target must still point at
+        # the same logical instruction.
+        b = block(
+            Instr(Op.PUSHC, (1,)), Instr(Op.PUSHC, (1,)), Instr(Op.EQ),
+            Instr(Op.JMPF, (6,)),
+            Instr(Op.PUSHC, (10,)), Instr(Op.PRINT, (1,)),
+            Instr(Op.HALT),
+        )
+        out = fold_constants(b)
+        jmpf = [i for i in out.instrs if i.op is Op.JMPF][0]
+        assert out.instrs[jmpf.args[0]].op is Op.HALT
+
+    def test_non_literal_untouched(self):
+        b = block(Instr(Op.PUSHL, (0,)), Instr(Op.PUSHC, (1,)),
+                  Instr(Op.ADD), Instr(Op.HALT))
+        assert ops(fold_constants(b)) == ops(b)
+
+
+class TestBranchSimplification:
+    def test_true_branch_falls_through(self):
+        b = block(Instr(Op.PUSHC, (True,)), Instr(Op.JMPF, (3,)),
+                  Instr(Op.HALT), Instr(Op.HALT))
+        out = simplify_branches(b)
+        assert Op.JMPF not in ops(out)
+
+    def test_false_branch_becomes_jmp(self):
+        b = block(Instr(Op.PUSHC, (False,)), Instr(Op.JMPF, (3,)),
+                  Instr(Op.HALT), Instr(Op.HALT))
+        out = simplify_branches(b)
+        assert ops(out)[0] is Op.JMP
+
+    def test_non_literal_condition_kept(self):
+        b = block(Instr(Op.PUSHL, (0,)), Instr(Op.JMPF, (3,)),
+                  Instr(Op.HALT), Instr(Op.HALT))
+        assert Op.JMPF in ops(simplify_branches(b))
+
+
+class TestDeadCode:
+    def test_unreachable_after_jmp_removed(self):
+        b = block(Instr(Op.JMP, (3,)),
+                  Instr(Op.PUSHC, (1,)), Instr(Op.PRINT, (1,)),
+                  Instr(Op.HALT))
+        out = eliminate_dead_code(b)
+        assert Op.PRINT not in ops(out)
+
+    def test_unreachable_after_halt_removed(self):
+        b = block(Instr(Op.HALT), Instr(Op.PUSHC, (1,)), Instr(Op.POP))
+        out = eliminate_dead_code(b)
+        assert ops(out) == [Op.HALT]
+
+    def test_both_branches_kept(self):
+        b = block(Instr(Op.PUSHL, (0,)), Instr(Op.JMPF, (4,)),
+                  Instr(Op.PUSHC, (1,)), Instr(Op.JMP, (5,)),
+                  Instr(Op.PUSHC, (2,)),
+                  Instr(Op.PRINT, (1,)), Instr(Op.HALT))
+        out = eliminate_dead_code(b)
+        assert ops(out) == ops(b)
+
+
+class TestWholeProgram:
+    @pytest.mark.parametrize("src", [
+        "print![1 + 2 * 3]",
+        "if 1 < 2 then print![1] else print![2]",
+        "if not (1 == 1) then print![1] else print![2]",
+        "def C(n) = if n > 0 then C[n - 1] else print![n] in C[3]",
+        'print!["a" + "b", 4 % 3]',
+    ])
+    def test_optimized_programs_valid_and_equivalent(self, src):
+        from repro.vm import TycoVM
+
+        plain = compile_source(src)
+        optimized = compile_source(src)
+        optimize_program(optimized)
+        validate_program(optimized)
+
+        def run(prog):
+            vm = TycoVM(prog)
+            vm.boot()
+            vm.run()
+            return vm.output
+
+        assert run(plain) == run(optimized)
+
+    def test_optimizer_idempotent(self):
+        prog = compile_source("if 1 < 2 then print![1 + 1] else print![9]")
+        optimize_program(prog)
+        snapshot = [b.instrs for b in prog.blocks]
+        optimize_program(prog)
+        assert [b.instrs for b in prog.blocks] == snapshot

@@ -1,0 +1,159 @@
+"""Unit tests for alpha-equivalence and congruence (repro.core.congruence)."""
+
+from repro.core import (
+    BinOp,
+    ClassVar,
+    Def,
+    Definitions,
+    If,
+    Instance,
+    Label,
+    Lit,
+    LocatedName,
+    Method,
+    Name,
+    New,
+    Nil,
+    Object,
+    Par,
+    Site,
+    alpha_equal,
+    congruent,
+    msg,
+    normalize_par,
+    par,
+    val_msg,
+    val_obj,
+)
+
+
+class TestAlphaEqual:
+    def test_nil(self):
+        assert alpha_equal(Nil(), Nil())
+
+    def test_renamed_binder(self):
+        x, y = Name("x"), Name("y")
+        p = New((x,), val_msg(x))
+        q = New((y,), val_msg(y))
+        assert alpha_equal(p, q)
+
+    def test_free_names_must_match(self):
+        x, y = Name("x"), Name("y")
+        assert not alpha_equal(val_msg(x), val_msg(y))
+
+    def test_same_free_name(self):
+        x = Name("x")
+        assert alpha_equal(val_msg(x, Lit(1)), val_msg(x, Lit(1)))
+
+    def test_label_mismatch(self):
+        x = Name("x")
+        assert not alpha_equal(msg(x, "a"), msg(x, "b"))
+
+    def test_object_method_params_alpha(self):
+        x, y, z = Name("x"), Name("y"), Name("z")
+        p = val_obj(x, (y,), val_msg(y))
+        q = val_obj(x, (z,), val_msg(z))
+        assert alpha_equal(p, q)
+
+    def test_object_method_set_mismatch(self):
+        x = Name("x")
+        p = Object(x, {Label("a"): Method((), Nil())})
+        q = Object(x, {Label("b"): Method((), Nil())})
+        assert not alpha_equal(p, q)
+
+    def test_def_alpha(self):
+        X, Y = ClassVar("X"), ClassVar("Y")
+        a, b = Name("a"), Name("b")
+        p = Def(Definitions({X: Method((a,), Instance(X, (a,)))}), Instance(X, (Lit(1),)))
+        q = Def(Definitions({Y: Method((b,), Instance(Y, (b,)))}), Instance(Y, (Lit(1),)))
+        assert alpha_equal(p, q)
+
+    def test_def_body_mismatch(self):
+        X, Y = ClassVar("X"), ClassVar("Y")
+        p = Def(Definitions({X: Method((), Nil())}), Instance(X, ()))
+        q = Def(Definitions({Y: Method((), Nil())}), Nil())
+        assert not alpha_equal(p, q)
+
+    def test_located_names_structural(self):
+        s = Site("s")
+        x = Name("x")
+        assert alpha_equal(val_msg(LocatedName(s, x)), val_msg(LocatedName(s, x)))
+        assert not alpha_equal(
+            val_msg(LocatedName(s, x)), val_msg(LocatedName(Site("r"), x))
+        )
+
+    def test_expression_args(self):
+        x, n = Name("x"), Name("n")
+        p = val_msg(x, BinOp("+", n, Lit(1)))
+        q = val_msg(x, BinOp("+", n, Lit(1)))
+        r = val_msg(x, BinOp("+", n, Lit(2)))
+        assert alpha_equal(p, q)
+        assert not alpha_equal(p, r)
+
+    def test_if_alpha(self):
+        c = Name("c")
+        assert alpha_equal(If(c, Nil(), Nil()), If(c, Nil(), Nil()))
+        assert not alpha_equal(If(c, Nil(), Nil()), If(c, val_msg(c), Nil()))
+
+    def test_different_constructors(self):
+        x = Name("x")
+        assert not alpha_equal(Nil(), val_msg(x))
+
+    def test_arity_mismatch_in_new(self):
+        x, y, z = Name("x"), Name("y"), Name("z")
+        assert not alpha_equal(New((x,), Nil()), New((y, z), Nil()))
+
+
+class TestNormalizePar:
+    def test_drops_nil(self):
+        x = Name("x")
+        p = Par(Nil(), Par(val_msg(x), Nil()))
+        n = normalize_par(p)
+        assert alpha_equal(n, val_msg(x))
+
+    def test_all_nil_is_nil(self):
+        assert isinstance(normalize_par(Par(Nil(), Nil())), Nil)
+
+    def test_normalizes_inside_new(self):
+        x = Name("x")
+        p = New((x,), Par(Nil(), val_msg(x)))
+        n = normalize_par(p)
+        assert isinstance(n, New)
+        assert alpha_equal(n.body, val_msg(x))
+
+    def test_normalizes_inside_methods(self):
+        x, y = Name("x"), Name("y")
+        p = val_obj(x, (y,), Par(Nil(), val_msg(y)))
+        n = normalize_par(p)
+        assert isinstance(n, Object)
+        (meth,) = n.methods.values()
+        assert not isinstance(meth.body, Par)
+
+
+class TestCongruent:
+    def test_commutativity(self):
+        a, b = val_msg(Name("a")), val_msg(Name("b"))
+        assert congruent(Par(a, b), Par(b, a))
+
+    def test_associativity(self):
+        a, b, c = (val_msg(Name(h)) for h in "abc")
+        assert congruent(Par(Par(a, b), c), Par(a, Par(b, c)))
+
+    def test_nil_unit(self):
+        a = val_msg(Name("a"))
+        assert congruent(Par(a, Nil()), a)
+
+    def test_different_multisets(self):
+        a, b = val_msg(Name("a")), val_msg(Name("b"))
+        assert not congruent(Par(a, a), Par(a, b))
+
+    def test_different_multiplicity(self):
+        a = val_msg(Name("a"))
+        assert not congruent(Par(a, a), a)
+
+    def test_alpha_inside_congruence(self):
+        x, y = Name("x"), Name("y")
+        a = New((x,), val_msg(x))
+        b = New((y,), val_msg(y))
+        other = val_msg(Name("o"))
+        assert congruent(Par(a, other), Par(other, b))

@@ -1,0 +1,141 @@
+"""Unit tests for builtin-expression evaluation (repro.core.evalexpr)."""
+
+import pytest
+
+from repro.core import BinOp, EvalError, Lit, LocatedName, Name, Site, UnOp, evaluate, truth
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert evaluate(BinOp("+", Lit(2), Lit(3))) == Lit(5)
+
+    def test_sub_mul(self):
+        assert evaluate(BinOp("-", Lit(10), Lit(4))) == Lit(6)
+        assert evaluate(BinOp("*", Lit(6), Lit(7))) == Lit(42)
+
+    def test_int_division_is_floor(self):
+        assert evaluate(BinOp("/", Lit(7), Lit(2))) == Lit(3)
+
+    def test_float_division(self):
+        assert evaluate(BinOp("/", Lit(7.0), Lit(2.0))) == Lit(3.5)
+
+    def test_mod(self):
+        assert evaluate(BinOp("%", Lit(7), Lit(3))) == Lit(1)
+
+    def test_division_by_zero(self):
+        with pytest.raises(EvalError):
+            evaluate(BinOp("/", Lit(1), Lit(0)))
+
+    def test_nested(self):
+        e = BinOp("+", BinOp("*", Lit(2), Lit(3)), Lit(1))
+        assert evaluate(e) == Lit(7)
+
+    def test_string_concat(self):
+        assert evaluate(BinOp("+", Lit("ab"), Lit("cd"))) == Lit("abcd")
+
+    def test_string_sub_rejected(self):
+        with pytest.raises(EvalError):
+            evaluate(BinOp("-", Lit("ab"), Lit("cd")))
+
+    def test_mixed_str_number_rejected(self):
+        with pytest.raises(EvalError):
+            evaluate(BinOp("+", Lit("a"), Lit(1)))
+
+    def test_bool_arith_rejected(self):
+        with pytest.raises(EvalError):
+            evaluate(BinOp("+", Lit(True), Lit(1)))
+
+    def test_arith_on_name_rejected(self):
+        with pytest.raises(EvalError):
+            evaluate(BinOp("+", Name("x"), Lit(1)))
+
+
+class TestComparison:
+    def test_lt(self):
+        assert evaluate(BinOp("<", Lit(1), Lit(2))) == Lit(True)
+        assert evaluate(BinOp("<", Lit(2), Lit(2))) == Lit(False)
+
+    def test_le_ge_gt(self):
+        assert evaluate(BinOp("<=", Lit(2), Lit(2))) == Lit(True)
+        assert evaluate(BinOp(">=", Lit(2), Lit(3))) == Lit(False)
+        assert evaluate(BinOp(">", Lit(3), Lit(2))) == Lit(True)
+
+    def test_string_comparison(self):
+        assert evaluate(BinOp("<", Lit("a"), Lit("b"))) == Lit(True)
+
+
+class TestEquality:
+    def test_literal_equality(self):
+        assert evaluate(BinOp("==", Lit(1), Lit(1))) == Lit(True)
+        assert evaluate(BinOp("!=", Lit(1), Lit(2))) == Lit(True)
+
+    def test_bool_int_not_equal(self):
+        # 1 == true must be false, not Python's truthy coercion.
+        assert evaluate(BinOp("==", Lit(1), Lit(True))) == Lit(False)
+
+    def test_name_equality_by_identity(self):
+        x = Name("x")
+        assert evaluate(BinOp("==", x, x)) == Lit(True)
+        assert evaluate(BinOp("==", x, Name("x"))) == Lit(False)
+
+    def test_located_name_equality(self):
+        s = Site("s")
+        x = Name("x")
+        assert evaluate(BinOp("==", LocatedName(s, x), LocatedName(s, x))) == Lit(True)
+        assert evaluate(
+            BinOp("==", LocatedName(s, x), LocatedName(Site("r"), x))
+        ) == Lit(False)
+
+    def test_name_vs_literal(self):
+        assert evaluate(BinOp("==", Name("x"), Lit(1))) == Lit(False)
+
+
+class TestBoolOps:
+    def test_and_or(self):
+        assert evaluate(BinOp("and", Lit(True), Lit(False))) == Lit(False)
+        assert evaluate(BinOp("or", Lit(True), Lit(False))) == Lit(True)
+
+    def test_not(self):
+        assert evaluate(UnOp("not", Lit(False))) == Lit(True)
+
+    def test_not_requires_bool(self):
+        with pytest.raises(EvalError):
+            evaluate(UnOp("not", Lit(1)))
+
+    def test_and_requires_bools(self):
+        with pytest.raises(EvalError):
+            evaluate(BinOp("and", Lit(1), Lit(True)))
+
+
+class TestUnaryMinus:
+    def test_negate(self):
+        assert evaluate(UnOp("-", Lit(5))) == Lit(-5)
+
+    def test_negate_bool_rejected(self):
+        with pytest.raises(EvalError):
+            evaluate(UnOp("-", Lit(True)))
+
+
+class TestValuesPassThrough:
+    def test_name_is_value(self):
+        x = Name("x")
+        assert evaluate(x) is x
+
+    def test_located_is_value(self):
+        ln = LocatedName(Site("s"), Name("x"))
+        assert evaluate(ln) == ln
+
+    def test_lit_is_value(self):
+        assert evaluate(Lit("hello")) == Lit("hello")
+
+
+class TestTruth:
+    def test_truth_of_bools(self):
+        assert truth(Lit(True)) is True
+        assert truth(Lit(False)) is False
+
+    def test_truth_requires_bool(self):
+        with pytest.raises(EvalError):
+            truth(Lit(1))
+        with pytest.raises(EvalError):
+            truth(Name("x"))

@@ -1,0 +1,80 @@
+"""Edge-case tests for expression evaluation: float/int mixing, deep
+nesting, and the engine-vs-VM agreement on arithmetic corner cases."""
+
+import pytest
+
+from repro.core import BinOp, EvalError, Lit, UnOp, evaluate
+from repro.compiler import compile_source
+from repro.vm import TycoVM, VMRuntimeError
+
+
+class TestFloatSemantics:
+    def test_mixed_int_float_arithmetic(self):
+        assert evaluate(BinOp("+", Lit(1), Lit(2.5))) == Lit(3.5)
+        assert evaluate(BinOp("*", Lit(2), Lit(0.5))) == Lit(1.0)
+
+    def test_mixed_division_is_true_division(self):
+        assert evaluate(BinOp("/", Lit(7), Lit(2.0))) == Lit(3.5)
+        assert evaluate(BinOp("/", Lit(7.0), Lit(2))) == Lit(3.5)
+
+    def test_float_modulo(self):
+        assert evaluate(BinOp("%", Lit(7.5), Lit(2.0))) == Lit(1.5)
+
+    def test_float_division_by_zero(self):
+        with pytest.raises(EvalError):
+            evaluate(BinOp("/", Lit(1.0), Lit(0.0)))
+
+    def test_modulo_by_zero_is_eval_error(self):
+        with pytest.raises(EvalError):
+            evaluate(BinOp("%", Lit(7), Lit(0)))
+        with pytest.raises(EvalError):
+            evaluate(BinOp("%", Lit(7.0), Lit(0.0)))
+
+    def test_negative_floor_division(self):
+        # Python floor semantics, pinned.
+        assert evaluate(BinOp("/", Lit(-7), Lit(2))) == Lit(-4)
+
+    def test_comparison_across_int_float(self):
+        assert evaluate(BinOp("<", Lit(1), Lit(1.5))) == Lit(True)
+
+
+class TestDeepExpressions:
+    def test_deeply_nested_evaluates(self):
+        e = Lit(0)
+        for i in range(200):
+            e = BinOp("+", e, Lit(1))
+        assert evaluate(e) == Lit(200)
+
+    def test_deep_unary_chain(self):
+        e = Lit(5)
+        for _ in range(50):
+            e = UnOp("-", e)
+        assert evaluate(e) == Lit(5)
+
+
+class TestVMAgreement:
+    """The VM's builtin operators must agree with the calculus
+    evaluator on every corner case above."""
+
+    @pytest.mark.parametrize("src,expected", [
+        ("print![1 + 2.5]", 3.5),
+        ("print![7 / 2]", 3),
+        ("print![-7 / 2]", -4),
+        ("print![7.0 / 2]", 3.5),
+        ("print![7.5 % 2.0]", 1.5),
+        ('print!["a" < "b"]', True),
+        ("print![1 < 1.5]", True),
+        ("print![0 - 5]", -5),
+    ])
+    def test_vm_matches(self, src, expected):
+        vm = TycoVM(compile_source(src))
+        vm.boot()
+        vm.run()
+        assert vm.output == [expected]
+
+    def test_vm_float_division_by_zero_faults(self):
+        vm = TycoVM(compile_source(
+            "new x (x![0.0] | x?(d) = print![1.0 / d])"))
+        vm.boot()
+        with pytest.raises(VMRuntimeError):
+            vm.run()

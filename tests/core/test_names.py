@@ -1,0 +1,121 @@
+"""Unit tests for identifier classes (repro.core.names)."""
+
+from repro.core import (
+    VAL,
+    ClassVar,
+    Label,
+    LocatedClassVar,
+    LocatedName,
+    Name,
+    Site,
+    located,
+)
+
+
+class TestName:
+    def test_identity_not_hint(self):
+        a = Name("x")
+        b = Name("x")
+        assert a is not b
+        assert a != b or a is b  # equality is identity
+        assert hash(a) != hash(b) or a is not b
+
+    def test_fresh_keeps_hint(self):
+        a = Name("reply")
+        b = a.fresh()
+        assert b.hint == "reply"
+        assert b is not a
+        assert b.serial != a.serial
+
+    def test_str_contains_hint_and_serial(self):
+        a = Name("x")
+        s = str(a)
+        assert "x" in s and str(a.serial) in s
+
+    def test_usable_as_dict_key(self):
+        a, b = Name("x"), Name("x")
+        d = {a: 1, b: 2}
+        assert d[a] == 1 and d[b] == 2
+
+
+class TestClassVar:
+    def test_identity(self):
+        x = ClassVar("Cell")
+        y = ClassVar("Cell")
+        assert x is not y
+
+    def test_fresh(self):
+        x = ClassVar("Cell")
+        y = x.fresh()
+        assert y.hint == "Cell" and y is not x
+
+
+class TestLabel:
+    def test_structural_equality(self):
+        assert Label("read") == Label("read")
+        assert Label("read") != Label("write")
+
+    def test_val_label(self):
+        assert VAL == Label("val")
+
+    def test_hashable(self):
+        assert len({Label("a"), Label("a"), Label("b")}) == 2
+
+
+class TestSite:
+    def test_structural_equality(self):
+        assert Site("server") == Site("server")
+        assert Site("server") != Site("client")
+
+    def test_str(self):
+        assert str(Site("seti")) == "seti"
+
+
+class TestLocated:
+    def test_located_name_equality(self):
+        s = Site("s")
+        x = Name("x")
+        assert LocatedName(s, x) == LocatedName(Site("s"), x)
+        assert LocatedName(s, x) != LocatedName(Site("r"), x)
+        assert LocatedName(s, x) != LocatedName(s, Name("x"))
+
+    def test_located_str(self):
+        s = Site("server")
+        x = Name("p")
+        assert str(LocatedName(s, x)).startswith("server.p")
+
+    def test_located_helper_dispatch(self):
+        s = Site("s")
+        assert isinstance(located(s, Name("x")), LocatedName)
+        assert isinstance(located(s, ClassVar("X")), LocatedClassVar)
+
+    def test_located_helper_rejects_other(self):
+        import pytest
+
+        with pytest.raises(TypeError):
+            located(Site("s"), "x")  # type: ignore[arg-type]
+
+
+class TestSerialSupply:
+    def test_monotonic(self):
+        serials = [Name("n").serial for _ in range(100)]
+        assert serials == sorted(serials)
+        assert len(set(serials)) == 100
+
+    def test_thread_safety(self):
+        import threading
+
+        out: list[int] = []
+        lock = threading.Lock()
+
+        def mint():
+            local = [Name("t").serial for _ in range(200)]
+            with lock:
+                out.extend(local)
+
+        threads = [threading.Thread(target=mint) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(out)) == len(out) == 1600

@@ -1,0 +1,184 @@
+"""Unit tests for network syntax and export/import elaboration (section 4)."""
+
+import pytest
+
+from repro.core import (
+    ClassVar,
+    Def,
+    Definitions,
+    ExportDef,
+    ExportNew,
+    ImportClass,
+    ImportName,
+    Instance,
+    Label,
+    Lit,
+    LocatedClassVar,
+    LocatedName,
+    LocatedProcess,
+    Message,
+    Method,
+    Name,
+    NetDef,
+    NetNew,
+    NetNil,
+    NetPar,
+    New,
+    Nil,
+    Par,
+    Site,
+    UnresolvedImportError,
+    elaborate_network,
+    elaborate_site_program,
+    flatten_network,
+    net_par,
+    single_def,
+    val_msg,
+)
+
+SERVER, CLIENT = Site("server"), Site("client")
+
+
+class TestNetworkSyntax:
+    def test_net_par_empty(self):
+        assert isinstance(net_par(), NetNil)
+
+    def test_net_par_single(self):
+        lp = LocatedProcess(SERVER, Nil())
+        assert net_par(lp) is lp
+
+    def test_flatten_network(self):
+        x = Name("x")
+        X = ClassVar("X")
+        d = Definitions({X: Method((), Nil())})
+        n = NetDef(
+            SERVER,
+            d,
+            NetNew(
+                LocatedName(SERVER, x),
+                NetPar(
+                    LocatedProcess(SERVER, val_msg(x, Lit(1))),
+                    LocatedProcess(CLIENT, Nil()),
+                ),
+            ),
+        )
+        defs, names, procs = flatten_network(n)
+        assert defs == [(SERVER, d)]
+        assert names == [LocatedName(SERVER, x)]
+        assert [p.site for p in procs] == [SERVER, CLIENT]
+
+    def test_str_forms(self):
+        lp = LocatedProcess(SERVER, Nil())
+        assert str(lp) == "server[0]"
+        assert "||" in str(NetPar(lp, lp))
+
+
+class TestExportNew:
+    def test_records_interface(self):
+        x = Name("appletserver")
+        prog = ExportNew((x,), val_msg(x, Lit(1)))
+        proc, iface = elaborate_site_program(SERVER, prog)
+        assert iface.names == {"appletserver": x}
+        assert isinstance(proc, Message)
+
+    def test_nested_under_new(self):
+        db = Name("database")
+        x = Name("install")
+        prog = New((db,), ExportNew((x,), Nil()))
+        proc, iface = elaborate_site_program(Site("seti"), prog)
+        assert "install" in iface.names
+        assert isinstance(proc, New)
+
+
+class TestExportDef:
+    def test_records_classes_and_keeps_def(self):
+        X = ClassVar("Applet")
+        d = Definitions({X: Method((Name("x"),), Nil())})
+        prog = ExportDef(d, Nil())
+        proc, iface = elaborate_site_program(SERVER, prog)
+        assert "Applet" in iface.classes
+        assert isinstance(proc, Def)
+        assert proc.definitions is d
+
+
+class TestImportName:
+    def test_substitutes_located_name(self):
+        placeholder = Name("appletserver")
+        exported = Name("appletserver")
+        exports = {SERVER: _iface(names={"appletserver": exported})}
+        prog = ImportName(placeholder, SERVER, val_msg(placeholder, Lit(1)))
+        proc, _ = elaborate_site_program(CLIENT, prog, exports_of=exports)
+        assert isinstance(proc, Message)
+        assert proc.subject == LocatedName(SERVER, exported)
+
+    def test_unresolved_raises(self):
+        prog = ImportName(Name("nope"), SERVER, Nil())
+        with pytest.raises(UnresolvedImportError):
+            elaborate_site_program(CLIENT, prog, exports_of={SERVER: _iface()})
+
+    def test_unknown_site_raises(self):
+        prog = ImportName(Name("x"), Site("ghost"), Nil())
+        with pytest.raises(UnresolvedImportError):
+            elaborate_site_program(CLIENT, prog, exports_of={})
+
+    def test_without_exports_keeps_placeholder_identity(self):
+        placeholder = Name("svc")
+        prog = ImportName(placeholder, SERVER, val_msg(placeholder))
+        proc, _ = elaborate_site_program(CLIENT, prog, exports_of=None)
+        assert isinstance(proc, Message)
+        assert proc.subject == LocatedName(SERVER, placeholder)
+
+
+class TestImportClass:
+    def test_substitutes_located_classvar(self):
+        ph = ClassVar("Applet")
+        exported = ClassVar("Applet")
+        d = Definitions({exported: Method((), Nil())})
+        exports = {SERVER: _iface(classes={"Applet": (exported, d)})}
+        prog = ImportClass(ph, SERVER, Instance(ph, (Lit(1),)))
+        proc, _ = elaborate_site_program(CLIENT, prog, exports_of=exports)
+        assert isinstance(proc, Instance)
+        assert proc.classref == LocatedClassVar(SERVER, exported)
+
+    def test_unresolved_class(self):
+        prog = ImportClass(ClassVar("Nope"), SERVER, Nil())
+        with pytest.raises(UnresolvedImportError):
+            elaborate_site_program(CLIENT, prog, exports_of={SERVER: _iface()})
+
+
+class TestElaborateNetwork:
+    def test_two_phase_resolution(self):
+        # The applet-server program of section 4, fetch variant.
+        Applet = ClassVar("Applet")
+        x = Name("x")
+        server_prog = ExportDef(
+            Definitions({Applet: Method((x,), val_msg(x, Lit(1)))}),
+            Nil(),
+        )
+        ph = ClassVar("Applet")
+        v = Name("v")
+        client_prog = ImportClass(ph, SERVER, New((v,), Instance(ph, (v,))))
+        procs, exports = elaborate_network({SERVER: server_prog, CLIENT: client_prog})
+        assert "Applet" in exports[SERVER].classes
+        client = procs[CLIENT]
+        assert isinstance(client, New)
+        inst = client.body
+        assert isinstance(inst, Instance)
+        assert inst.classref == LocatedClassVar(SERVER, Applet)
+
+    def test_import_order_does_not_matter(self):
+        # Client listed before server: two-phase elaboration still resolves.
+        exported = Name("svc")
+        server_prog = ExportNew((exported,), Nil())
+        ph = Name("svc")
+        client_prog = ImportName(ph, SERVER, val_msg(ph))
+        procs, _ = elaborate_network({CLIENT: client_prog, SERVER: server_prog})
+        m = procs[CLIENT]
+        assert isinstance(m, Message)
+        assert m.subject == LocatedName(SERVER, exported)
+
+
+def _iface(names=None, classes=None):
+    from repro.core import ExportedInterface
+
+    return ExportedInterface(names=names or {}, classes=classes or {})

@@ -1,0 +1,171 @@
+"""Tests for the section-3 structural-congruence rules on networks:
+Nil, Split, GcN, GcD, and the monoid laws of ||."""
+
+from repro.core import (
+    ClassVar,
+    Definitions,
+    Instance,
+    LocatedName,
+    LocatedProcess,
+    Method,
+    Name,
+    NetDef,
+    NetNew,
+    NetNil,
+    NetPar,
+    Nil,
+    Par,
+    Site,
+    flatten_network,
+    msg,
+    net_par,
+    networks_congruent,
+    normalize_network,
+    val_msg,
+)
+
+R, S = Site("r"), Site("s")
+
+
+class TestRuleNil:
+    def test_terminated_located_process_collected(self):
+        n = NetPar(LocatedProcess(S, Nil()),
+                   LocatedProcess(R, val_msg(Name("x"))))
+        norm = normalize_network(n)
+        _, _, procs = flatten_network(norm)
+        assert [p.site for p in procs] == [R]
+
+    def test_all_nil_is_empty_network(self):
+        n = NetPar(LocatedProcess(S, Nil()), LocatedProcess(R, Nil()))
+        assert isinstance(normalize_network(n), NetNil)
+
+    def test_nil_inside_par_collected(self):
+        x = Name("x")
+        n = LocatedProcess(S, Par(Nil(), val_msg(x)))
+        norm = normalize_network(n)
+        _, _, (lp,) = flatten_network(norm)
+        assert not isinstance(lp.process, Par)
+
+
+class TestRuleSplit:
+    def test_same_site_processes_gather(self):
+        x, y = Name("x"), Name("y")
+        n = NetPar(LocatedProcess(S, val_msg(x)),
+                   LocatedProcess(S, val_msg(y)))
+        norm = normalize_network(n)
+        _, _, procs = flatten_network(norm)
+        assert len(procs) == 1
+        assert procs[0].site == S
+        assert isinstance(procs[0].process, Par)
+
+    def test_split_is_congruence(self):
+        x, y = Name("x"), Name("y")
+        gathered = LocatedProcess(S, Par(val_msg(x), val_msg(y)))
+        split = NetPar(LocatedProcess(S, val_msg(x)),
+                       LocatedProcess(S, val_msg(y)))
+        assert networks_congruent(gathered, split)
+
+    def test_different_sites_not_congruent(self):
+        x = Name("x")
+        assert not networks_congruent(
+            LocatedProcess(S, val_msg(x)),
+            LocatedProcess(R, val_msg(x)),
+        )
+
+
+class TestGarbageCollection:
+    def test_gcn_unused_restriction_dropped(self):
+        x = Name("x")
+        n = NetNew(LocatedName(S, x), LocatedProcess(R, val_msg(Name("y"))))
+        norm = normalize_network(n)
+        _, names, _ = flatten_network(norm)
+        assert names == []
+
+    def test_used_restriction_kept(self):
+        x = Name("x")
+        n = NetNew(LocatedName(S, x), LocatedProcess(S, val_msg(x)))
+        norm = normalize_network(n)
+        _, names, _ = flatten_network(norm)
+        assert names == [LocatedName(S, x)]
+
+    def test_restriction_kept_for_remote_use(self):
+        x = Name("x")
+        n = NetNew(LocatedName(S, x),
+                   LocatedProcess(R, val_msg(LocatedName(S, x))))
+        norm = normalize_network(n)
+        _, names, _ = flatten_network(norm)
+        assert names == [LocatedName(S, x)]
+
+    def test_gcd_unused_definition_dropped(self):
+        X = ClassVar("X")
+        d = Definitions({X: Method((), Nil())})
+        n = NetDef(S, d, LocatedProcess(R, val_msg(Name("y"))))
+        norm = normalize_network(n)
+        defs, _, _ = flatten_network(norm)
+        assert defs == []
+
+    def test_used_definition_kept_local(self):
+        X = ClassVar("X")
+        d = Definitions({X: Method((), Nil())})
+        n = NetDef(S, d, LocatedProcess(S, Instance(X, ())))
+        norm = normalize_network(n)
+        defs, _, _ = flatten_network(norm)
+        assert defs == [(S, d)]
+
+    def test_used_definition_kept_remote(self):
+        from repro.core import LocatedClassVar
+
+        X = ClassVar("X")
+        d = Definitions({X: Method((), Nil())})
+        n = NetDef(S, d,
+                   LocatedProcess(R, Instance(LocatedClassVar(S, X), ())))
+        norm = normalize_network(n)
+        defs, _, _ = flatten_network(norm)
+        assert defs == [(S, d)]
+
+
+class TestMonoidLaws:
+    def test_commutativity(self):
+        a = LocatedProcess(S, val_msg(Name("x")))
+        b = LocatedProcess(R, val_msg(Name("y")))
+        assert networks_congruent(NetPar(a, b), NetPar(b, a))
+
+    def test_associativity(self):
+        ps = [LocatedProcess(Site(f"s{i}"), val_msg(Name("x")))
+              for i in range(3)]
+        left = NetPar(NetPar(ps[0], ps[1]), ps[2])
+        right = NetPar(ps[0], NetPar(ps[1], ps[2]))
+        assert networks_congruent(left, right)
+
+    def test_netnil_unit(self):
+        a = LocatedProcess(S, val_msg(Name("x")))
+        assert networks_congruent(NetPar(a, NetNil()), a)
+
+    def test_net_par_helper(self):
+        a = LocatedProcess(S, val_msg(Name("x")))
+        b = LocatedProcess(R, val_msg(Name("y")))
+        assert networks_congruent(net_par(a, b), NetPar(a, b))
+
+    def test_different_process_not_congruent(self):
+        a = LocatedProcess(S, val_msg(Name("x"), ))
+        b = LocatedProcess(S, msg(Name("x"), "other"))
+        assert not networks_congruent(a, b)
+
+
+class TestNormalizeIdempotent:
+    def test_idempotent(self):
+        x = Name("x")
+        X = ClassVar("X")
+        d = Definitions({X: Method((), val_msg(x))})
+        n = NetDef(S, d, NetNew(
+            LocatedName(S, x),
+            NetPar(LocatedProcess(S, Instance(X, ())),
+                   NetPar(LocatedProcess(S, Nil()),
+                          LocatedProcess(R, val_msg(LocatedName(S, x))))),
+        ))
+        n1 = normalize_network(n)
+        n2 = normalize_network(n1)
+        assert networks_congruent(n1, n2)
+        d1 = flatten_network(n1)
+        d2 = flatten_network(n2)
+        assert str(d1) == str(d2)

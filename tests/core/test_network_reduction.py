@@ -1,0 +1,431 @@
+"""Integration tests of the network semantics (sections 3-4): the RPC
+derivation, both applet-server variants, and the SETI example."""
+
+import pytest
+
+from repro.core import (
+    BinOp,
+    ClassVar,
+    Def,
+    Definitions,
+    ExportDef,
+    ExportNew,
+    If,
+    ImportClass,
+    ImportName,
+    Instance,
+    Label,
+    Lit,
+    LocatedClassVar,
+    LocatedName,
+    Message,
+    Method,
+    Name,
+    NetworkEngine,
+    New,
+    Nil,
+    Object,
+    Site,
+    UnboundClassError,
+    UnknownSiteError,
+    msg,
+    obj,
+    par,
+    run_network,
+    single_def,
+    val_msg,
+    val_obj,
+)
+
+R, S = Site("r"), Site("s")
+SERVER, CLIENT, SETI = Site("server"), Site("client"), Site("seti")
+
+
+class TestShipM:
+    def test_remote_message_delivered(self):
+        net = NetworkEngine()
+        x = Name("x")
+        receiver = net.add_site(R)
+        out = receiver.make_console()
+        w = Name("w")
+        net.install(R, val_obj(x, (w,), val_msg(out, w)))
+        net.install(S, val_msg(LocatedName(R, x), Lit(42)))
+        net.run()
+        assert net.shipm_count == 1
+        assert receiver.output == [Lit(42)]
+
+    def test_arguments_translated_at_send(self):
+        net = NetworkEngine()
+        x = Name("x")
+        local_at_s = Name("reply")
+        receiver = net.add_site(R)
+        net.add_site(S)
+        w = Name("w")
+        # r stores whatever it receives in its console.
+        out = receiver.make_console()
+        net.install(R, val_obj(x, (w,), val_msg(out, w)))
+        net.install(S, val_msg(LocatedName(R, x), local_at_s))
+        net.run()
+        # The name local to s arrives at r as s.reply.
+        assert receiver.output == [LocatedName(S, local_at_s)]
+
+    def test_unknown_site(self):
+        net = NetworkEngine()
+        net.add_site(S)
+        net.install(S, val_msg(LocatedName(Site("ghost"), Name("x")), Lit(1)))
+        with pytest.raises(UnknownSiteError):
+            net.run()
+
+
+class TestShipO:
+    def test_object_migrates_to_binder_site(self):
+        net = NetworkEngine()
+        x = Name("x")
+        net.add_site(R)
+        sender = net.add_site(S)
+        out = sender.make_console()
+        w = Name("w")
+        # s ships an object to r.x; r sends it a message locally.
+        net.install(S, Object(LocatedName(R, x),
+                              {Label("val"): Method((w,), val_msg(LocatedName(S, out), w))}))
+        net.install(R, val_msg(x, Lit(7)))
+        net.run()
+        assert net.shipo_count == 1
+        # The method body ran at r but printed to s's console (via s.out).
+        assert net.shipm_count == 1
+        assert sender.output == [Lit(7)]
+
+    def test_object_free_names_translated(self):
+        net = NetworkEngine()
+        x = Name("x")
+        local_at_s = Name("helper")
+        net.add_site(R)
+        net.add_site(S)
+        w = Name("w")
+        net.install(S, Object(LocatedName(R, x),
+                              {Label("val"): Method((w,), val_msg(local_at_s, w))}))
+        net.run()
+        engine_r = net.engines[R]
+        (pending,) = engine_r.queued_objects(x)
+        body = pending.methods[Label("val")].body
+        assert isinstance(body, Message)
+        assert body.subject == LocatedName(S, local_at_s)
+
+
+class TestRpcDerivation:
+    """The remote-procedure-call example of section 3.
+
+    Client at s:  new a (r.p!val[v a] | a?(y) = P)
+    Server at r:  p?(x r') = r'!val[u]
+
+    The paper derives: SHIPM, LOC, SHIPM, LOC -- each remote
+    communication is one ship plus one local rendezvous.
+    """
+
+    def _run(self):
+        net = NetworkEngine()
+        server = net.add_site(R)
+        client = net.add_site(S)
+        p, u = Name("p"), Name("u")
+        v, a, y = Name("v"), Name("a"), Name("y")
+        x, rr = Name("x"), Name("r'")
+        out = client.make_console()
+
+        net.install(R, obj(p, val=((x, rr), val_msg(rr, u))))
+        net.install(
+            S,
+            New((v, a), par(
+                Message(LocatedName(R, p), Label("val"), (v, a)),
+                val_obj(a, (y,), val_msg(out, y)),
+            )),
+        )
+        net.run()
+        return net, server, client, u
+
+    def test_two_ships_two_comms(self):
+        net, server, client, _ = self._run()
+        assert net.shipm_count == 2  # request and reply
+        assert server.comm_count == 1
+        assert client.comm_count == 1
+        assert net.shipo_count == 0
+
+    def test_reply_carries_located_server_name(self):
+        net, _, client, u = self._run()
+        assert client.output == [LocatedName(R, u)]
+
+    def test_quiescent_after_run(self):
+        net, *_ = self._run()
+        assert net.is_quiescent()
+
+
+class TestAppletFetch:
+    """Section 4, first applet-server program: code *fetching*."""
+
+    def _programs(self, n_applets=3, chosen=1):
+        applet_vars = [ClassVar(f"Applet{j}") for j in range(n_applets)]
+        clauses = {}
+        for j, var in enumerate(applet_vars):
+            x = Name("x")
+            clauses[var] = Method((x,), val_msg(x, Lit(j)))
+        server_prog = ExportDef(Definitions(clauses), Nil())
+
+        ph = ClassVar(f"Applet{chosen}")
+        v, w = Name("v"), Name("w")
+        out = Name("out")  # rebound to a console below
+        client_prog = ImportClass(
+            ph, SERVER,
+            New((v,), par(Instance(ph, (v,)), val_obj(v, (w,), val_msg(out, w)))),
+        )
+        return server_prog, client_prog, out
+
+    def test_applet_downloaded_and_runs_at_client(self):
+        server_prog, client_prog, out = self._programs(chosen=2)
+        net = NetworkEngine()
+        client = net.add_site(CLIENT)
+        client.register_builtin(out, lambda l, args: client.output.extend(args))
+        net.add_site(SERVER)
+        net.load_programs({SERVER: server_prog, CLIENT: client_prog})
+        net.run()
+        assert net.fetch_requests == 1
+        assert net.fetch_replies == 1
+        assert client.output == [Lit(2)]
+        # The instantiation happened at the client site.
+        assert client.inst_count == 1
+        assert net.engines[SERVER].inst_count == 0
+
+    def test_second_instantiation_hits_cache(self):
+        server_prog, client_prog, out = self._programs(chosen=0)
+        net = NetworkEngine()
+        client = net.add_site(CLIENT)
+        client.register_builtin(out, lambda l, args: client.output.extend(args))
+        net.add_site(SERVER)
+        net.load_programs({SERVER: server_prog, CLIENT: client_prog})
+        net.run()
+        assert net.fetch_requests == 1
+        # Run the same import again: the class is cached locally now.
+        _, client_prog2, out2 = self._programs(chosen=0)
+        client.register_builtin(out2, lambda l, args: client.output.extend(args))
+        net.load_programs({CLIENT: client_prog2})
+        net.run()
+        assert net.fetch_requests == 1
+        assert net.fetch_cache_hits >= 1
+        assert client.output == [Lit(0), Lit(0)]
+
+    def test_cache_disabled_refetches(self):
+        server_prog, client_prog, out = self._programs(chosen=0)
+        net = NetworkEngine(fetch_cache=False)
+        client = net.add_site(CLIENT)
+        client.register_builtin(out, lambda l, args: client.output.extend(args))
+        net.add_site(SERVER)
+        net.load_programs({SERVER: server_prog, CLIENT: client_prog})
+        net.run()
+        _, client_prog2, out2 = self._programs(chosen=0)
+        client.register_builtin(out2, lambda l, args: client.output.extend(args))
+        net.load_programs({CLIENT: client_prog2})
+        net.run()
+        assert net.fetch_requests == 2
+
+
+class TestAppletShip:
+    """Section 4, second applet-server program: code *shipping*."""
+
+    def test_applet_shipped_on_invocation(self):
+        net = NetworkEngine()
+        server = net.add_site(SERVER)
+        client = net.add_site(CLIENT)
+        out = client.make_console()
+
+        AppletServer = ClassVar("AppletServer")
+        self_, p, x = Name("self"), Name("p"), Name("x")
+        appletserver = Name("appletserver")
+
+        # applet_j(p) = p?(x) = P_j | AppletServer[self]
+        applet_body = par(
+            val_obj(p, (x,), val_msg(x, Lit("applet-result"))),
+            Instance(AppletServer, (self_,)),
+        )
+        server_prog = Def(
+            Definitions({AppletServer: Method(
+                (self_,),
+                Object(self_, {Label("applet_j"): Method((p,), applet_body)}),
+            )}),
+            Instance(AppletServer, (appletserver,)),
+        )
+        server_export = ExportNew((appletserver,), server_prog)
+
+        ph = Name("appletserver")
+        pp, v, w = Name("p"), Name("v"), Name("w")
+        client_prog = ImportName(
+            ph, SERVER,
+            New((pp, v), par(
+                msg(ph, "applet_j", pp),
+                val_msg(pp, v),
+                val_obj(v, (w,), val_msg(out, w)),
+            )),
+        )
+
+        net.load_programs({SERVER: server_export, CLIENT: client_prog})
+        net.run()
+        # One SHIPM carries the invocation to the server; one SHIPO
+        # carries the applet object back to the client.
+        assert net.shipm_count == 1
+        assert net.shipo_count == 1
+        assert net.fetch_requests == 0
+        assert client.output == [Lit("applet-result")]
+        # The applet *body* ran at the client.
+        assert client.comm_count >= 2  # applet rendezvous + reply
+        # The server stays alive for further requests.
+        assert server.has_waiting()
+
+
+class TestSetiExample:
+    """The SETI@home example of section 4: Install is fetched once and
+    then loops at the client, pulling chunks from the seti database."""
+
+    CHUNKS = 3
+
+    def _network(self):
+        net = NetworkEngine()
+        seti = net.add_site(SETI)
+        client = net.add_site(CLIENT)
+        out = client.make_console()
+
+        database = Name("database")
+        Database = ClassVar("Database")
+        dself, n, reply = Name("self"), Name("n"), Name("replyTo")
+        db_def = Definitions({Database: Method(
+            (dself, n),
+            Object(dself, {Label("newChunk"): Method(
+                (reply,),
+                par(val_msg(reply, n), Instance(Database, (dself, BinOp("+", n, Lit(1))))),
+            )}),
+        )})
+
+        Install, Go = ClassVar("Install"), ClassVar("Go")
+        k, data, r, sink = Name("k"), Name("data"), Name("r"), Name("sink")
+        # Go(k, sink) = if k < CHUNKS then let data = database!newChunk[]
+        #               in (<process data to sink> | Go[k+1, sink]) else 0
+        # ``sink`` abstracts the paper's opaque <process>: the client
+        # passes a local channel, so processing output stays client-side.
+        go_body = If(
+            BinOp("<", k, Lit(self.CHUNKS)),
+            New((r,), par(
+                msg(database, "newChunk", r),
+                val_obj(r, (data,), par(
+                    val_msg(sink, data),  # <process data>
+                    Instance(Go, (BinOp("+", k, Lit(1)), sink)),
+                )),
+            )),
+            Nil(),
+        )
+        isink = Name("sink")
+        exported = Definitions({
+            Install: Method((isink,), Instance(Go, (Lit(0), isink))),
+            Go: Method((k, sink), go_body),
+        })
+        seti_prog = New((database,), ExportDef(
+            exported,
+            Def(db_def, Instance(Database, (database, Lit(0)))),
+        ))
+
+        ph = ClassVar("Install")
+        client_prog = ImportClass(ph, SETI, Instance(ph, (out,)))
+        net.load_programs({SETI: seti_prog, CLIENT: client_prog})
+        return net, seti, client
+
+    def test_install_fetched_once(self):
+        net, _, _ = self._network()
+        net.run()
+        assert net.fetch_requests == 1
+        assert net.fetch_replies == 1
+
+    def test_client_processes_chunks_locally(self):
+        net, seti, client = self._network()
+        net.run()
+        assert client.output == [Lit(0), Lit(1), Lit(2)]
+        # Go loop instantiates at the client, not at seti.
+        assert client.inst_count >= self.CHUNKS
+        assert seti.inst_count >= 1  # the Database instances
+
+    def test_each_chunk_is_one_remote_round_trip(self):
+        net, _, _ = self._network()
+        net.run()
+        # CHUNKS requests to seti.database + CHUNKS replies.
+        assert net.shipm_count == 2 * self.CHUNKS
+
+
+class TestFetchErrors:
+    def test_fetch_of_undefined_class(self):
+        net = NetworkEngine()
+        net.add_site(SERVER)
+        net.add_site(CLIENT)
+        X = ClassVar("Nope")
+        net.install(CLIENT, Instance(LocatedClassVar(SERVER, X), ()))
+        with pytest.raises(UnboundClassError):
+            net.run()
+
+
+class TestLoadNetwork:
+    def test_symbolic_network_term_executes(self):
+        """A network built from the section-3 grammar (NetDef/NetNew/
+        LocatedProcess) loads and runs like elaborated programs."""
+        from repro.core import (
+            Definitions,
+            LocatedProcess,
+            Method,
+            NetDef,
+            NetNew,
+            NetPar,
+        )
+
+        X = ClassVar("X")
+        x, v = Name("x"), Name("v")
+        d = Definitions({X: Method((v,), val_msg(x, v))})
+        network_term = NetDef(
+            R, d,
+            NetNew(
+                LocatedName(R, x),
+                NetPar(
+                    LocatedProcess(R, par(
+                        Instance(X, (Lit(5),)),
+                        val_obj(x, (Name("w"),), Nil()),
+                    )),
+                    LocatedProcess(S, Instance(LocatedClassVar(R, X), (Lit(7),))),
+                ),
+            ),
+        )
+        net = NetworkEngine()
+        net.add_site(R)
+        net.add_site(S)
+        net.load_network(network_term)
+        net.run()
+        # R instantiated locally; S fetched the class and ran it, its
+        # message shipping back to R's x.
+        assert net.engines[R].inst_count == 1
+        assert net.engines[S].inst_count == 1
+        assert net.fetch_requests == 1
+        assert net.shipm_count == 1
+
+
+class TestRunNetworkHelper:
+    def test_run_network_convenience(self):
+        x = Name("svc")
+        server_prog = ExportNew((x,), val_obj(x, (Name("w"),), Nil()))
+        ph = Name("svc")
+        client_prog = ImportName(ph, SERVER, val_msg(ph, Lit(5)))
+        net = run_network({SERVER: server_prog, CLIENT: client_prog})
+        assert net.is_quiescent()
+        assert net.shipm_count == 1
+        assert net.engines[SERVER].comm_count == 1
+
+
+class TestTotalReductions:
+    def test_counts_local_and_network(self):
+        net = NetworkEngine()
+        x = Name("x")
+        r_engine = net.add_site(R)
+        net.add_site(S)
+        net.install(R, val_obj(x, (Name("w"),), Nil()))
+        net.install(S, val_msg(LocatedName(R, x), Lit(1)))
+        net.run()
+        assert net.total_reductions == 2  # one SHIPM + one COMM

@@ -1,0 +1,371 @@
+"""Unit tests for the base-calculus engine, including the paper's
+polymorphic-cell example (section 2)."""
+
+import pytest
+
+from repro.core import (
+    BinOp,
+    ClassVar,
+    Def,
+    Definitions,
+    If,
+    Instance,
+    Lit,
+    LocalEngine,
+    Method,
+    Name,
+    New,
+    Nil,
+    Object,
+    RemoteIdentifierError,
+    LocatedName,
+    Site,
+    UnboundClassError,
+    msg,
+    obj,
+    par,
+    run_process,
+    single_def,
+    val_msg,
+    val_obj,
+)
+
+
+def make_cell_def(scope):
+    """The paper's Cell class:
+
+    def Cell(self, v) =
+      self ? { read(r) = r![v] | Cell[self, v],
+               write(u) = Cell[self, u] }
+    in <scope(Cell)>
+    """
+    from repro.core import Label
+
+    Cell = ClassVar("Cell")
+    self_, v, r, u = Name("self"), Name("v"), Name("r"), Name("u")
+    body = Object(
+        self_,
+        {
+            Label("read"): Method((r,), par(val_msg(r, v), Instance(Cell, (self_, v)))),
+            Label("write"): Method((u,), Instance(Cell, (self_, u))),
+        },
+    )
+    return Def(Definitions({Cell: Method((self_, v), body)}), scope(Cell))
+
+
+class TestCommunication:
+    def test_simple_comm(self):
+        x = Name("x")
+        engine = run_process(par(val_msg(x, Lit(9)), val_obj(x, (Name("w"),), Nil())))
+        assert engine.comm_count == 1
+        assert engine.is_quiescent()
+
+    def test_message_waits_for_object(self):
+        x = Name("x")
+        engine = LocalEngine()
+        engine.add(val_msg(x, Lit(1)))
+        engine.run()
+        assert engine.comm_count == 0
+        assert engine.has_waiting()
+        engine.add(val_obj(x, (Name("w"),), Nil()))
+        engine.run()
+        assert engine.comm_count == 1
+        assert not engine.has_waiting()
+
+    def test_object_waits_for_message(self):
+        x = Name("x")
+        engine = LocalEngine()
+        engine.add(val_obj(x, (Name("w"),), Nil()))
+        engine.run()
+        assert engine.comm_count == 0
+        engine.add(val_msg(x, Lit(1)))
+        engine.run()
+        assert engine.comm_count == 1
+
+    def test_label_selection(self):
+        x, r = Name("x"), Name("r")
+        console_engine = LocalEngine()
+        out = console_engine.make_console()
+        o = obj(
+            x,
+            read=((r,), msg(out, "val", Lit("read-fired"))),
+            write=((Name("u"),), msg(out, "val", Lit("write-fired"))),
+        )
+        console_engine.add(par(o, msg(x, "write", Lit(5))))
+        console_engine.run()
+        assert console_engine.output == [Lit("write-fired")]
+
+    def test_non_matching_label_queues(self):
+        x = Name("x")
+        engine = LocalEngine()
+        engine.add(val_obj(x, (Name("w"),), Nil()))
+        engine.add(msg(x, "other", Lit(1)))
+        engine.run()
+        # Both queue: the object offers only 'val'.
+        assert engine.comm_count == 0
+        assert len(engine.queued_messages(x)) == 1
+        assert len(engine.queued_objects(x)) == 1
+        engine.check_invariant()
+
+    def test_queue_scan_finds_deeper_match(self):
+        x = Name("x")
+        engine = LocalEngine()
+        engine.add(msg(x, "other", Lit(1)))
+        engine.add(msg(x, "val", Lit(2)))
+        engine.add(val_obj(x, (Name("w"),), Nil()))
+        engine.run()
+        # The object must react with the *second* queued message.
+        assert engine.comm_count == 1
+        assert len(engine.queued_messages(x)) == 1
+        assert engine.queued_messages(x)[0].label.text == "other"
+
+    def test_objects_are_ephemeral(self):
+        x = Name("x")
+        engine = LocalEngine()
+        engine.add(val_obj(x, (Name("w"),), Nil()))
+        engine.add(val_msg(x, Lit(1)))
+        engine.add(val_msg(x, Lit(2)))
+        engine.run()
+        assert engine.comm_count == 1
+        assert len(engine.queued_messages(x)) == 1
+
+
+class TestNewAndScope:
+    def test_new_allocates_fresh_channel(self):
+        x = Name("x")
+        p = New((x,), par(val_msg(x, Lit(1)), val_obj(x, (Name("w"),), Nil())))
+        engine = run_process(p)
+        assert engine.comm_count == 1
+        # The original binder name never appears as a channel.
+        assert x not in engine.channels
+
+    def test_two_instances_of_same_new_do_not_interfere(self):
+        x = Name("x")
+        p = New((x,), val_msg(x, Lit(1)))
+        engine = LocalEngine()
+        engine.add(p)
+        engine.add(p)
+        engine.run()
+        waiting = [n for n, st in engine.channels.items() if st.messages]
+        assert len(waiting) == 2
+
+
+class TestInstantiation:
+    def test_simple_instance(self):
+        X = ClassVar("X")
+        out_engine = LocalEngine()
+        out = out_engine.make_console()
+        v = Name("v")
+        p = single_def(X, (v,), msg(out, "val", v), Instance(X, (Lit(7),)))
+        out_engine.add(p)
+        out_engine.run()
+        assert out_engine.output == [Lit(7)]
+        assert out_engine.inst_count == 1
+
+    def test_unbound_class(self):
+        X = ClassVar("X")
+        engine = LocalEngine()
+        engine.add(Instance(X, ()))
+        with pytest.raises(UnboundClassError):
+            engine.run()
+
+    def test_recursive_class_counter(self):
+        # def Count(n) = if n > 0 then Count[n-1] else 0 in Count[10]
+        Count = ClassVar("Count")
+        n = Name("n")
+        body = If(
+            BinOp(">", n, Lit(0)),
+            Instance(Count, (BinOp("-", n, Lit(1)),)),
+            Nil(),
+        )
+        p = single_def(Count, (n,), body, Instance(Count, (Lit(10),)))
+        engine = run_process(p)
+        assert engine.inst_count == 11
+
+    def test_mutually_recursive_classes(self):
+        Even, Odd = ClassVar("Even"), ClassVar("Odd")
+        n, r = Name("n"), Name("r")
+        even_body = If(
+            BinOp("==", n, Lit(0)),
+            val_msg(r, Lit(True)),
+            Instance(Odd, (BinOp("-", n, Lit(1)), r)),
+        )
+        odd_body = If(
+            BinOp("==", n, Lit(0)),
+            val_msg(r, Lit(False)),
+            Instance(Even, (BinOp("-", n, Lit(1)), r)),
+        )
+        engine = LocalEngine()
+        out = engine.make_console()
+        defs = Definitions({
+            Even: Method((n, r), even_body),
+            Odd: Method((n, r), odd_body),
+        })
+        engine.add(Def(defs, Instance(Even, (Lit(6), out))))
+        engine.run()
+        assert engine.output == [Lit(True)]
+
+
+class TestCellExample:
+    """The paper's section-2 polymorphic cell."""
+
+    def test_read_returns_stored_value(self):
+        engine = LocalEngine()
+        out = engine.make_console()
+
+        def scope(Cell):
+            x, z = Name("x"), Name("z")
+            w = Name("w")
+            return New(
+                (x,),
+                par(
+                    Instance(Cell, (x, Lit(9))),
+                    New((z,), par(
+                        msg(x, "read", z),
+                        val_obj(z, (w,), val_msg(out, w)),
+                    )),
+                ),
+            )
+
+        engine.add(make_cell_def(scope))
+        engine.run()
+        assert engine.output == [Lit(9)]
+
+    def test_write_then_read(self):
+        engine = LocalEngine()
+        out = engine.make_console()
+
+        def scope(Cell):
+            x, z, w = Name("x"), Name("z"), Name("w")
+            # Sequence write-then-read through the reply continuation to
+            # avoid racing the two requests.
+            ack = Name("ack")
+            return New(
+                (x,),
+                par(
+                    Instance(Cell, (x, Lit(9))),
+                    msg(x, "write", Lit(42)),
+                    New((z,), par(
+                        msg(x, "read", z),
+                        val_obj(z, (w,), val_msg(out, w)),
+                    )),
+                ),
+            )
+
+        engine.add(make_cell_def(scope))
+        engine.run()
+        # FIFO schedule: write is consumed before read.
+        assert engine.output == [Lit(42)]
+
+    def test_polymorphic_instantiation(self):
+        # new x Cell[x, 9] | new y Cell[y, true]  (the paper's example)
+        engine = LocalEngine()
+        out = engine.make_console()
+
+        def scope(Cell):
+            x, y = Name("x"), Name("y")
+            z1, z2, w1, w2 = Name("z1"), Name("z2"), Name("w1"), Name("w2")
+            return par(
+                New((x,), par(
+                    Instance(Cell, (x, Lit(9))),
+                    New((z1,), par(msg(x, "read", z1),
+                                   val_obj(z1, (w1,), val_msg(out, w1)))),
+                )),
+                New((y,), par(
+                    Instance(Cell, (y, Lit(True))),
+                    New((z2,), par(msg(y, "read", z2),
+                                   val_obj(z2, (w2,), val_msg(out, w2)))),
+                )),
+            )
+
+        engine.add(make_cell_def(scope))
+        engine.run()
+        assert sorted(map(str, engine.output)) == sorted([str(Lit(9)), str(Lit(True))])
+
+    def test_cell_stays_alive(self):
+        engine = LocalEngine()
+        out = engine.make_console()
+
+        def scope(Cell):
+            x = Name("x")
+            reads = []
+            for i in range(3):
+                z, w = Name(f"z{i}"), Name(f"w{i}")
+                reads.append(New((z,), par(
+                    msg(x, "read", z),
+                    val_obj(z, (w,), val_msg(out, w)),
+                )))
+            return New((x,), par(Instance(Cell, (x, Lit(5))), *reads))
+
+        engine.add(make_cell_def(scope))
+        engine.run()
+        assert engine.output == [Lit(5)] * 3
+
+
+class TestSchedules:
+    def _program(self, engine):
+        out = engine.make_console()
+        parts = []
+        for i in range(5):
+            x, w = Name("x"), Name("w")
+            parts.append(New((x,), par(
+                val_msg(x, Lit(i)),
+                val_obj(x, (w,), val_msg(out, w)),
+            )))
+        return par(*parts)
+
+    def test_fifo_lifo_random_same_multiset(self):
+        results = []
+        for schedule in ("fifo", "lifo", "random"):
+            engine = LocalEngine(schedule=schedule, seed=7)
+            engine.add(self._program(engine))
+            engine.run()
+            results.append(sorted(str(v) for v in engine.output))
+        assert results[0] == results[1] == results[2]
+
+    def test_random_schedule_deterministic_per_seed(self):
+        outs = []
+        for _ in range(2):
+            engine = LocalEngine(schedule="random", seed=123)
+            engine.add(self._program(engine))
+            engine.run()
+            outs.append([str(v) for v in engine.output])
+        assert outs[0] == outs[1]
+
+    def test_unknown_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            LocalEngine(schedule="weird")
+
+
+class TestRemoteDelegation:
+    def test_located_message_without_handler_raises(self):
+        s = Site("s")
+        engine = LocalEngine()
+        engine.add(val_msg(LocatedName(s, Name("x")), Lit(1)))
+        with pytest.raises(RemoteIdentifierError):
+            engine.run()
+
+    def test_handler_receives_evaluated_args(self):
+        s = Site("s")
+        received = []
+        engine = LocalEngine(remote_handler=received.append)
+        engine.add(val_msg(LocatedName(s, Name("x")), BinOp("+", Lit(1), Lit(2))))
+        engine.run()
+        assert len(received) == 1
+        assert received[0].args == (Lit(3),)
+
+
+class TestRunBounds:
+    def test_max_steps_respected(self):
+        # A diverging program: def X() = X[] in X[]
+        X = ClassVar("X")
+        p = single_def(X, (), Instance(X, ()), Instance(X, ()))
+        engine = LocalEngine()
+        engine.add(p)
+        taken = engine.run(max_steps=100)
+        assert taken == 100
+        assert not engine.is_quiescent()
+
+    def test_step_returns_false_when_idle(self):
+        engine = LocalEngine()
+        assert engine.step() is False

@@ -1,0 +1,235 @@
+"""Unit tests for free identifiers and substitution (repro.core.subst)."""
+
+import pytest
+
+from repro.core import (
+    ArityError,
+    BinOp,
+    ClassVar,
+    Def,
+    Definitions,
+    If,
+    Instance,
+    Lit,
+    LocatedClassVar,
+    LocatedName,
+    Message,
+    Method,
+    Name,
+    New,
+    Nil,
+    Object,
+    Par,
+    Site,
+    SubstitutionError,
+    alpha_equal,
+    free_classvars,
+    free_located_classvars,
+    free_located_names,
+    free_names,
+    instantiate_method,
+    msg,
+    obj,
+    rename_everywhere,
+    single_def,
+    substitute,
+    val_msg,
+    val_obj,
+)
+
+
+class TestFreeNames:
+    def test_message_subject_and_args(self):
+        x, v = Name("x"), Name("v")
+        assert free_names(msg(x, "l", v)) == {x, v}
+
+    def test_new_binds(self):
+        x, v = Name("x"), Name("v")
+        p = New((x,), msg(x, "l", v))
+        assert free_names(p) == {v}
+
+    def test_method_params_bind(self):
+        x, y, z = Name("x"), Name("y"), Name("z")
+        o = val_obj(x, (y,), val_msg(y, z))
+        assert free_names(o) == {x, z}
+
+    def test_def_params_bind(self):
+        X = ClassVar("X")
+        a, b = Name("a"), Name("b")
+        p = single_def(X, (a,), val_msg(a, b), Instance(X, (b,)))
+        assert free_names(p) == {b}
+
+    def test_expressions_in_args(self):
+        x, n = Name("x"), Name("n")
+        p = val_msg(x, BinOp("+", n, Lit(1)))
+        assert free_names(p) == {x, n}
+
+    def test_if_condition(self):
+        c = Name("c")
+        p = If(c, Nil(), Nil())
+        assert free_names(p) == {c}
+
+    def test_located_names_not_free_simple(self):
+        s = Site("s")
+        x = Name("x")
+        p = val_msg(LocatedName(s, x))
+        assert free_names(p) == set()
+        assert free_located_names(p) == {LocatedName(s, x)}
+
+
+class TestFreeClassVars:
+    def test_instance_is_free(self):
+        X = ClassVar("X")
+        assert free_classvars(Instance(X, ())) == {X}
+
+    def test_def_binds_in_body_and_clauses(self):
+        X, Y = ClassVar("X"), ClassVar("Y")
+        p = Def(
+            Definitions({X: Method((), Instance(Y, ()))}),
+            Instance(X, ()),
+        )
+        assert free_classvars(p) == {Y}
+
+    def test_mutual_recursion_closed(self):
+        X, Y = ClassVar("X"), ClassVar("Y")
+        p = Def(
+            Definitions({
+                X: Method((), Instance(Y, ())),
+                Y: Method((), Instance(X, ())),
+            }),
+            Instance(X, ()),
+        )
+        assert free_classvars(p) == set()
+
+    def test_located_classvar_tracked_separately(self):
+        s = Site("s")
+        X = ClassVar("X")
+        p = Instance(LocatedClassVar(s, X), ())
+        assert free_classvars(p) == set()
+        assert free_located_classvars(p) == {LocatedClassVar(s, X)}
+
+
+class TestSubstitute:
+    def test_substitutes_free_occurrence(self):
+        x, y = Name("x"), Name("y")
+        p = val_msg(x, x)
+        q = substitute(p, {x: y})
+        assert isinstance(q, Message)
+        assert q.subject is y
+        assert q.args == (y,)
+
+    def test_does_not_enter_binder_scope(self):
+        x, y = Name("x"), Name("y")
+        p = New((x,), val_msg(x))
+        q = substitute(p, {x: y})
+        # The bound x is renamed fresh, never to y.
+        assert isinstance(q, New)
+        inner = q.body
+        assert isinstance(inner, Message)
+        assert inner.subject is q.names[0]
+        assert inner.subject is not y
+
+    def test_binders_freshened(self):
+        x = Name("x")
+        p = New((x,), val_msg(x))
+        q = substitute(p, {})
+        assert isinstance(q, New)
+        assert q.names[0] is not x
+
+    def test_no_capture(self):
+        # (new y  x!val[y]) {y'/x}  must not capture y'.
+        x, y = Name("x"), Name("y")
+        free_y = Name("y")  # same hint, different name
+        p = New((y,), val_msg(x, y))
+        q = substitute(p, {x: free_y})
+        assert isinstance(q, New)
+        inner = q.body
+        assert isinstance(inner, Message)
+        assert inner.subject is free_y
+        assert inner.args[0] is q.names[0]
+        assert inner.args[0] is not free_y
+
+    def test_literal_into_subject_rejected(self):
+        x = Name("x")
+        p = val_msg(x)
+        with pytest.raises(SubstitutionError):
+            substitute(p, {x: Lit(3)})
+
+    def test_literal_into_arg_allowed(self):
+        x, v = Name("x"), Name("v")
+        p = val_msg(x, v)
+        q = substitute(p, {v: Lit(3)})
+        assert isinstance(q, Message)
+        assert q.args == (Lit(3),)
+
+    def test_located_name_into_subject(self):
+        x = Name("x")
+        s = Site("s")
+        target = LocatedName(s, Name("p"))
+        q = substitute(val_msg(x), {x: target})
+        assert isinstance(q, Message)
+        assert q.subject == target
+
+    def test_classvar_substitution(self):
+        X = ClassVar("X")
+        s = Site("s")
+        loc = LocatedClassVar(s, X)
+        q = substitute(Instance(X, ()), classvars={X: loc})
+        assert isinstance(q, Instance)
+        assert q.classref == loc
+
+    def test_def_shadows_classvar_substitution(self):
+        X = ClassVar("X")
+        s = Site("s")
+        p = Def(Definitions({X: Method((), Nil())}), Instance(X, ()))
+        q = substitute(p, classvars={X: LocatedClassVar(s, X)})
+        assert isinstance(q, Def)
+        body = q.body
+        assert isinstance(body, Instance)
+        # Instance refers to the (freshened) locally bound X, not s.X.
+        assert isinstance(body.classref, ClassVar)
+        assert body.classref in q.definitions.clauses
+
+    def test_substitution_in_expressions(self):
+        x, n = Name("x"), Name("n")
+        p = val_msg(x, BinOp("*", n, Lit(2)))
+        q = substitute(p, {n: Lit(21)})
+        assert isinstance(q, Message)
+        assert q.args == (BinOp("*", Lit(21), Lit(2)),)
+
+    def test_alpha_equivalence_preserved(self):
+        x, v = Name("x"), Name("v")
+        p = New((x,), val_msg(x, v))
+        assert alpha_equal(p, substitute(p, {}))
+
+
+class TestInstantiateMethod:
+    def test_basic(self):
+        y = Name("y")
+        m = Method((y,), val_msg(y, Lit(1)))
+        body = instantiate_method(m, (Name("z"),))
+        assert isinstance(body, Message)
+
+    def test_arity_mismatch(self):
+        m = Method((Name("y"),), Nil())
+        with pytest.raises(ArityError):
+            instantiate_method(m, ())
+
+
+class TestRenameEverywhere:
+    def test_renames_binders_too(self):
+        x, z = Name("x"), Name("z")
+        p = New((x,), val_msg(x))
+        q = rename_everywhere(p, {x: z})
+        assert isinstance(q, New)
+        assert q.names == (z,)
+        assert isinstance(q.body, Message)
+        assert q.body.subject is z
+
+    def test_renames_method_params(self):
+        x, y, z = Name("x"), Name("y"), Name("z")
+        p = val_obj(x, (y,), val_msg(y))
+        q = rename_everywhere(p, {y: z})
+        assert isinstance(q, Object)
+        (meth,) = q.methods.values()
+        assert meth.params == (z,)

@@ -1,0 +1,129 @@
+"""Unit tests for the process AST (repro.core.terms)."""
+
+import pytest
+
+from repro.core import (
+    Def,
+    Definitions,
+    If,
+    Instance,
+    Lit,
+    Message,
+    Method,
+    Name,
+    New,
+    Nil,
+    Object,
+    Par,
+    ClassVar,
+    Label,
+    flatten_par,
+    msg,
+    obj,
+    par,
+    single_def,
+    val_msg,
+    val_obj,
+)
+
+
+class TestConstructors:
+    def test_nil_str(self):
+        assert str(Nil()) == "0"
+
+    def test_new_requires_names(self):
+        with pytest.raises(ValueError):
+            New((), Nil())
+
+    def test_new_requires_distinct_names(self):
+        x = Name("x")
+        with pytest.raises(ValueError):
+            New((x, x), Nil())
+
+    def test_method_requires_distinct_params(self):
+        x = Name("x")
+        with pytest.raises(ValueError):
+            Method((x, x), Nil())
+
+    def test_object_requires_methods(self):
+        with pytest.raises(ValueError):
+            Object(Name("x"), {})
+
+    def test_definitions_require_clause(self):
+        with pytest.raises(ValueError):
+            Definitions({})
+
+    def test_msg_helper_accepts_string_label(self):
+        m = msg(Name("x"), "read", Name("r"))
+        assert m.label == Label("read")
+        assert len(m.args) == 1
+
+    def test_val_msg_uses_val_label(self):
+        m = val_msg(Name("x"), Lit(9))
+        assert m.label == Label("val")
+
+    def test_val_obj_single_method(self):
+        o = val_obj(Name("x"), (Name("w"),), Nil())
+        assert set(o.methods) == {Label("val")}
+
+    def test_obj_helper(self):
+        x, r, u = Name("x"), Name("r"), Name("u")
+        o = obj(x, read=((r,), Nil()), write=((u,), Nil()))
+        assert set(o.methods) == {Label("read"), Label("write")}
+
+    def test_single_def(self):
+        X = ClassVar("X")
+        d = single_def(X, (Name("a"),), Nil(), Instance(X, (Lit(1),)))
+        assert X in d.definitions.clauses
+
+
+class TestPar:
+    def test_par_empty_is_nil(self):
+        assert isinstance(par(), Nil)
+
+    def test_par_single_is_identity(self):
+        m = val_msg(Name("x"))
+        assert par(m) is m
+
+    def test_par_nests_right(self):
+        a, b, c = (val_msg(Name(h)) for h in "abc")
+        p = par(a, b, c)
+        assert isinstance(p, Par)
+        assert p.left is a
+        assert isinstance(p.right, Par)
+
+    def test_flatten_par_drops_nil(self):
+        a, b = val_msg(Name("a")), val_msg(Name("b"))
+        p = Par(Nil(), Par(a, Par(Nil(), b)))
+        assert flatten_par(p) == [a, b]
+
+    def test_flatten_preserves_order(self):
+        leaves = [val_msg(Name(f"n{i}")) for i in range(5)]
+        assert flatten_par(par(*leaves)) == leaves
+
+
+class TestStr:
+    def test_message_str(self):
+        x = Name("x")
+        m = msg(x, "read", Lit(1), Lit(True))
+        s = str(m)
+        assert "!read[" in s and "true" in s
+
+    def test_object_str(self):
+        o = val_obj(Name("x"), (Name("y"),), Nil())
+        assert "?{" in str(o)
+
+    def test_def_str(self):
+        X = ClassVar("Cell")
+        d = single_def(X, (Name("v"),), Nil(), Nil())
+        assert str(d).startswith("def Cell")
+
+    def test_if_str(self):
+        p = If(Lit(True), Nil(), Nil())
+        assert str(p).startswith("if true")
+
+    def test_lit_str_forms(self):
+        assert str(Lit(True)) == "true"
+        assert str(Lit(False)) == "false"
+        assert str(Lit(42)) == "42"
+        assert str(Lit("hi")) == "'hi'"

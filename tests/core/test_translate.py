@@ -1,0 +1,178 @@
+"""Unit tests for the sigma_rs identifier translation (section 3)."""
+
+from repro.core import (
+    BinOp,
+    ClassVar,
+    Def,
+    Definitions,
+    Instance,
+    Label,
+    Lit,
+    LocatedClassVar,
+    LocatedName,
+    Message,
+    Method,
+    Name,
+    New,
+    Object,
+    Site,
+    msg,
+    sigma_classvar,
+    sigma_definitions,
+    sigma_name,
+    sigma_process,
+    sigma_value,
+    val_msg,
+    val_obj,
+)
+
+R, S, T = Site("r"), Site("s"), Site("t")
+
+
+class TestSigmaIdentifiers:
+    def test_simple_name_uploaded_to_origin(self):
+        x = Name("x")
+        assert sigma_name(x, R, S) == LocatedName(R, x)
+
+    def test_destination_name_becomes_local(self):
+        x = Name("x")
+        assert sigma_name(LocatedName(S, x), R, S) is x
+
+    def test_third_party_name_untouched(self):
+        x = Name("x")
+        ln = LocatedName(T, x)
+        assert sigma_name(ln, R, S) == ln
+
+    def test_classvar_cases(self):
+        X = ClassVar("X")
+        assert sigma_classvar(X, R, S) == LocatedClassVar(R, X)
+        assert sigma_classvar(LocatedClassVar(S, X), R, S) is X
+        lcv = LocatedClassVar(T, X)
+        assert sigma_classvar(lcv, R, S) == lcv
+
+    def test_sigma_value_literal(self):
+        assert sigma_value(Lit(5), R, S) == Lit(5)
+
+    def test_sigma_value_expression(self):
+        x = Name("x")
+        e = BinOp("+", x, Lit(1))
+        t = sigma_value(e, R, S)
+        assert isinstance(t, BinOp)
+        assert t.left == LocatedName(R, x)
+
+
+class TestSigmaProcess:
+    def test_free_subject_translated(self):
+        x = Name("x")
+        p = val_msg(x, Lit(1))
+        q = sigma_process(p, R, S)
+        assert isinstance(q, Message)
+        assert q.subject == LocatedName(R, x)
+
+    def test_bound_subject_untouched(self):
+        x, y = Name("x"), Name("y")
+        p = New((x,), val_msg(x, y))
+        q = sigma_process(p, R, S)
+        assert isinstance(q, New)
+        inner = q.body
+        assert isinstance(inner, Message)
+        assert inner.subject is x  # still the bound simple name
+        assert inner.args == (LocatedName(R, y),)
+
+    def test_method_params_bound(self):
+        x, y, z = Name("x"), Name("y"), Name("z")
+        p = val_obj(x, (y,), val_msg(y, z))
+        q = sigma_process(p, R, S)
+        assert isinstance(q, Object)
+        (meth,) = q.methods.values()
+        body = meth.body
+        assert isinstance(body, Message)
+        assert body.subject is y
+        assert body.args == (LocatedName(R, z),)
+
+    def test_destination_identifiers_stripped(self):
+        x = Name("x")
+        p = val_msg(LocatedName(S, x), Lit(1))
+        q = sigma_process(p, R, S)
+        assert isinstance(q, Message)
+        assert q.subject is x
+
+    def test_free_classvar_located_at_origin(self):
+        X = ClassVar("X")
+        p = Instance(X, ())
+        q = sigma_process(p, R, S)
+        assert isinstance(q, Instance)
+        assert q.classref == LocatedClassVar(R, X)
+
+    def test_def_bound_classvar_untouched(self):
+        X = ClassVar("X")
+        p = Def(Definitions({X: Method((), Instance(X, ()))}), Instance(X, ()))
+        q = sigma_process(p, R, S)
+        assert isinstance(q, Def)
+        body = q.body
+        assert isinstance(body, Instance)
+        assert body.classref is X
+
+    def test_idempotent_on_closed_process(self):
+        x = Name("x")
+        p = New((x,), val_msg(x, Lit(1)))
+        assert sigma_process(p, R, S) == p or str(sigma_process(p, R, S)) == str(p)
+
+
+class TestSigmaDefinitions:
+    def test_group_variables_stay_simple(self):
+        X, Y = ClassVar("X"), ClassVar("Y")
+        d = Definitions({
+            X: Method((), Instance(Y, ())),
+            Y: Method((), Instance(X, ())),
+        })
+        t = sigma_definitions(d, R, S)
+        for m in t.clauses.values():
+            body = m.body
+            assert isinstance(body, Instance)
+            assert isinstance(body.classref, ClassVar)
+
+    def test_free_names_in_bodies_translated(self):
+        X = ClassVar("X")
+        db = Name("database")
+        d = Definitions({X: Method((), msg(db, "newChunk"))})
+        t = sigma_definitions(d, R, S)
+        (m,) = t.clauses.values()
+        body = m.body
+        assert isinstance(body, Message)
+        assert body.subject == LocatedName(R, db)
+
+    def test_params_stay_bound(self):
+        X = ClassVar("X")
+        p = Name("p")
+        d = Definitions({X: Method((p,), val_msg(p, Lit(1)))})
+        t = sigma_definitions(d, R, S)
+        (m,) = t.clauses.values()
+        body = m.body
+        assert isinstance(body, Message)
+        assert body.subject is p
+
+    def test_external_classvar_located(self):
+        X, Z = ClassVar("X"), ClassVar("Z")
+        d = Definitions({X: Method((), Instance(Z, ()))})
+        t = sigma_definitions(d, R, S)
+        (m,) = t.clauses.values()
+        body = m.body
+        assert isinstance(body, Instance)
+        assert body.classref == LocatedClassVar(R, Z)
+
+
+class TestRoundTrip:
+    def test_ship_there_and_back_restores_identifiers(self):
+        """sigma_sr . sigma_rs is the identity on free identifiers
+        mentioning only r and s."""
+        x, y = Name("x"), Name("y")
+        p = val_msg(x, y, LocatedName(S, Name("p")))
+        shipped = sigma_process(p, R, S)
+        back = sigma_process(shipped, S, R)
+        assert isinstance(back, Message)
+        assert back.subject is x
+        assert back.args[0] is y
+        # s.p went local at s, then back to located-at-s from r's view.
+        assert isinstance(back.args[1], LocatedName)
+        assert back.args[1].site == S

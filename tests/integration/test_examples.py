@@ -1,0 +1,87 @@
+"""The example scripts must run cleanly end to end (deliverable b)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, argv: list[str] | None = None, capsys=None):
+    old_argv = sys.argv
+    sys.argv = [str(EXAMPLES / name)] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamplesRun:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "42" in out and "type-checks" in out
+        # Both engines printed the same values.
+        assert "reductions: 5 communications, 5 instantiations" in out
+
+    def test_applet_server(self, capsys):
+        run_example("applet_server.py")
+        out = capsys.readouterr().out
+        assert "[42, 42]" in out
+        assert "shipped applet ran here" in out
+        assert "instantiations @server: 0" in out
+
+    def test_seti(self, capsys):
+        run_example("seti_at_home.py", ["3"])
+        out = capsys.readouterr().out
+        assert "worker0: 3 chunk(s)" in out
+        assert "no worker code" in out
+
+    def test_rpc(self, capsys):
+        run_example("rpc.py")
+        out = capsys.readouterr().out
+        assert "SHIPM steps:        2" in out
+        assert "got the reply" in out
+
+    def test_mobile_agent_tour(self, capsys):
+        run_example("mobile_agent_tour.py", ["3"])
+        out = capsys.readouterr().out
+        assert "collected readings: [100, 111, 122]" in out
+
+    def test_token_ring(self, capsys):
+        run_example("token_ring.py", ["4", "2"])
+        out = capsys.readouterr().out
+        assert "final token value: 8" in out
+
+    def test_typechecked_network(self, capsys):
+        run_example("typechecked_network.py")
+        out = capsys.readouterr().out
+        assert "rejected statically" in out
+        assert "submission refused" in out
+        assert "packet rejected at the server boundary" in out
+        assert "server printed: [42]" in out
+
+
+class TestSampleProgramsViaCli:
+    PROGRAMS = Path(__file__).resolve().parents[2] / "examples" / "programs"
+
+    def test_cell_program(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", str(self.PROGRAMS / "cell.dityco")]) == 0
+        assert capsys.readouterr().out.strip() == "42"
+
+    def test_factorial_program(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", str(self.PROGRAMS / "factorial.dityco")]) == 0
+        assert capsys.readouterr().out.strip() == "3628800"
+
+    def test_applet_session(self, capsys):
+        from repro.cli import main
+
+        assert main(["net",
+                     str(self.PROGRAMS / "applet_network.tycosh")]) == 0
+        assert "42" in capsys.readouterr().out

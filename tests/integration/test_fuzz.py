@@ -1,0 +1,120 @@
+"""Fuzz tests: hostile inputs must fail cleanly, never hang or corrupt.
+
+Three attack surfaces: source text (lexer/parser), wire buffers
+(decode), and assembly listings (asmparser).  Each must either succeed
+or raise its module's documented exception -- anything else (crash,
+hang, wrong exception) is a bug.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.compiler import AsmParseError, parse_assembly
+from repro.lang import LexError, Lexer, ParseError, parse_program
+from repro.runtime.wire import WireError, decode, encode
+
+
+class TestLexerFuzz:
+    @settings(max_examples=200, deadline=None)
+    @given(st.text(max_size=200))
+    def test_arbitrary_text(self, source):
+        try:
+            tokens = Lexer(source).tokens()
+        except LexError:
+            return
+        assert tokens[-1].kind.name == "EOF"
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.text(alphabet="xy!?[](){}|=,.0123456789 \n", max_size=100))
+    def test_punctuation_soup(self, source):
+        try:
+            Lexer(source).tokens()
+        except LexError:
+            pass
+
+
+class TestParserFuzz:
+    @settings(max_examples=200, deadline=None)
+    @given(st.text(max_size=150))
+    def test_arbitrary_text(self, source):
+        try:
+            parse_program(source)
+        except (ParseError, LexError):
+            pass
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.text(
+        alphabet="xyzw XYZ new def in and if then else let import export "
+                 "from ! ? [ ] ( ) { } | = , 0 1 true",
+        max_size=120))
+    def test_keyword_soup(self, source):
+        try:
+            parse_program(source)
+        except (ParseError, LexError):
+            pass
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(1, 30))
+    def test_deep_nesting(self, depth):
+        source = "(" * depth + "0" + ")" * depth
+        assert parse_program(source) is not None
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(ParseError):
+            parse_program("((((0")
+
+    def test_runaway_def_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("def X() = def Y() = 0")
+
+
+class TestWireFuzz:
+    @settings(max_examples=300, deadline=None)
+    @given(st.binary(max_size=200))
+    def test_arbitrary_bytes(self, data):
+        try:
+            value = decode(data)
+        except WireError:
+            return
+        except RecursionError:
+            return  # deeply nested valid prefixes: acceptable rejection
+        # Whatever decoded must re-encode (canonical form).
+        assert decode(encode(value)) == value
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.binary(max_size=60))
+    def test_corrupted_valid_packet(self, noise):
+        base = encode((1, "val", (1, 2, True, "payload")))
+        for cut in (3, len(base) // 2, len(base) - 1):
+            corrupted = base[:cut] + noise
+            try:
+                decode(corrupted)
+            except WireError:
+                pass
+
+    def test_length_bomb_rejected_cheaply(self):
+        # A string header claiming 2^40 bytes with a 3-byte body must
+        # fail immediately, not allocate.
+        bomb = bytes([0x05]) + b"\xff\xff\xff\xff\xff\x3f" + b"abc"
+        with pytest.raises(WireError):
+            decode(bomb)
+
+
+class TestAsmFuzz:
+    @settings(max_examples=150, deadline=None)
+    @given(st.text(max_size=200))
+    def test_arbitrary_text(self, source):
+        try:
+            parse_assembly(source)
+        except AsmParseError:
+            pass
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.text(alphabet="block object group pushc pushl halt 0123 ()[];=,->b'",
+                   max_size=150))
+    def test_assembly_soup(self, source):
+        try:
+            parse_assembly(source)
+        except AsmParseError:
+            pass

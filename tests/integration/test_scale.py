@@ -1,0 +1,158 @@
+"""Scale and soak tests: the runtime must stay correct as the network
+and the programs grow well past the sizes the unit tests use."""
+
+import pytest
+
+from repro.runtime import DiTyCONetwork
+from repro.transport import SimWorld
+
+
+class TestManySites:
+    def test_fifty_clients_one_server(self):
+        net = DiTyCONetwork()
+        net.add_node("hub")
+        # A recursive pump so every client is served.
+        net.launch("hub", "server", """
+        export new svc
+        def Pump(self) = self?{ call(reply, tag) = (reply![tag] | Pump[self]) }
+        in Pump[svc]
+        """)
+        n = 50
+        for i in range(n):
+            ip = f"c{i}"
+            net.add_node(ip)
+            net.launch(ip, f"client{i}", f"""
+            import svc from server in
+            new a (svc!call[a, {i}] | a?(v) = print![v])
+            """)
+        net.run()
+        for i in range(n):
+            assert net.site(f"client{i}").output == [i]
+        assert net.is_quiescent()
+
+    def test_twenty_sites_one_node(self):
+        net = DiTyCONetwork()
+        net.add_node("n1")
+        net.launch("n1", "server", """
+        export new svc
+        def Pump(self) = self?{ call(reply, tag) = (reply![tag] | Pump[self]) }
+        in Pump[svc]
+        """)
+        for i in range(20):
+            net.launch("n1", f"local{i}", f"""
+            import svc from server in
+            new a (svc!call[a, {i}] | a?(v) = print![v])
+            """)
+        net.run()
+        outs = [net.site(f"local{i}").output for i in range(20)]
+        assert outs == [[i] for i in range(20)]
+        # Everything stayed on the shared-memory fast path.
+        assert net.world.stats.packets == 0
+
+
+class TestDeepPrograms:
+    def test_deep_recursion_class(self):
+        net = DiTyCONetwork()
+        net.add_node("n1")
+        site = net.launch("n1", "s", """
+        def Down(n) = if n > 0 then Down[n - 1] else print!["bottom"]
+        in Down[20000]
+        """)
+        net.run()
+        assert site.output == ["bottom"]
+        assert site.vm.stats.inst_reductions == 20001
+
+    def test_wide_fanout(self):
+        net = DiTyCONetwork()
+        net.add_node("n1")
+        site = net.launch("n1", "s", """
+        def Tree(d) = if d > 0 then (Tree[d - 1] | Tree[d - 1]) else 0
+        in Tree[12]
+        """)
+        net.run()
+        assert site.vm.stats.inst_reductions == 2 ** 13 - 1
+
+    def test_long_remote_chain(self):
+        """A value relayed through 12 sites across 4 nodes."""
+        hops = 12
+        net = DiTyCONetwork()
+        ips = [f"n{i % 4}" for i in range(hops)]
+        for ip in sorted(set(ips)):
+            net.add_node(ip)
+        for i in range(hops):
+            nxt = i + 1
+            if nxt < hops:
+                body = (f"export new relay{i} relay{i}?(v) = "
+                        f"(import relay{nxt} from stage{nxt} "
+                        f"in relay{nxt}![v + 1])")
+            else:
+                body = f"export new relay{i} relay{i}?(v) = print![v]"
+            net.launch(ips[i], f"stage{i}", body)
+        net.launch(ips[0], "starter",
+                   "import relay0 from stage0 in relay0![0]")
+        net.run()
+        assert net.site(f"stage{hops - 1}").output == [hops - 1]
+
+
+class TestChurn:
+    def test_repeated_submissions_and_reaping(self):
+        net = DiTyCONetwork()
+        node = net.add_node("n1")
+        for round_ in range(10):
+            net.launch("n1", f"job{round_}", f"print![{round_}]")
+            net.run()
+            node.tycoi.reap()
+        # All finished jobs were reaped.
+        assert len(node.sites) == 0
+
+    def test_interleaved_fetch_and_messages(self):
+        net = DiTyCONetwork()
+        net.add_nodes(["n1", "n2"])
+        net.launch("n1", "server", """
+        export def Job(out, k) = out![k * k]
+        in export new svc
+        def Pump(self) = self?{ ping(r) = (r![0] | Pump[self]) }
+        in Pump[svc]
+        """)
+        clients = []
+        for i in range(10):
+            name = f"mix{i}"
+            if i % 2 == 0:
+                src = (f"import Job from server in "
+                       f"new v (Job[v, {i}] | v?(w) = print![w])")
+            else:
+                src = (f"import svc from server in "
+                       f"new a (svc!ping[a] | a?(z) = print![{i}])")
+            net.launch("n2", name, src)
+            clients.append((name, i))
+        net.run()
+        for name, i in clients:
+            expected = [i * i] if i % 2 == 0 else [i]
+            assert net.site(name).output == expected
+        # Even indices instantiated locally after a single shared FETCH
+        # protocol per site.
+        total_fetches = sum(net.site(n).stats.fetch_requests_sent
+                            for n, _ in clients)
+        assert total_fetches == 5  # one per even-indexed site
+
+
+class TestDeterminismAtScale:
+    def _run(self):
+        net = DiTyCONetwork()
+        net.add_nodes([f"n{i}" for i in range(4)])
+        net.launch("n0", "server", """
+        export new svc
+        def Pump(self) = self?{ call(reply, tag) = (reply![tag] | Pump[self]) }
+        in Pump[svc]
+        """)
+        for i in range(12):
+            net.launch(f"n{i % 4}", f"c{i}", f"""
+            import svc from server in
+            new a (svc!call[a, {i}] | a?(v) = print![v * 10])
+            """)
+        elapsed = net.run()
+        outputs = {f"c{i}": net.site(f"c{i}").output for i in range(12)}
+        return elapsed, outputs, net.world.stats.packets
+
+    def test_identical_across_runs(self):
+        assert self._run() == self._run()

@@ -1,0 +1,76 @@
+"""Tests for the site I/O port: console output plus user input
+("users may selectively provide data to running programs or receive
+data from them", section 5)."""
+
+import pytest
+
+from repro.runtime import DiTyCONetwork
+
+
+@pytest.fixture()
+def net():
+    n = DiTyCONetwork()
+    n.add_node("n1")
+    return n
+
+
+class TestInput:
+    def test_posted_value_reaches_waiting_object(self, net):
+        site = net.launch("n1", "s", "stdin?(v) = print![v * 2]")
+        net.run()
+        site.post_input("stdin", "val", (21,))
+        net.run()
+        assert site.output == [42]
+
+    def test_input_queues_until_consumer_ready(self, net):
+        site = net.launch("n1", "s", """
+        new gate (
+          (gate?(go) = (stdin?(v) = print![v]))
+        | gate![1]
+        )
+        """)
+        net.run()
+        site.post_input("stdin", "val", (7,))
+        net.run()
+        assert site.output == [7]
+
+    def test_labelled_input(self, net):
+        site = net.launch("n1", "s", """
+        commands?{ start(n) = print![n], stop() = print!["stopped"] }
+        """)
+        net.run()
+        site.post_input("commands", "stop")
+        net.run()
+        assert site.output == ["stopped"]
+
+    def test_unknown_channel_rejected(self, net):
+        site = net.launch("n1", "s", "print![1]")
+        net.run()
+        with pytest.raises(KeyError):
+            site.post_input("nosuch", "val", (1,))
+
+    def test_interactive_loop(self, net):
+        site = net.launch("n1", "s", """
+        def Echo(self) = self?(v) = (print![v] | Echo[self])
+        in new inbox (Echo[inbox] | stdin?(x) = inbox![x])
+        """)
+        net.run()
+        site.post_input("stdin", "val", ("hello",))
+        net.run()
+        assert site.output == ["hello"]
+
+
+class TestOutput:
+    def test_console_accumulates_in_order_single_thread(self, net):
+        site = net.launch("n1", "s", """
+        def Seq(n) = if n < 3 then (print![n] | Seq[n + 1]) else 0
+        in Seq[0]
+        """)
+        net.run()
+        assert site.output == [0, 1, 2]
+
+    def test_output_property_is_live(self, net):
+        site = net.launch("n1", "s", "print![1]")
+        assert site.output == []
+        net.run()
+        assert site.output == [1]

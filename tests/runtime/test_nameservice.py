@@ -1,0 +1,131 @@
+"""Unit tests for the network name service."""
+
+import pytest
+
+from repro.runtime import (
+    NameService,
+    NameServiceError,
+    ReplicatedNameService,
+    UnknownSiteName,
+)
+from repro.vm.values import NetRef, RemoteClassRef
+
+
+class TestSiteTable:
+    def test_register_assigns_ids(self):
+        ns = NameService()
+        a = ns.register_site("alpha", "10.0.0.1")
+        b = ns.register_site("beta", "10.0.0.2")
+        assert a != b
+
+    def test_reregister_same_ip_idempotent(self):
+        ns = NameService()
+        a = ns.register_site("alpha", "10.0.0.1")
+        assert ns.register_site("alpha", "10.0.0.1") == a
+
+    def test_reregister_other_ip_conflict(self):
+        ns = NameService()
+        ns.register_site("alpha", "10.0.0.1")
+        with pytest.raises(NameServiceError):
+            ns.register_site("alpha", "10.0.0.2")
+
+    def test_lookup_site(self):
+        ns = NameService()
+        sid = ns.register_site("alpha", "10.0.0.1")
+        rec = ns.lookup_site("alpha")
+        assert rec.site_id == sid and rec.ip == "10.0.0.1"
+
+    def test_lookup_unknown_site(self):
+        ns = NameService()
+        with pytest.raises(UnknownSiteName):
+            ns.lookup_site("ghost")
+
+
+class TestIdTable:
+    def test_export_and_lookup(self):
+        ns = NameService()
+        sid = ns.register_site("server", "10.0.0.1")
+        ns.export_name("server", "appletserver", 42)
+        ref = ns.lookup_name("server", "appletserver")
+        assert ref == NetRef(heap_id=42, site_id=sid, ip="10.0.0.1")
+
+    def test_lookup_missing_returns_none(self):
+        ns = NameService()
+        ns.register_site("server", "10.0.0.1")
+        assert ns.lookup_name("server", "nope") is None
+        assert ns.stats.misses == 1
+
+    def test_lookup_unknown_site_returns_none(self):
+        ns = NameService()
+        assert ns.lookup_name("ghost", "x") is None
+
+    def test_export_requires_registered_site(self):
+        ns = NameService()
+        with pytest.raises(UnknownSiteName):
+            ns.export_name("ghost", "x", 1)
+
+    def test_class_table(self):
+        ns = NameService()
+        sid = ns.register_site("server", "10.0.0.1")
+        ns.export_class("server", "Applet", 7)
+        ref = ns.lookup_class("server", "Applet")
+        assert ref == RemoteClassRef(class_id=7, site_id=sid, ip="10.0.0.1")
+
+    def test_counts(self):
+        ns = NameService()
+        ns.register_site("a", "ip1")
+        ns.export_name("a", "x", 1)
+        ns.export_class("a", "X", 1)
+        assert ns.site_count() == 1
+        assert ns.exported_count() == 2
+
+
+class TestSubscriptions:
+    def test_callbacks_fired_on_registration(self):
+        ns = NameService()
+        events = []
+        ns.subscribe(lambda: events.append(1))
+        ns.register_site("a", "ip")
+        ns.export_name("a", "x", 1)
+        assert len(events) == 2
+
+
+class TestReplicated:
+    def test_writes_visible_in_replicas(self):
+        ns = ReplicatedNameService()
+        rep = ns.replica("10.0.0.2")
+        sid = ns.register_site("server", "10.0.0.1")
+        ns.export_name("server", "svc", 3)
+        ref = rep.lookup_name("server", "svc")
+        assert ref == NetRef(3, sid, "10.0.0.1")
+
+    def test_replica_created_after_writes_sees_history(self):
+        ns = ReplicatedNameService()
+        sid = ns.register_site("server", "10.0.0.1")
+        ns.export_name("server", "svc", 3)
+        rep = ns.replica("10.0.0.3")
+        assert rep.lookup_name("server", "svc") == NetRef(3, sid, "10.0.0.1")
+
+    def test_drop_replica_recovery(self):
+        ns = ReplicatedNameService()
+        ns.register_site("server", "10.0.0.1")
+        ns.export_name("server", "svc", 3)
+        ns.replica("10.0.0.2")
+        ns.drop_replica("10.0.0.2")
+        # A fresh replica (recovered node) has the full state again.
+        rep = ns.replica("10.0.0.2")
+        assert rep.lookup_name("server", "svc") is not None
+
+    def test_replica_write_count(self):
+        ns = ReplicatedNameService()
+        ns.replica("a")
+        ns.replica("b")
+        ns.register_site("s", "ip")
+        ns.export_name("s", "x", 1)
+        assert ns.replica_writes == 4  # 2 replicas x 2 writes
+
+    def test_site_ids_consistent_across_replicas(self):
+        ns = ReplicatedNameService()
+        rep = ns.replica("a")
+        sid = ns.register_site("s1", "ip1")
+        assert rep.lookup_site("s1").site_id == sid

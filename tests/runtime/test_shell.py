@@ -1,0 +1,102 @@
+"""Tests for TyCOsh, the user shell (section 5)."""
+
+import pytest
+
+from repro.runtime import DiTyCONetwork, ShellError, TycoShell
+
+
+@pytest.fixture()
+def net():
+    network = DiTyCONetwork()
+    network.add_nodes(["n1", "n2"])
+    return network
+
+
+@pytest.fixture()
+def shell(net):
+    return TycoShell(net)
+
+
+class TestProgrammatic:
+    def test_run_program(self, net, shell):
+        shell.run_program("n1", "solo", "print![7]")
+        net.run()
+        assert net.site("solo").output == [7]
+
+    def test_run_file(self, net, shell, tmp_path):
+        path = tmp_path / "prog.dityco"
+        path.write_text("print![11]")
+        shell.run_file("n1", "filesite", path)
+        net.run()
+        assert net.site("filesite").output == [11]
+
+
+class TestCommands:
+    def test_eval_and_step_and_out(self, net, shell):
+        shell.execute("eval n1 solo print![42]")
+        shell.execute("step")
+        shell.execute("out solo")
+        assert "42" in shell.lines[-1]
+
+    def test_nodes_lists_all(self, net, shell):
+        shell.execute("nodes")
+        assert any("n1" in l for l in shell.lines)
+        assert any("n2" in l for l in shell.lines)
+
+    def test_sites_shows_state(self, net, shell):
+        shell.execute("eval n1 svc export new svc svc?(w) = print![w]")
+        shell.execute("step")
+        shell.execute("sites")
+        assert any("svc@n1" in l for l in shell.lines)
+
+    def test_run_command(self, net, shell, tmp_path):
+        path = tmp_path / "p.dityco"
+        path.write_text("print![1]")
+        shell.execute(f"run n1 fromfile {path}")
+        shell.execute("step")
+        assert net.site("fromfile").output == [1]
+
+    def test_ns_command(self, net, shell):
+        shell.execute("eval n1 server export new svc svc?(w) = 0")
+        shell.execute("step")
+        shell.execute("ns")
+        assert any("exported ids: 1" in l for l in shell.lines)
+
+    def test_distributed_session(self, net, shell):
+        shell.execute_script("""
+        # a two-site session
+        eval n1 server export new svc svc?(w) = print![w]
+        eval n2 client import svc from server in svc![99]
+        step
+        out server
+        """)
+        assert "99" in shell.lines[-1]
+
+    def test_stalled_site_reported(self, net, shell):
+        shell.execute("eval n2 waiting import ghost from nowhere in ghost![1]")
+        shell.execute("step")
+        shell.execute("sites")
+        assert any("stalled" in l for l in shell.lines)
+
+
+class TestErrors:
+    def test_unknown_command(self, shell):
+        with pytest.raises(ShellError):
+            shell.execute("frobnicate")
+
+    def test_bad_run_usage(self, shell):
+        with pytest.raises(ShellError):
+            shell.execute("run n1 onlytwo")
+
+    def test_bad_out_usage(self, shell):
+        with pytest.raises(ShellError):
+            shell.execute("out")
+
+    def test_bad_eval_usage(self, shell):
+        with pytest.raises(ShellError):
+            shell.execute("eval n1 onlyname")
+
+    def test_empty_and_comment_lines_ignored(self, shell):
+        shell.execute("")
+        shell.execute("   ")
+        shell.execute_script("# just a comment\n\n")

@@ -1,0 +1,156 @@
+"""Unit and property tests for the wire format (repro.runtime.wire)."""
+
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.compiler import CodeBundle, Instr, Op, compile_source, extract_bundle
+from repro.runtime.wire import (
+    KIND_MESSAGE,
+    Packet,
+    WireError,
+    decode,
+    encode,
+)
+from repro.vm.values import NetRef, RemoteClassRef
+
+
+class TestPrimitives:
+    @pytest.mark.parametrize("v", [
+        None, True, False, 0, 1, -1, 127, 128, -128, 2**40, -(2**40),
+        3.14, -0.0, 1e300, "", "hello", "unicode: éÿ",
+        b"", b"\x00\xff", (), (1, 2), [1, "a", True], {}, {"k": 1},
+        (1, (2, (3,))), {"nested": {"deep": [1, (2,)]}},
+    ])
+    def test_round_trip(self, v):
+        assert decode(encode(v)) == v
+
+    def test_bool_not_confused_with_int(self):
+        assert decode(encode(True)) is True
+        assert decode(encode(1)) == 1
+        assert decode(encode(1)) is not True
+
+    def test_netref(self):
+        ref = NetRef(7, 3, "10.0.0.1")
+        assert decode(encode(ref)) == ref
+
+    def test_remote_classref(self):
+        ref = RemoteClassRef(2, 5, "10.0.0.9")
+        assert decode(encode(ref)) == ref
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(WireError):
+            decode(encode(1) + b"\x00")
+
+    def test_truncated_rejected(self):
+        data = encode("hello world")
+        with pytest.raises(WireError):
+            decode(data[:-3])
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(WireError):
+            decode(b"\xfe")
+
+    def test_unencodable_rejected(self):
+        with pytest.raises(WireError):
+            encode(object())
+
+    def test_non_str_dict_key_rejected(self):
+        with pytest.raises(WireError):
+            encode({1: 2})
+
+    def test_empty_buffer_rejected(self):
+        with pytest.raises(WireError):
+            decode(b"")
+
+
+class TestVarints:
+    @pytest.mark.parametrize("n", [0, 1, -1, 63, 64, -64, -65, 2**31,
+                                   -(2**31), 2**70, -(2**70)])
+    def test_integer_extremes(self, n):
+        assert decode(encode(n)) == n
+
+    def test_small_ints_compact(self):
+        assert len(encode(0)) == 2   # tag + 1 varint byte
+        assert len(encode(63)) == 2
+        assert len(encode(64)) == 3
+
+
+class TestCode:
+    def test_instr_round_trip(self):
+        ins = Instr(Op.TRMSG, ("read", 2))
+        assert decode(encode(ins)) == ins
+
+    def test_every_opcode_encodes(self):
+        for op in Op:
+            ins = Instr(op, (1, 2))
+            out = decode(encode(ins))
+            assert out.op is op
+
+    def test_bundle_round_trip(self):
+        prog = compile_source(
+            "def Cell(s, v) = s?{ read(r) = r![v] | Cell[s, v], "
+            "write(u) = Cell[s, u] } in new x Cell[x, 9]")
+        bundle = extract_bundle(prog, group_roots=(0,))
+        out = decode(encode(bundle))
+        assert isinstance(out, CodeBundle)
+        assert len(out.blocks) == len(bundle.blocks)
+        assert out.entry_groups == bundle.entry_groups
+        assert [b.instrs for b in out.blocks] == [b.instrs for b in bundle.blocks]
+
+    def test_object_bundle_round_trip(self):
+        prog = compile_source("new a x?{ m(p) = (p![1] | a![2]), n() = 0 }")
+        bundle = extract_bundle(
+            prog, block_roots=tuple(prog.objects[0].methods.values()))
+        out = decode(encode(bundle))
+        assert len(out.blocks) == len(bundle.blocks)
+
+
+class TestPackets:
+    def test_packet_round_trip(self):
+        pkt = Packet(kind=KIND_MESSAGE, src_ip="a", src_site_id=1,
+                     dest_ip="b", dest_site_id=2,
+                     payload=(5, "val", (1, True, NetRef(1, 1, "a"))))
+        out = decode(encode(pkt))
+        assert out == pkt
+
+    def test_wire_size_positive(self):
+        pkt = Packet(kind=KIND_MESSAGE, src_ip="a", src_site_id=1,
+                     dest_ip="b", dest_site_id=2, payload=(1, "val", ()))
+        assert pkt.wire_size() > 10
+
+
+# -- property tests ----------------------------------------------------------
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**63), max_value=2**63),
+    st.floats(allow_nan=False),
+    st.text(max_size=30),
+    st.binary(max_size=30),
+    st.builds(NetRef, st.integers(0, 2**20), st.integers(0, 1000),
+              st.text(max_size=10)),
+)
+
+_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.lists(children, max_size=4).map(tuple),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=20,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(_values)
+def test_round_trip_property(v):
+    assert decode(encode(v)) == v
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers())
+def test_any_integer_round_trips(n):
+    assert decode(encode(n)) == n

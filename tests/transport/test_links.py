@@ -1,0 +1,57 @@
+"""Unit tests for link and cluster models."""
+
+from repro.transport import (
+    FAST_ETHERNET,
+    LOOPBACK,
+    MYRINET,
+    ClusterModel,
+    LinkModel,
+    fast_ethernet_cluster,
+    myrinet_cluster,
+)
+
+
+class TestLinkModel:
+    def test_transfer_time_small_packet_latency_bound(self):
+        t = MYRINET.transfer_time(64)
+        assert abs(t - (9e-6 + 64 / 120e6)) < 1e-12
+
+    def test_transfer_time_large_packet_bandwidth_bound(self):
+        size = 10_000_000
+        t = MYRINET.transfer_time(size)
+        assert t > size / 120e6
+        assert t < size / 120e6 + 1e-3
+
+    def test_myrinet_beats_fast_ethernet(self):
+        for size in (64, 1024, 65536, 1_000_000):
+            assert MYRINET.transfer_time(size) < FAST_ETHERNET.transfer_time(size)
+
+    def test_latency_dominates_small_bandwidth_dominates_large(self):
+        # For a tiny packet, latency is >90% of the time on Myrinet.
+        t_small = MYRINET.transfer_time(16)
+        assert MYRINET.latency_s / t_small > 0.9
+        # For a 10 MB transfer, latency is <1%.
+        t_large = MYRINET.transfer_time(10_000_000)
+        assert MYRINET.latency_s / t_large < 0.01
+
+    def test_loopback_fastest(self):
+        assert LOOPBACK.transfer_time(64) < MYRINET.transfer_time(64)
+
+
+class TestClusterModel:
+    def test_presets(self):
+        myri = myrinet_cluster()
+        fe = fast_ethernet_cluster()
+        assert myri.link is MYRINET
+        assert fe.link is FAST_ETHERNET
+        assert myri.cpus_per_node == 2  # dual-processor PCs (figure 1)
+
+    def test_with_link(self):
+        c = myrinet_cluster().with_link(FAST_ETHERNET)
+        assert c.link is FAST_ETHERNET
+        assert "fast-ethernet" in c.name
+
+    def test_with_context_switch_ablation(self):
+        c = myrinet_cluster().with_context_switch(1e-4)
+        assert c.context_switch_s == 1e-4
+        assert myrinet_cluster().context_switch_s != 1e-4

@@ -1,0 +1,99 @@
+"""Tests for human-readable type rendering (repro.types.display)."""
+
+from repro.core import Label, Name
+from repro.lang import parse_process
+from repro.types import (
+    BOOL,
+    DYN,
+    INT,
+    ChanType,
+    RowEmpty,
+    RowVar,
+    TVar,
+    infer_program,
+    make_row,
+    prune,
+)
+from repro.types.display import format_env, format_type
+
+
+class TestBasics:
+    def test_basic_types(self):
+        assert format_type(INT) == "int"
+        assert format_type(BOOL) == "bool"
+        assert format_type(DYN) == "dyn"
+
+    def test_variables_named_in_order(self):
+        a, b = TVar(0), TVar(0)
+        chan = ChanType(make_row({Label("m"): (a, b, a)}, RowEmpty()))
+        out = format_type(chan)
+        assert out == "^{m('a, 'b, 'a)}"
+
+    def test_open_row_shows_tail(self):
+        chan = ChanType(make_row({Label("m"): (INT,)}, RowVar(0)))
+        out = format_type(chan)
+        assert out.startswith("^{m(int), ..'")
+
+    def test_methods_sorted(self):
+        chan = ChanType(make_row(
+            {Label("zz"): (), Label("aa"): ()}, RowEmpty()))
+        out = format_type(chan)
+        assert out.index("aa") < out.index("zz")
+
+    def test_pruned_before_render(self):
+        a = TVar(0)
+        a.instance = INT
+        assert format_type(a) == "int"
+
+
+class TestRecursiveTypes:
+    def test_mu_notation(self):
+        # c = ^{ next(c) }
+        c = ChanType(RowEmpty())
+        c.row = make_row({Label("next"): (c,)}, RowEmpty())
+        out = format_type(c)
+        assert out == "rec t1 . ^{next(t1)}"
+
+    def test_mutually_recursive_rendering_terminates(self):
+        a = ChanType(RowEmpty())
+        b = ChanType(RowEmpty())
+        a.row = make_row({Label("tob"): (b,)}, RowEmpty())
+        b.row = make_row({Label("toa"): (a,)}, RowEmpty())
+        out = format_type(a)
+        assert "rec" in out and out.count("tob") == 1
+
+    def test_shared_but_acyclic_not_rec(self):
+        inner = ChanType(make_row({Label("v"): (INT,)}, RowEmpty()))
+        outer = ChanType(make_row(
+            {Label("l"): (inner,), Label("r"): (inner,)}, RowEmpty()))
+        out = format_type(outer)
+        assert "rec" not in out
+
+
+class TestInferredPrograms:
+    def test_cell_self_type(self):
+        src = """
+        def Cell(self, v) =
+          self ? { read(r) = r![v] | Cell[self, v],
+                   write(u) = Cell[self, u] }
+        in new x (Cell[x, 9] | new z (x!read[z] | z?(w) = print![w]))
+        """
+        term = parse_process(src)
+        env = infer_program(term)
+        # The free name print carries an int.
+        rendered = format_env(env)
+        assert "print" in rendered
+        assert "int" in rendered
+
+    def test_pipeline_type_is_chain_of_chans(self):
+        term = parse_process("new a (a![1] | a?(w) = b![w])")
+        env = infer_program(term)
+        (b,) = [n for n in env if n.hint == "b"]
+        out = format_type(prune(env[b]))
+        assert out.startswith("^{val(int)")
+
+    def test_format_env_sorted_lines(self):
+        term = parse_process("zeta![1] | alpha![2]")
+        env = infer_program(term)
+        lines = format_env(env).splitlines()
+        assert lines == sorted(lines)

@@ -1,0 +1,454 @@
+"""Unit tests for type inference (repro.types.infer)."""
+
+import pytest
+
+from repro.core import (
+    BinOp,
+    ClassVar,
+    Def,
+    Definitions,
+    ExportDef,
+    ExportNew,
+    If,
+    ImportClass,
+    ImportName,
+    Instance,
+    Label,
+    Lit,
+    LocatedClassVar,
+    LocatedName,
+    Message,
+    Method,
+    Name,
+    New,
+    Nil,
+    Object,
+    Par,
+    Site,
+    UnOp,
+    msg,
+    obj,
+    par,
+    single_def,
+    val_msg,
+    val_obj,
+)
+from repro.types import (
+    BOOL,
+    ChanType,
+    ClassArityError,
+    CyclicImportError,
+    INT,
+    STRING,
+    TycoTypeError,
+    UnboundClassVarError,
+    check_network,
+    infer_program,
+    prune,
+    row_entries,
+)
+
+
+def make_cell(scope):
+    """The paper's polymorphic Cell class (section 2)."""
+    Cell = ClassVar("Cell")
+    self_, v, r, u = Name("self"), Name("v"), Name("r"), Name("u")
+    body = Object(self_, {
+        Label("read"): Method((r,), par(val_msg(r, v), Instance(Cell, (self_, v)))),
+        Label("write"): Method((u,), Instance(Cell, (self_, u))),
+    })
+    return Def(Definitions({Cell: Method((self_, v), body)}), scope(Cell))
+
+
+class TestExpressions:
+    def _type_of(self, expr):
+        x = Name("x")
+        env = infer_program(val_msg(x, expr))
+        t = prune(env[x])
+        assert isinstance(t, ChanType)
+        entries, _ = row_entries(t.row)
+        (args,) = entries.values()
+        return prune(args[0])
+
+    def test_int_literal(self):
+        assert self._type_of(Lit(3)) == INT
+
+    def test_bool_literal(self):
+        assert self._type_of(Lit(True)) == BOOL
+
+    def test_string_literal(self):
+        assert self._type_of(Lit("hi")) == STRING
+
+    def test_arith(self):
+        assert self._type_of(BinOp("+", Lit(1), Lit(2))) == INT
+
+    def test_string_concat(self):
+        assert self._type_of(BinOp("+", Lit("a"), Lit("b"))) == STRING
+
+    def test_comparison_is_bool(self):
+        assert self._type_of(BinOp("<", Lit(1), Lit(2))) == BOOL
+
+    def test_equality_is_bool(self):
+        assert self._type_of(BinOp("==", Lit(1), Lit(2))) == BOOL
+
+    def test_not(self):
+        assert self._type_of(UnOp("not", Lit(True))) == BOOL
+
+    def test_unary_minus(self):
+        assert self._type_of(UnOp("-", Lit(3))) == INT
+
+    def test_arith_type_error(self):
+        with pytest.raises(TycoTypeError):
+            infer_program(val_msg(Name("x"), BinOp("+", Lit(1), Lit(True))))
+
+    def test_bool_op_type_error(self):
+        with pytest.raises(TycoTypeError):
+            infer_program(val_msg(Name("x"), BinOp("and", Lit(1), Lit(True))))
+
+    def test_minus_on_string_rejected(self):
+        with pytest.raises(TycoTypeError):
+            infer_program(val_msg(Name("x"), BinOp("-", Lit("a"), Lit("b"))))
+
+    def test_not_on_int_rejected(self):
+        with pytest.raises(TycoTypeError):
+            infer_program(val_msg(Name("x"), UnOp("not", Lit(3))))
+
+
+class TestProcesses:
+    def test_message_object_agree(self):
+        x, w = Name("x"), Name("w")
+        p = par(val_msg(x, Lit(1)), val_obj(x, (w,), Nil()))
+        env = infer_program(p)
+        t = prune(env[x])
+        assert isinstance(t, ChanType)
+
+    def test_message_object_disagree(self):
+        x, w = Name("x"), Name("w")
+        p = par(
+            val_msg(x, Lit(1)),
+            val_obj(x, (w,), val_msg(Name("y"), BinOp("and", w, Lit(True)))),
+        )
+        # w must be bool (used in 'and') but the message sends int.
+        with pytest.raises(TycoTypeError):
+            infer_program(p)
+
+    def test_protocol_error_missing_method(self):
+        x = Name("x")
+        p = par(
+            msg(x, "read", Name("r")),
+            Object(x, {Label("write"): Method((Name("u"),), Nil())}),
+        )
+        with pytest.raises(TycoTypeError):
+            infer_program(p)
+
+    def test_message_arity_error(self):
+        x = Name("x")
+        p = par(
+            msg(x, "m", Lit(1)),
+            Object(x, {Label("m"): Method((Name("a"), Name("b")), Nil())}),
+        )
+        with pytest.raises(TycoTypeError):
+            infer_program(p)
+
+    def test_two_objects_same_methods_ok(self):
+        x = Name("x")
+        p = par(
+            val_obj(x, (Name("a"),), Nil()),
+            val_obj(x, (Name("b"),), Nil()),
+        )
+        infer_program(p)
+
+    def test_two_objects_different_methods_rejected(self):
+        x = Name("x")
+        p = par(
+            Object(x, {Label("m"): Method((), Nil())}),
+            Object(x, {Label("n"): Method((), Nil())}),
+        )
+        with pytest.raises(TycoTypeError):
+            infer_program(p)
+
+    def test_if_requires_bool(self):
+        with pytest.raises(TycoTypeError):
+            infer_program(If(Lit(1), Nil(), Nil()))
+
+    def test_if_branches_checked(self):
+        x = Name("x")
+        p = If(Lit(True), val_msg(x, Lit(1)),
+               val_msg(x, Lit(True)))
+        with pytest.raises(TycoTypeError):
+            infer_program(p)
+
+    def test_new_scopes_types(self):
+        # The same hint in two scopes may have different types.
+        x1, x2 = Name("x"), Name("x")
+        p = par(
+            New((x1,), par(val_msg(x1, Lit(1)), val_obj(x1, (Name("a"),), Nil()))),
+            New((x2,), par(val_msg(x2, Lit(True)), val_obj(x2, (Name("b"),), Nil()))),
+        )
+        infer_program(p)
+
+
+class TestClasses:
+    def test_unbound_classvar(self):
+        with pytest.raises(UnboundClassVarError):
+            infer_program(Instance(ClassVar("X"), ()))
+
+    def test_class_arity_error(self):
+        X = ClassVar("X")
+        p = single_def(X, (Name("a"),), Nil(), Instance(X, ()))
+        with pytest.raises(ClassArityError):
+            infer_program(p)
+
+    def test_class_arg_type_flows(self):
+        X = ClassVar("X")
+        a, y, w = Name("a"), Name("y"), Name("w")
+        # y carries X's int arg; y's consumer treats the payload as bool.
+        q = New((y,), par(
+            single_def(X, (a,), val_msg(y, a), Instance(X, (Lit(1),))),
+            val_obj(y, (w,), If(w, Nil(), Nil())),
+        ))
+        with pytest.raises(TycoTypeError):
+            infer_program(q)
+
+    def test_recursion_monomorphic(self):
+        # def X(n) = X[n] in X[1]  -- fine.
+        X = ClassVar("X")
+        n = Name("n")
+        infer_program(single_def(X, (n,), Instance(X, (n,)), Instance(X, (Lit(1),))))
+
+    def test_cell_is_polymorphic(self):
+        """The paper's headline: one Cell class instantiated at int and
+        at bool (requires generalisation at def)."""
+
+        def scope(Cell):
+            x, y = Name("x"), Name("y")
+            return par(
+                New((x,), Instance(Cell, (x, Lit(9)))),
+                New((y,), Instance(Cell, (y, Lit(True)))),
+            )
+
+        infer_program(make_cell(scope))
+
+    def test_cell_read_returns_value_type(self):
+        def scope(Cell):
+            x, z, w, out = Name("x"), Name("z"), Name("w"), Name("out")
+            return New((x,), par(
+                Instance(Cell, (x, Lit(9))),
+                New((z,), par(
+                    msg(x, "read", z),
+                    # Use the read value as a bool: must fail since the
+                    # cell holds an int.
+                    val_obj(z, (w,), If(w, Nil(), Nil())),
+                )),
+            ))
+
+        with pytest.raises(TycoTypeError):
+            infer_program(make_cell(scope))
+
+    def test_monomorphic_recursion_rejects_polymorphic_use(self):
+        # def X(a) = X[1] in X[true]: recursive call forces a=int, the
+        # outer use instantiates the *generalised* scheme, so bool is
+        # fine there -- but inside the group a is monomorphic.
+        X = ClassVar("X")
+        a = Name("a")
+        p = single_def(X, (a,), Instance(X, (Lit(1),)), Instance(X, (Lit(True),)))
+        with pytest.raises(TycoTypeError):
+            infer_program(p)
+
+    def test_mutually_recursive_group(self):
+        Even, Odd = ClassVar("Even"), ClassVar("Odd")
+        n = Name("n")
+        m = Name("m")
+        defs = Definitions({
+            Even: Method((n,), If(BinOp("==", n, Lit(0)), Nil(),
+                                  Instance(Odd, (BinOp("-", n, Lit(1)),)))),
+            Odd: Method((m,), If(BinOp("==", m, Lit(0)), Nil(),
+                                 Instance(Even, (BinOp("-", m, Lit(1)),)))),
+        })
+        infer_program(Def(defs, Instance(Even, (Lit(4),))))
+
+
+class TestRecursiveTypes:
+    def test_linked_list_infers_equirecursive_type(self):
+        """A cons-list where each cell's 'next' carries another cell of
+        the same channel type: inference must build a cyclic type and
+        terminate (rational trees)."""
+        from repro.lang import parse_process
+
+        src = """
+        def Nil(self) =
+          self?{ empty(r) = (r![true] | Nil[self]) }
+        and Cons(self, head, tail) =
+          self?{ empty(r)  = (r![false] | Cons[self, head, tail]),
+                 head(r)  = (r![head] | Cons[self, head, tail]),
+                 tail(r)  = (r![tail] | Cons[self, head, tail]) }
+        in new n0 n1 n2 (
+          Nil[n0] | Cons[n1, 10, n0] | Cons[n2, 20, n1]
+        | new r (n2!tail[r] | r?(t) = new q (t!head[q] | q?(h) = print![h]))
+        )
+        """
+        term = parse_process(src)
+        env = infer_program(term)  # must terminate and succeed
+
+    def test_recursive_type_renders_with_mu(self):
+        from repro.lang import parse_process
+        from repro.types import format_type
+        from repro.types.typeterms import prune
+
+        # self-feeding channel: x carries x.
+        src = "new x (x![x] | x?(y) = y![y])"
+        term = parse_process(src)
+        infer_program(term)  # the cyclic unification must terminate
+
+    def test_self_carrying_channel_ok(self):
+        from repro.lang import parse_process
+
+        term = parse_process("new x x![x]")
+        infer_program(term)
+
+
+class TestConsoleIsDynamic:
+    def test_print_accepts_mixed_types(self):
+        # `print` is a builtin console: a dynamic sink (section 7).
+        p = Name("print")
+        prog = par(val_msg(p, Lit(1)), val_msg(p, Lit(True)),
+                   val_msg(p, Lit("s")))
+        infer_program(prog)
+
+    def test_ordinary_free_name_is_monomorphic(self):
+        x = Name("x")
+        prog = par(val_msg(x, Lit(1)), val_msg(x, Lit(True)))
+        with pytest.raises(TycoTypeError):
+            infer_program(prog)
+
+    def test_console_type_reported_as_dyn(self):
+        from repro.types import DYN
+
+        p = Name("print")
+        env = infer_program(val_msg(p, Lit(1)))
+        assert env[p] is DYN
+
+    def test_free_names_shared_across_scopes(self):
+        # The same free name used in two binder scopes must have ONE
+        # type: int in one scope, bool in the other is an error.
+        x, a, b, u, w = Name("x"), Name("a"), Name("b"), Name("u"), Name("w")
+        prog = par(
+            New((a,), par(val_msg(a, Lit(1)), val_obj(a, (u,), val_msg(x, u)))),
+            New((b,), par(val_msg(b, Lit(True)), val_obj(b, (w,), val_msg(x, w)))),
+        )
+        with pytest.raises(TycoTypeError):
+            infer_program(prog)
+
+
+class TestDynBoundary:
+    def test_located_name_is_dynamic(self):
+        s = Site("s")
+        # A remote name accepts anything in single-site mode.
+        p = par(
+            val_msg(LocatedName(s, Name("x")), Lit(1)),
+            val_msg(LocatedName(s, Name("x")), Lit(True)),
+        )
+        infer_program(p)
+
+    def test_located_class_is_dynamic(self):
+        s = Site("s")
+        X = ClassVar("X")
+        infer_program(Instance(LocatedClassVar(s, X), (Lit(1),)))
+
+
+class TestCheckNetwork:
+    SERVER, CLIENT = Site("server"), Site("client")
+
+    def test_import_name_type_flows_across_sites(self):
+        svc = Name("svc")
+        w = Name("w")
+        server_prog = ExportNew((svc,), val_obj(svc, (w,), If(w, Nil(), Nil())))
+        ph = Name("svc")
+        client_prog = ImportName(ph, self.SERVER, val_msg(ph, Lit(1)))
+        # server treats the payload as bool; client sends int.
+        with pytest.raises(TycoTypeError):
+            check_network({self.SERVER: server_prog, self.CLIENT: client_prog})
+
+    def test_compatible_network_passes(self):
+        svc = Name("svc")
+        w = Name("w")
+        server_prog = ExportNew((svc,), val_obj(svc, (w,), If(w, Nil(), Nil())))
+        ph = Name("svc")
+        client_prog = ImportName(ph, self.SERVER, val_msg(ph, Lit(True)))
+        sigs = check_network({self.SERVER: server_prog, self.CLIENT: client_prog})
+        assert "svc" in sigs[self.SERVER].names
+
+    def test_import_class_scheme_checked(self):
+        X = ClassVar("Applet")
+        a = Name("a")
+        # Applet(a) uses a as a bool.
+        server_prog = ExportDef(
+            Definitions({X: Method((a,), If(a, Nil(), Nil()))}), Nil())
+        ph = ClassVar("Applet")
+        client_prog = ImportClass(ph, self.SERVER, Instance(ph, (Lit(3),)))
+        with pytest.raises(TycoTypeError):
+            check_network({self.SERVER: server_prog, self.CLIENT: client_prog})
+
+    def test_import_class_polymorphic_across_sites(self):
+        # The exported class is polymorphic: two clients use different
+        # instantiations.
+        X = ClassVar("Id")
+        a, y = Name("a"), Name("y")
+        server_prog = ExportDef(
+            Definitions({X: Method((a, y), val_msg(y, a))}), Nil())
+        c1 = ImportClass(ClassVar("Id"), self.SERVER,
+                         New((Name("z"),), Instance(ClassVar("Id"), ())))
+        # Build proper programs: each client instantiates with its own type.
+        ph1 = ClassVar("Id")
+        z1 = Name("z1")
+        client1 = ImportClass(ph1, self.SERVER,
+                              New((z1,), Instance(ph1, (Lit(1), z1))))
+        ph2 = ClassVar("Id")
+        z2 = Name("z2")
+        client2 = ImportClass(ph2, self.SERVER,
+                              New((z2,), Instance(ph2, (Lit(True), z2))))
+        check_network({
+            self.SERVER: server_prog,
+            Site("c1"): client1,
+            Site("c2"): client2,
+        })
+
+    def test_missing_export_detected(self):
+        ph = ClassVar("Nope")
+        client_prog = ImportClass(ph, self.SERVER, Instance(ph, ()))
+        with pytest.raises(TycoTypeError):
+            check_network({self.SERVER: Nil(), self.CLIENT: client_prog})
+
+    def test_cyclic_class_imports_rejected(self):
+        s1, s2 = Site("s1"), Site("s2")
+        X1, X2 = ClassVar("A"), ClassVar("B")
+        prog1 = ExportDef(
+            Definitions({X1: Method((), Nil())}),
+            ImportClass(ClassVar("B"), s2, Instance(ClassVar("B"), ())),
+        )
+        prog2 = ExportDef(
+            Definitions({X2: Method((), Nil())}),
+            ImportClass(ClassVar("A"), s1, Instance(ClassVar("A"), ())),
+        )
+        # Rebuild with bodies wired correctly.
+        phB = ClassVar("B")
+        prog1 = ExportDef(Definitions({X1: Method((), Nil())}),
+                          ImportClass(phB, s2, Instance(phB, ())))
+        phA = ClassVar("A")
+        prog2 = ExportDef(Definitions({X2: Method((), Nil())}),
+                          ImportClass(phA, s1, Instance(phA, ())))
+        with pytest.raises(CyclicImportError):
+            check_network({s1: prog1, s2: prog2})
+
+    def test_rpc_example_types(self):
+        """The section-3 RPC example, typed end to end."""
+        R, S = Site("r"), Site("s")
+        p, u, x, rr = Name("p"), Name("u"), Name("x"), Name("rr")
+        server_prog = ExportNew((p,), obj(p, val=((x, rr), val_msg(rr, u))))
+        ph = Name("p")
+        v, a, y = Name("v"), Name("a"), Name("y")
+        client_prog = ImportName(ph, R, New((v, a), par(
+            Message(ph, Label("val"), (v, a)),
+            val_obj(a, (y,), Nil()),
+        )))
+        check_network({R: server_prog, S: client_prog})

@@ -1,0 +1,115 @@
+"""Property-based tests for type inference.
+
+Invariants: inference is deterministic, invariant under reordering of
+parallel components (the type system types the soup, not a schedule),
+and agrees with evaluation on the generated well-typed fragment
+(accepted programs never trip the VM's dynamic checks -- checked in
+tests/integration/test_differential.py; here we check the static side).
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import (
+    BinOp,
+    ClassVar,
+    If,
+    Instance,
+    Label,
+    Lit,
+    Message,
+    Method,
+    Name,
+    New,
+    Nil,
+    Object,
+    Par,
+    flatten_par,
+    par,
+    single_def,
+    val_msg,
+    val_obj,
+)
+from repro.types import TycoTypeError, infer_program
+from repro.types.display import format_type
+from repro.types import prune
+
+
+@st.composite
+def typed_units(draw):
+    """Independent well-typed units (each owns its channels)."""
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        x, w = Name("x"), Name("w")
+        lit = Lit(draw(st.integers(-5, 5)))
+        return New((x,), par(val_msg(x, lit),
+                             val_obj(x, (w,), val_msg(x.fresh(), w))))
+    if kind == 1:
+        k = draw(st.integers(0, 3))
+        C = ClassVar("C")
+        n = Name("n")
+        body = If(BinOp(">", n, Lit(0)),
+                  Instance(C, (BinOp("-", n, Lit(1)),)), Nil())
+        return single_def(C, (n,), body, Instance(C, (Lit(k),)))
+    if kind == 2:
+        x, w = Name("x"), Name("w")
+        b = draw(st.booleans())
+        return New((x,), par(
+            val_msg(x, Lit(b)),
+            val_obj(x, (w,), If(w, Nil(), Nil())),
+        ))
+    x, y, w = Name("x"), Name("y"), Name("w")
+    return New((x, y), par(
+        val_msg(x, y),
+        val_obj(x, (w,), val_msg(w, Lit(1))),
+        val_obj(y, (Name("z"),), Nil()),
+    ))
+
+
+@st.composite
+def typed_programs(draw):
+    units = draw(st.lists(typed_units(), min_size=1, max_size=5))
+    return par(*units)
+
+
+def env_signature(env):
+    return sorted((n.hint, format_type(prune(t))) for n, t in env.items())
+
+
+@settings(max_examples=60, deadline=None)
+@given(typed_programs())
+def test_generated_programs_typecheck(p):
+    infer_program(p)
+
+
+@settings(max_examples=60, deadline=None)
+@given(typed_programs())
+def test_inference_deterministic(p):
+    assert env_signature(infer_program(p)) == env_signature(infer_program(p))
+
+
+@settings(max_examples=60, deadline=None)
+@given(typed_programs(), st.randoms())
+def test_inference_invariant_under_par_permutation(p, rnd):
+    leaves = flatten_par(p)
+    shuffled = list(leaves)
+    rnd.shuffle(shuffled)
+    e1 = env_signature(infer_program(par(*leaves)))
+    e2 = env_signature(infer_program(par(*shuffled)))
+    assert e1 == e2
+
+
+@settings(max_examples=40, deadline=None)
+@given(typed_programs())
+def test_adding_ill_typed_unit_fails(p):
+    """Poisoning any accepted program with a protocol violation on a
+    fresh channel must flip the verdict."""
+    import pytest
+
+    x = Name("poison")
+    bad = New((x,), par(
+        Message(x, Label("go"), (Lit(1),)),
+        Object(x, {Label("other"): Method((), Nil())}),
+    ))
+    with pytest.raises(TycoTypeError):
+        infer_program(Par(p, bad))

@@ -1,0 +1,85 @@
+"""Unit tests for type-term helpers (repro.types.typeterms)."""
+
+from repro.core import Label
+from repro.types import (
+    BOOL,
+    INT,
+    ChanType,
+    RowEmpty,
+    RowVar,
+    TVar,
+    free_type_vars,
+    make_row,
+    prune,
+    prune_row,
+    row_entries,
+    unify,
+)
+
+
+class TestPrune:
+    def test_follows_chain_with_compression(self):
+        a, b, c = TVar(0), TVar(0), TVar(0)
+        a.instance = b
+        b.instance = c
+        c.instance = INT
+        assert prune(a) == INT
+        # Path compressed: a now points (nearly) directly at the end.
+        assert a.instance is not b or prune(a) == INT
+
+    def test_row_prune(self):
+        r1, r2 = RowVar(0), RowVar(0)
+        r1.instance = r2
+        r2.instance = RowEmpty()
+        assert isinstance(prune_row(r1), RowEmpty)
+
+
+class TestRowEntries:
+    def test_flattening(self):
+        l1, l2 = Label("a"), Label("b")
+        tail = RowVar(0)
+        row = make_row({l1: (INT,), l2: (BOOL,)}, tail)
+        entries, t = row_entries(row)
+        assert entries == {l1: (INT,), l2: (BOOL,)}
+        assert t is tail
+
+    def test_first_occurrence_wins(self):
+        from repro.types import RowEntry
+
+        l = Label("a")
+        inner = RowEntry(l, (BOOL,), RowEmpty())
+        outer = RowEntry(l, (INT,), inner)
+        entries, _ = row_entries(outer)
+        assert entries[l] == (INT,)
+
+
+class TestFreeTypeVars:
+    def test_plain_var(self):
+        a = TVar(0)
+        assert free_type_vars(a) == {a.id}
+
+    def test_bound_var_excluded(self):
+        a = TVar(0)
+        a.instance = INT
+        assert free_type_vars(a) == set()
+
+    def test_vars_inside_rows(self):
+        a = TVar(0)
+        tail = RowVar(0)
+        chan = ChanType(make_row({Label("m"): (a,)}, tail))
+        assert free_type_vars(chan) == {a.id, tail.id}
+
+    def test_cyclic_type_terminates(self):
+        c = ChanType(RowEmpty())
+        a = TVar(0)
+        c.row = make_row({Label("next"): (c, a)}, RowEmpty())
+        assert free_type_vars(c) == {a.id}
+
+    def test_basic_has_no_vars(self):
+        assert free_type_vars(INT) == set()
+
+    def test_vars_shared_after_unification(self):
+        a, b = TVar(0), TVar(0)
+        unify(a, b)
+        chan = ChanType(make_row({Label("m"): (a, b)}, RowEmpty()))
+        assert len(free_type_vars(chan)) == 1

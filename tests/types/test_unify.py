@@ -1,0 +1,194 @@
+"""Unit tests for type/row unification (repro.types.unify)."""
+
+import pytest
+
+from repro.core import Label
+from repro.types import (
+    BOOL,
+    DYN,
+    INT,
+    STRING,
+    Basic,
+    ChanType,
+    MethodArityError,
+    MissingMethodError,
+    RowEmpty,
+    RowEntry,
+    RowVar,
+    TVar,
+    UnifyError,
+    make_row,
+    prune,
+    prune_row,
+    row_entries,
+    unify,
+    unify_rows,
+)
+
+
+def tv(level=0):
+    return TVar(level)
+
+
+def rv(level=0):
+    return RowVar(level)
+
+
+class TestBasicUnification:
+    def test_same_basic(self):
+        unify(INT, INT)  # no raise
+
+    def test_different_basic(self):
+        with pytest.raises(UnifyError):
+            unify(INT, BOOL)
+
+    def test_var_binds_to_basic(self):
+        a = tv()
+        unify(a, INT)
+        assert prune(a) == INT
+
+    def test_var_binds_to_var(self):
+        a, b = tv(), tv()
+        unify(a, b)
+        unify(b, INT)
+        assert prune(a) == INT
+
+    def test_transitive_chain(self):
+        vs = [tv() for _ in range(10)]
+        for x, y in zip(vs, vs[1:]):
+            unify(x, y)
+        unify(vs[-1], STRING)
+        assert all(prune(v) == STRING for v in vs)
+
+    def test_dyn_absorbs(self):
+        unify(DYN, INT)
+        unify(BOOL, DYN)
+        a = tv()
+        unify(a, DYN)  # the var may stay a var or bind to dyn
+
+    def test_basic_vs_chan(self):
+        with pytest.raises(UnifyError):
+            unify(INT, ChanType(RowEmpty()))
+
+
+class TestRowUnification:
+    def test_closed_identical(self):
+        l = Label("m")
+        r1 = make_row({l: (INT,)}, RowEmpty())
+        r2 = make_row({l: (INT,)}, RowEmpty())
+        unify_rows(r1, r2)
+
+    def test_closed_arg_mismatch(self):
+        l = Label("m")
+        r1 = make_row({l: (INT,)}, RowEmpty())
+        r2 = make_row({l: (BOOL,)}, RowEmpty())
+        with pytest.raises(UnifyError):
+            unify_rows(r1, r2)
+
+    def test_method_arity_mismatch(self):
+        l = Label("m")
+        r1 = make_row({l: (INT,)}, RowEmpty())
+        r2 = make_row({l: (INT, INT)}, RowEmpty())
+        with pytest.raises(MethodArityError):
+            unify_rows(r1, r2)
+
+    def test_open_row_gains_entry(self):
+        l, k = Label("m"), Label("n")
+        tail = rv()
+        r1 = make_row({l: (INT,)}, tail)
+        r2 = make_row({l: (INT,), k: (BOOL,)}, RowEmpty())
+        unify_rows(r1, r2)
+        entries, t = row_entries(r1)
+        assert set(entries) == {l, k}
+        assert isinstance(t, RowEmpty)
+
+    def test_closed_row_missing_method(self):
+        l, k = Label("m"), Label("n")
+        r1 = make_row({l: (INT,)}, RowEmpty())
+        r2 = make_row({k: (BOOL,)}, RowEmpty())
+        with pytest.raises(MissingMethodError):
+            unify_rows(r1, r2)
+
+    def test_two_open_rows_merge(self):
+        l, k = Label("m"), Label("n")
+        r1 = make_row({l: (INT,)}, rv())
+        r2 = make_row({k: (BOOL,)}, rv())
+        unify_rows(r1, r2)
+        e1, t1 = row_entries(r1)
+        e2, t2 = row_entries(r2)
+        assert set(e1) == set(e2) == {l, k}
+        assert t1 is t2  # shared fresh tail
+
+    def test_row_var_binds_whole_row(self):
+        l = Label("m")
+        v = rv()
+        r2 = make_row({l: (INT,)}, RowEmpty())
+        unify_rows(v, r2)
+        entries, tail = row_entries(v)
+        assert set(entries) == {l}
+
+    def test_self_extension_rejected(self):
+        # { m: int | r } ~ r  would require an infinite record.
+        l = Label("m")
+        v = rv()
+        r1 = RowEntry(l, (INT,), v)
+        k = Label("n")
+        r2 = make_row({k: (BOOL,)}, v)
+        with pytest.raises(UnifyError):
+            unify_rows(r1, r2)
+
+    def test_common_entries_unify_inner_vars(self):
+        l = Label("m")
+        a = tv()
+        r1 = make_row({l: (a,)}, RowEmpty())
+        r2 = make_row({l: (INT,)}, RowEmpty())
+        unify_rows(r1, r2)
+        assert prune(a) == INT
+
+
+class TestChanUnification:
+    def test_chan_types_unify_rows(self):
+        l = Label("m")
+        a = tv()
+        c1 = ChanType(make_row({l: (a,)}, rv()))
+        c2 = ChanType(make_row({l: (INT,)}, RowEmpty()))
+        unify(c1, c2)
+        assert prune(a) == INT
+
+    def test_recursive_type_terminates(self):
+        # c = ^{ next(c) } unified with itself and with an isomorphic copy.
+        l = Label("next")
+        c1 = ChanType(RowEmpty())
+        c1.row = make_row({l: (c1,)}, RowEmpty())
+        c2 = ChanType(RowEmpty())
+        c2.row = make_row({l: (c2,)}, RowEmpty())
+        unify(c1, c2)  # must terminate (rational trees)
+
+    def test_recursive_type_vs_var(self):
+        l = Label("next")
+        c1 = ChanType(RowEmpty())
+        c1.row = make_row({l: (c1,)}, RowEmpty())
+        a = tv()
+        unify(a, c1)
+        assert prune(a) is c1
+
+
+class TestLevels:
+    def test_binding_lowers_levels(self):
+        outer = tv(level=0)
+        inner = tv(level=5)
+        unify(outer, inner)
+        # whichever direction the bind went, the remaining var must be
+        # at the outer level so it is not wrongly generalised.
+        rest = prune(outer)
+        assert isinstance(rest, TVar)
+        assert rest.level == 0
+
+    def test_row_binding_lowers_levels(self):
+        l = Label("m")
+        deep = tv(level=7)
+        row = make_row({l: (deep,)}, RowEmpty())
+        shallow_tail = rv(level=1)
+        open_row = make_row({}, shallow_tail)
+        unify_rows(open_row, row)
+        assert deep.level <= 1

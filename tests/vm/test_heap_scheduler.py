@@ -1,0 +1,100 @@
+"""Unit tests for the VM heap, run-queue and value helpers."""
+
+import pytest
+
+from repro.vm import Channel, ClassRef, Heap, NetRef, RemoteClassRef, RunQueue, Thread
+from repro.vm.values import is_channel_value, value_repr
+
+
+class TestHeap:
+    def test_ids_unique_and_monotonic(self):
+        heap = Heap()
+        ids = [heap.new_channel().heap_id for _ in range(10)]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 10
+
+    def test_get_resolves(self):
+        heap = Heap()
+        ch = heap.new_channel(hint="x")
+        assert heap.get(ch.heap_id) is ch
+
+    def test_get_unknown(self):
+        with pytest.raises(KeyError):
+            Heap().get(99)
+
+    def test_len_and_iter(self):
+        heap = Heap()
+        chans = [heap.new_channel() for _ in range(3)]
+        assert len(heap) == 3
+        assert set(heap) == set(chans)
+
+    def test_live_queues(self):
+        heap = Heap()
+        a = heap.new_channel()
+        heap.new_channel()
+        assert heap.live_queues() == 0
+        a.messages.append(("val", (1,)))
+        assert heap.live_queues() == 1
+
+    def test_builtin_channel(self):
+        heap = Heap()
+        seen = []
+        ch = heap.new_channel(builtin=lambda l, a: seen.append((l, a)))
+        ch.builtin("val", (1,))
+        assert seen == [("val", (1,))]
+
+
+class TestRunQueue:
+    def test_fifo_order(self):
+        q = RunQueue()
+        t1, t2 = Thread(0, []), Thread(1, [])
+        q.push(t1)
+        q.push(t2)
+        assert q.pop() is t1
+        assert q.pop() is t2
+
+    def test_context_switches_counted(self):
+        q = RunQueue()
+        for i in range(5):
+            q.push(Thread(i, []))
+        for _ in range(5):
+            q.pop()
+        assert q.context_switches == 5
+
+    def test_max_depth(self):
+        q = RunQueue()
+        for i in range(7):
+            q.push(Thread(i, []))
+        q.pop()
+        q.push(Thread(9, []))
+        assert q.max_depth == 7
+
+    def test_bool_and_len(self):
+        q = RunQueue()
+        assert not q
+        q.push(Thread(0, []))
+        assert q and len(q) == 1
+
+
+class TestValues:
+    def test_is_channel_value(self):
+        assert is_channel_value(Channel(1))
+        assert is_channel_value(NetRef(1, 1, "ip"))
+        assert not is_channel_value(42)
+        assert not is_channel_value(ClassRef(0, [], 0, 0))
+
+    def test_value_repr_forms(self):
+        assert value_repr(True) == "true"
+        assert value_repr(False) == "false"
+        assert value_repr(3) == "3"
+        assert value_repr("s") == "'s'"
+        assert "net" in value_repr(NetRef(1, 2, "ip"))
+        assert "chan" in value_repr(Channel(5, hint="c"))
+        assert "class" in value_repr(RemoteClassRef(1, 2, "ip"))
+
+    def test_netref_equality_structural(self):
+        assert NetRef(1, 2, "a") == NetRef(1, 2, "a")
+        assert NetRef(1, 2, "a") != NetRef(1, 2, "b")
+
+    def test_channel_repr_mentions_hint(self):
+        assert "reply" in repr(Channel(3, hint="reply"))

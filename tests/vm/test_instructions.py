@@ -1,0 +1,235 @@
+"""Instruction-level VM tests: hand-assembled blocks, one opcode at a
+time (complements the compile-driven tests)."""
+
+import pytest
+
+from repro.compiler import ClassGroup, CodeBlock, Instr, ObjectCode, Op, Program
+from repro.vm import ClassRef, TycoVM, VMRuntimeError
+
+
+def machine(*instrs, frame=8, objects=(), groups=(), blocks=()):
+    program = Program()
+    for b in blocks:
+        program.add_block(b)
+    main = CodeBlock(instrs=tuple(instrs), nfree=0, nparams=0,
+                     frame_size=frame, name="main")
+    program.main = program.add_block(main)
+    for o in objects:
+        program.add_object(o)
+    for g in groups:
+        program.add_group(g)
+    vm = TycoVM(program)
+    vm.boot()
+    return vm
+
+
+class TestStackOps:
+    def test_pushc_print(self):
+        vm = machine(Instr(Op.PUSHC, (5,)), Instr(Op.PRINT, (1,)),
+                     Instr(Op.HALT))
+        vm.run()
+        assert vm.output == [5]
+
+    def test_storel_pushl(self):
+        vm = machine(Instr(Op.PUSHC, (9,)), Instr(Op.STOREL, (3,)),
+                     Instr(Op.PUSHL, (3,)), Instr(Op.PRINT, (1,)),
+                     Instr(Op.HALT))
+        vm.run()
+        assert vm.output == [9]
+
+    def test_pop_discards(self):
+        vm = machine(Instr(Op.PUSHC, (1,)), Instr(Op.PUSHC, (2,)),
+                     Instr(Op.POP), Instr(Op.PRINT, (1,)), Instr(Op.HALT))
+        vm.run()
+        assert vm.output == [1]
+
+    def test_print_multiple(self):
+        vm = machine(Instr(Op.PUSHC, (1,)), Instr(Op.PUSHC, (2,)),
+                     Instr(Op.PRINT, (2,)), Instr(Op.HALT))
+        vm.run()
+        assert vm.output == [1, 2]
+
+
+class TestArithmeticOps:
+    @pytest.mark.parametrize("op,a,b,expected", [
+        (Op.ADD, 2, 3, 5),
+        (Op.SUB, 10, 4, 6),
+        (Op.MUL, 6, 7, 42),
+        (Op.DIV, 9, 2, 4),
+        (Op.MOD, 9, 2, 1),
+        (Op.LT, 1, 2, True),
+        (Op.GE, 1, 2, False),
+        (Op.EQ, 3, 3, True),
+        (Op.NE, 3, 3, False),
+        (Op.BAND, True, False, False),
+        (Op.BOR, True, False, True),
+        (Op.ADD, "a", "b", "ab"),
+        (Op.ADD, 1.5, 2.5, 4.0),
+        (Op.DIV, 5.0, 2.0, 2.5),
+    ])
+    def test_binary(self, op, a, b, expected):
+        vm = machine(Instr(Op.PUSHC, (a,)), Instr(Op.PUSHC, (b,)),
+                     Instr(op), Instr(Op.PRINT, (1,)), Instr(Op.HALT))
+        vm.run()
+        assert vm.output == [expected]
+
+    @pytest.mark.parametrize("op,a,b", [
+        (Op.ADD, True, 1),
+        (Op.ADD, "a", 1),
+        (Op.SUB, "a", "b"),
+        (Op.BAND, 1, True),
+        (Op.DIV, 1, 0),
+        (Op.MOD, 1, 0),
+    ])
+    def test_binary_faults(self, op, a, b):
+        vm = machine(Instr(Op.PUSHC, (a,)), Instr(Op.PUSHC, (b,)),
+                     Instr(op), Instr(Op.HALT))
+        with pytest.raises(VMRuntimeError):
+            vm.run()
+
+    def test_eq_mixed_types_is_false_not_fault(self):
+        vm = machine(Instr(Op.PUSHC, (1,)), Instr(Op.PUSHC, ("1",)),
+                     Instr(Op.EQ), Instr(Op.PRINT, (1,)), Instr(Op.HALT))
+        vm.run()
+        assert vm.output == [False]
+
+
+class TestControlFlow:
+    def test_jmp_skips(self):
+        vm = machine(Instr(Op.JMP, (3,)),
+                     Instr(Op.PUSHC, (1,)), Instr(Op.PRINT, (1,)),
+                     Instr(Op.HALT))
+        vm.run()
+        assert vm.output == []
+
+    def test_jmpf_takes_branch_on_false(self):
+        vm = machine(Instr(Op.PUSHC, (False,)), Instr(Op.JMPF, (4,)),
+                     Instr(Op.PUSHC, (1,)), Instr(Op.PRINT, (1,)),
+                     Instr(Op.HALT))
+        vm.run()
+        assert vm.output == []
+
+    def test_jmpf_falls_through_on_true(self):
+        vm = machine(Instr(Op.PUSHC, (True,)), Instr(Op.JMPF, (4,)),
+                     Instr(Op.PUSHC, (1,)), Instr(Op.PRINT, (1,)),
+                     Instr(Op.HALT))
+        vm.run()
+        assert vm.output == [1]
+
+    def test_jmpf_non_bool_faults(self):
+        vm = machine(Instr(Op.PUSHC, (1,)), Instr(Op.JMPF, (2,)),
+                     Instr(Op.HALT))
+        with pytest.raises(VMRuntimeError):
+            vm.run()
+
+    def test_fall_off_end_equals_halt(self):
+        vm = machine(Instr(Op.PUSHC, (1,)), Instr(Op.PRINT, (1,)))
+        vm.run()
+        assert vm.output == [1]
+        assert vm.is_idle()
+
+
+class TestProcessOps:
+    def test_newch_trmsg_trobj(self):
+        body = CodeBlock(
+            instrs=(Instr(Op.PUSHL, (1,)), Instr(Op.PRINT, (1,)),
+                    Instr(Op.HALT)),
+            nfree=1, nparams=1, frame_size=2, name="method")
+        obj = ObjectCode(methods={"val": 0}, name="o")
+        vm = machine(
+            Instr(Op.NEWCH, (0,)),
+            # object at the channel, capturing nothing but... one env
+            # value so the method can observe it: capture the const 9.
+            Instr(Op.PUSHL, (0,)),        # target
+            Instr(Op.PUSHC, (9,)),        # captured env value
+            Instr(Op.TROBJ, (0, 1)),
+            Instr(Op.PUSHL, (0,)),        # target
+            Instr(Op.PUSHC, (33,)),       # arg
+            Instr(Op.TRMSG, ("val", 1)),
+            Instr(Op.HALT),
+            blocks=(body,), objects=(obj,))
+        vm.run()
+        assert vm.output == [33]
+        assert vm.stats.comm_reductions == 1
+
+    def test_fork_spawns(self):
+        branch = CodeBlock(
+            instrs=(Instr(Op.PUSHL, (0,)), Instr(Op.PRINT, (1,)),
+                    Instr(Op.HALT)),
+            nfree=1, nparams=0, frame_size=1, name="branch")
+        vm = machine(
+            Instr(Op.PUSHC, ("forked",)),
+            Instr(Op.FORK, (0, 1)),
+            Instr(Op.HALT),
+            blocks=(branch,))
+        vm.run()
+        assert vm.output == ["forked"]
+        assert vm.stats.forks == 1
+
+    def test_defgroup_builds_cyclic_classrefs(self):
+        clause = CodeBlock(
+            instrs=(Instr(Op.PUSHL, (2,)), Instr(Op.PRINT, (1,)),
+                    Instr(Op.HALT)),
+            nfree=2, nparams=1, frame_size=3, name="clauseA")
+        group = ClassGroup(clauses=(("A", 0), ("B", 0)), nfree=0, name="g")
+        vm = machine(
+            Instr(Op.DEFGROUP, (0, 0, 0)),
+            Instr(Op.PUSHL, (0,)),
+            Instr(Op.PUSHC, (5,)),
+            Instr(Op.INSTOF, (1,)),
+            Instr(Op.HALT),
+            blocks=(clause,), groups=(group,))
+        vm.run()
+        assert vm.output == [5]
+        # The shared env holds both classrefs (mutual recursion ready).
+        thread_frame_cr = vm.program.groups[0]
+        assert thread_frame_cr.clauses == (("A", 0), ("B", 0))
+
+    def test_instof_non_class_faults(self):
+        vm = machine(Instr(Op.PUSHC, (3,)), Instr(Op.PUSHC, (1,)),
+                     Instr(Op.INSTOF, (1,)), Instr(Op.HALT))
+        with pytest.raises(VMRuntimeError):
+            vm.run()
+
+    def test_trmsg_non_channel_faults(self):
+        vm = machine(Instr(Op.PUSHC, (3,)), Instr(Op.PUSHC, (1,)),
+                     Instr(Op.TRMSG, ("val", 1)), Instr(Op.HALT))
+        with pytest.raises(VMRuntimeError):
+            vm.run()
+
+    def test_method_arity_fault(self):
+        body = CodeBlock(instrs=(Instr(Op.HALT),), nfree=0, nparams=2,
+                         frame_size=2, name="m")
+        obj = ObjectCode(methods={"val": 0}, name="o")
+        vm = machine(
+            Instr(Op.NEWCH, (0,)),
+            Instr(Op.PUSHL, (0,)), Instr(Op.TROBJ, (0, 0)),
+            Instr(Op.PUSHL, (0,)), Instr(Op.PUSHC, (1,)),
+            Instr(Op.TRMSG, ("val", 1)),
+            Instr(Op.HALT),
+            blocks=(body,), objects=(obj,))
+        with pytest.raises(VMRuntimeError):
+            vm.run()
+
+
+class TestSpawnValidation:
+    def test_wrong_arg_count_rejected(self):
+        vm = machine(Instr(Op.HALT))
+        block = CodeBlock(instrs=(Instr(Op.HALT),), nfree=0, nparams=1,
+                          frame_size=1, name="b")
+        bid = vm.program.add_block(block)
+        with pytest.raises(VMRuntimeError):
+            vm.spawn(bid, (), ())
+
+    def test_wrong_env_count_rejected(self):
+        vm = machine(Instr(Op.HALT))
+        block = CodeBlock(instrs=(Instr(Op.HALT),), nfree=2, nparams=0,
+                          frame_size=2, name="b")
+        bid = vm.program.add_block(block)
+        with pytest.raises(VMRuntimeError):
+            vm.spawn(bid, (1,), ())
+
+    def test_double_boot_rejected(self):
+        vm = machine(Instr(Op.HALT))
+        with pytest.raises(VMRuntimeError):
+            vm.boot()

@@ -1,0 +1,164 @@
+"""Unit tests for the VM's RemotePort boundary (distribution hooks),
+using a recording fake port -- no runtime stack involved."""
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.vm import (
+    Channel,
+    ImportPending,
+    NetRef,
+    RemoteClassRef,
+    TycoVM,
+)
+
+
+class FakePort:
+    """Records every distribution call; scriptable import results."""
+
+    def __init__(self):
+        self.shipped_messages = []
+        self.shipped_objects = []
+        self.fetches = []
+        self.exports = []
+        self.class_exports = []
+        self.import_results = {}
+        self.pending_imports = set()
+
+    def resolve_external(self, hint):
+        return None
+
+    def ship_message(self, target, label, args):
+        self.shipped_messages.append((target, label, args))
+
+    def ship_object(self, target, methods, env):
+        self.shipped_objects.append((target, dict(methods), env))
+
+    def fetch_instance(self, cref, args):
+        self.fetches.append((cref, args))
+
+    def export_name(self, hint, channel):
+        self.exports.append((hint, channel))
+
+    def import_name(self, hint, site):
+        if (hint, site) in self.pending_imports:
+            raise ImportPending(f"{site}.{hint}")
+        return self.import_results[(hint, site)]
+
+    def export_class(self, hint, classref):
+        self.class_exports.append((hint, classref))
+
+    def import_class(self, hint, site):
+        if (hint, site) in self.pending_imports:
+            raise ImportPending(f"{site}.{hint}")
+        return self.import_results[(hint, site)]
+
+
+def vm_with_port(source):
+    port = FakePort()
+    vm = TycoVM(compile_source(source), port=port)
+    return vm, port
+
+
+class TestShipping:
+    def test_message_to_netref_ships(self):
+        port = FakePort()
+        ref = NetRef(7, 1, "remote")
+        port.import_results[("svc", "server")] = ref
+        vm, _ = vm_with_port("import svc from server in svc!go[1, 2]")
+        vm.port = port
+        vm.boot()
+        vm.run()
+        assert port.shipped_messages == [(ref, "go", (1, 2))]
+        assert vm.stats.remote_messages == 1
+
+    def test_object_to_netref_ships_with_env(self):
+        port = FakePort()
+        ref = NetRef(7, 1, "remote")
+        port.import_results[("spot", "holder")] = ref
+        vm, _ = vm_with_port(
+            "new a import spot from holder in spot?(w) = a![w]")
+        vm.port = port
+        vm.boot()
+        vm.run()
+        ((target, methods, env),) = port.shipped_objects
+        assert target == ref
+        assert set(methods) == {"val"}
+        (captured,) = env
+        assert isinstance(captured, Channel)  # the local `a`
+
+    def test_remote_instance_fetches(self):
+        port = FakePort()
+        cref = RemoteClassRef(3, 1, "remote")
+        port.import_results[("Applet", "server")] = cref
+        vm, _ = vm_with_port("import Applet from server in Applet[10]")
+        vm.port = port
+        vm.boot()
+        vm.run()
+        assert port.fetches == [(cref, (10,))]
+        assert vm.stats.remote_instances == 1
+
+    def test_local_import_result_is_local_channel(self):
+        """A port may resolve an import to a local channel (same-site
+        optimisation); the message then never leaves the VM."""
+        port = FakePort()
+        vm = TycoVM(compile_source(
+            "import svc from me in svc![5]"), port=port)
+        local = vm.heap.new_channel(hint="svc")
+        port.import_results[("svc", "me")] = local
+        vm.boot()
+        vm.run()
+        assert port.shipped_messages == []
+        assert local.messages == [("val", (5,))]
+
+
+class TestExports:
+    def test_export_new_registers(self):
+        vm, port = vm_with_port("export new svc svc?(w) = 0")
+        vm.boot()
+        vm.run()
+        ((hint, channel),) = port.exports
+        assert hint == "svc"
+        assert isinstance(channel, Channel)
+
+    def test_export_class_registers(self):
+        vm, port = vm_with_port("export def A(x) = x![1] in 0")
+        vm.boot()
+        vm.run()
+        ((hint, classref),) = port.class_exports
+        assert hint == "A"
+        assert classref.hint == "A"
+
+
+class TestStalling:
+    def test_pending_import_stalls_thread(self):
+        vm, port = vm_with_port("import svc from server in svc![1]")
+        port.pending_imports.add(("svc", "server"))
+        vm.boot()
+        vm.run()
+        assert vm.is_idle()
+        assert vm.has_stalled()
+        assert port.shipped_messages == []
+
+    def test_resume_after_registration(self):
+        vm, port = vm_with_port("import svc from server in svc![1]")
+        port.pending_imports.add(("svc", "server"))
+        vm.boot()
+        vm.run()
+        # The export appears; the IMPORT re-executes from scratch.
+        ref = NetRef(4, 2, "remote")
+        port.pending_imports.clear()
+        port.import_results[("svc", "server")] = ref
+        vm.resume_stalled()
+        vm.run()
+        assert not vm.has_stalled()
+        assert port.shipped_messages == [(ref, "val", (1,))]
+
+    def test_stall_preserves_sibling_threads(self):
+        vm, port = vm_with_port(
+            "print![99] | import svc from server in svc![1]")
+        port.pending_imports.add(("svc", "server"))
+        vm.boot()
+        vm.run()
+        assert vm.output == [99]
+        assert vm.has_stalled()
