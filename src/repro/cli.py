@@ -8,6 +8,8 @@
     python -m repro check PROGRAM.dityco          static type check
     python -m repro net SESSION.tycosh            scripted TyCOsh session
     python -m repro shell --nodes n1,n2           interactive TyCOsh
+    python -m repro chaos --seed 42 SESSION       one seeded chaos run
+    python -m repro chaos --explore 20 SESSION    sweep seeds, check invariants
 
 The single-program form plays the role of launching one site through
 TyCOsh on a fresh node; the ``net`` form drives a whole simulated
@@ -105,6 +107,94 @@ def _cmd_net(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_crash(spec: str):
+    """``ip@t`` or ``ip@t:restart_t`` -> CrashEvent."""
+    from repro.testkit import CrashEvent
+
+    try:
+        ip, _, times = spec.partition("@")
+        if not ip or not times:
+            raise ValueError(spec)
+        crash_t, _, restart_t = times.partition(":")
+        return CrashEvent(ip=ip, at=float(crash_t),
+                          restart_at=float(restart_t) if restart_t else None)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad crash spec {spec!r}: expected ip@time[:restart_time]")
+
+
+def _chaos_scenario(args: argparse.Namespace):
+    """Build the scenario callable from the program file."""
+    from repro.runtime import TycoShell
+
+    path = Path(args.program)
+    text = path.read_text()
+    nodes = [ip.strip() for ip in args.nodes.split(",")]
+    if path.suffix == ".tycosh":
+        def scenario(net):
+            for ip in nodes:
+                net.add_node(ip)
+            shell = TycoShell(net, write=lambda line: None)
+            shell.execute_script(text)
+    else:
+        def scenario(net):
+            for ip in nodes:
+                net.add_node(ip)
+            net.launch(nodes[0], "main", text)
+    return scenario
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.testkit import ChaosConfig, explore, run_scenario
+
+    config = ChaosConfig(
+        jitter_s=args.jitter,
+        drop_prob=args.drop,
+        dup_prob=args.dup,
+        delay_prob=args.delay_prob,
+        delay_s=args.delay,
+        crashes=tuple(args.crash),
+    )
+    scenario = _chaos_scenario(args)
+    program = args.program
+    if args.explore:
+        report = explore(scenario, range(args.seed, args.seed + args.explore),
+                         config, max_time=args.max_time,
+                         check_termination=args.check_termination,
+                         monitor=args.monitor)
+        print(report.summary(program))
+        return 0 if report.ok() else 3
+    run = run_scenario(scenario, args.seed, config, max_time=args.max_time,
+                       check_termination=args.check_termination,
+                       monitor=args.monitor)
+    print(f"chaos seed={run.seed} {config.describe()}")
+    print(f"quiescent: {'yes' if run.quiescent else 'no'}  "
+          f"elapsed: {run.elapsed:.9f}s")
+    print(f"packets: sent={run.packets} delivered={run.deliveries} "
+          f"dropped={run.chaos_dropped} dup-extra={run.chaos_duplicated} "
+          f"delayed={run.chaos_delayed} crash-dropped={run.crash_dropped}")
+    print("outputs:")
+    from repro.vm.values import value_repr
+
+    for site, values in run.outputs.items():
+        rendered = ", ".join(value_repr(v) for v in values)
+        print(f"  {site}: {rendered}")
+    if run.stalled_sites:
+        print(f"stalled: {', '.join(run.stalled_sites)}")
+    if run.fault_log:
+        print("faults:")
+        for line in run.fault_log.splitlines():
+            print(f"  {line}")
+    if run.violations:
+        print("invariants:")
+        for message in run.violations:
+            print(f"  VIOLATION: {message}")
+    else:
+        print("invariants: ok")
+    print(f"repro: {run.repro(program)}")
+    return 3 if run.violations else 0
+
+
 def _cmd_shell(args: argparse.Namespace) -> int:  # pragma: no cover
     from repro.runtime import DiTyCONetwork
     from repro.runtime.shell import repl
@@ -153,6 +243,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_net.add_argument("--check", action="store_true",
                        help="enable submission-time type checking")
     p_net.set_defaults(func=_cmd_net)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="seeded chaos run / seed exploration over a simulated network")
+    p_chaos.add_argument("program",
+                         help="a .tycosh session script or a .dityco program")
+    p_chaos.add_argument("--seed", type=int, default=0,
+                         help="chaos RNG seed (default: 0)")
+    p_chaos.add_argument("--explore", type=int, metavar="N", default=0,
+                         help="sweep N seeds starting at --seed and check "
+                              "cross-run invariants")
+    p_chaos.add_argument("--nodes", default="n1,n2",
+                         help="comma-separated node IPs (default: n1,n2)")
+    p_chaos.add_argument("--jitter", type=float, default=0.0, metavar="S",
+                         help="delivery jitter window in seconds")
+    p_chaos.add_argument("--drop", type=float, default=0.0, metavar="P",
+                         help="per-packet drop probability")
+    p_chaos.add_argument("--dup", type=float, default=0.0, metavar="P",
+                         help="per-packet duplication probability")
+    p_chaos.add_argument("--delay-prob", type=float, default=0.0, metavar="P",
+                         help="probability of an extra delivery delay")
+    p_chaos.add_argument("--delay", type=float, default=0.0, metavar="S",
+                         help="extra delay upper bound in seconds")
+    p_chaos.add_argument("--crash", type=_parse_crash, action="append",
+                         default=[], metavar="IP@T[:RESTART_T]",
+                         help="crash a node at virtual time T "
+                              "(optionally restart later); repeatable")
+    p_chaos.add_argument("--max-time", type=float, default=5.0,
+                         help="virtual-time bound per run (default: 5.0)")
+    p_chaos.add_argument("--check-termination", action="store_true",
+                         help="interleave Safra's detector and flag "
+                              "early announcements")
+    p_chaos.add_argument("--monitor", action="store_true",
+                         help="install a heartbeat failure detector "
+                              "and check reconfiguration integrity")
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     p_shell = sub.add_parser("shell", help="interactive TyCOsh")
     p_shell.add_argument("--nodes", default="n1,n2")

@@ -75,12 +75,16 @@ class HeartbeatMonitor:
 
     def _tick(self) -> None:
         now = self.world.time
-        # Live nodes heartbeat; failed ones fall silent.
+        # Live nodes heartbeat; failed ones fall silent.  A restarted
+        # node heartbeats again, which also clears its suspicion (the
+        # detector is eventually accurate for healed partitions).
         for ip in self.world.nodes:
             if ip in self.world.failed:
                 continue
             self.last_heartbeat[ip] = now
             self.heartbeats_seen += 1
+            if ip in self.suspected:
+                del self.suspected[ip]
         # Check deadlines.
         for ip, last in self.last_heartbeat.items():
             if ip in self.suspected:
@@ -106,13 +110,4 @@ class HeartbeatMonitor:
         Lookups for these identifiers then return None, so importers
         stall (recoverably) instead of shipping packets into a void.
         """
-        ns = self.nameservice
-        with ns._lock:
-            dead_sites = {name for name, rec in ns._sites.items()
-                          if rec.ip == ip}
-            ns._sites = {k: v for k, v in ns._sites.items()
-                         if k not in dead_sites}
-            ns._names = {k: v for k, v in ns._names.items()
-                         if k[0] not in dead_sites}
-            ns._classes = {k: v for k, v in ns._classes.items()
-                           if k[0] not in dead_sites}
+        self.nameservice.unregister_ip(ip)

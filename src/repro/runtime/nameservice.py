@@ -158,6 +158,39 @@ class NameService:
         with self._lock:
             return len(self._names) + len(self._classes)
 
+    def sites_at(self, ip: str) -> list[SiteRecord]:
+        """Every SiteTable row registered from node ``ip``."""
+        with self._lock:
+            return [rec for rec in self._sites.values() if rec.ip == ip]
+
+    def snapshot(self) -> dict:
+        """A consistent copy of all three tables (testing/diagnostics)."""
+        with self._lock:
+            return {"sites": dict(self._sites),
+                    "names": dict(self._names),
+                    "classes": dict(self._classes)}
+
+    # -- reconfiguration ---------------------------------------------------------
+
+    def unregister_ip(self, ip: str) -> list[str]:
+        """Remove every site registered from ``ip`` plus its exported
+        names and classes; returns the removed site names.
+
+        This is the failure-reconfiguration path: lookups for the
+        removed identifiers then return None, so importers stall
+        (recoverably) instead of shipping packets into a void.
+        """
+        with self._lock:
+            dead = {name for name, rec in self._sites.items()
+                    if rec.ip == ip}
+            self._sites = {k: v for k, v in self._sites.items()
+                           if k not in dead}
+            self._names = {k: v for k, v in self._names.items()
+                           if k[0] not in dead}
+            self._classes = {k: v for k, v in self._classes.items()
+                             if k[0] not in dead}
+            return sorted(dead)
+
     # -- notification ------------------------------------------------------------
 
     def subscribe(self, callback: Callable[[], None]) -> None:
@@ -232,3 +265,11 @@ class ReplicatedNameService(NameService):
             for rep in self._replicas.values():
                 rep._classes[(site_name, id_name)] = class_id
                 self.replica_writes += 1
+
+    def unregister_ip(self, ip: str) -> list[str]:
+        removed = super().unregister_ip(ip)
+        with self._lock:
+            for rep in self._replicas.values():
+                rep.unregister_ip(ip)
+                self.replica_writes += 1
+        return removed

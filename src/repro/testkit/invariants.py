@@ -1,0 +1,116 @@
+"""Invariant checkers for chaos runs.
+
+Each checker takes the post-run world/network and returns a list of
+violation strings (empty = invariant holds).  They encode the safety
+properties the DiTyCO network layer must keep under *any* schedule:
+
+* **message accounting** -- no packet vanishes without a logged fault;
+* **termination safety** -- Safra's detector never announces
+  termination while work remains;
+* **no dangling imports** -- a site stalled on an import really is
+  waiting on an unresolvable name (a stall with a resolvable name
+  means a name-service notification was lost);
+* **name-service integrity** -- after the failure detector
+  reconfigures, no table entry points at a dead node.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.runtime.termination import SafraDetector
+from repro.transport.sim import SimWorld
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.failure import HeartbeatMonitor
+    from repro.runtime.network import DiTyCONetwork
+    from .chaos import ChaosWorld
+
+
+def check_message_accounting(world: "ChaosWorld") -> list[str]:
+    """Every sent packet is delivered, in flight, or attributed to a
+    logged fault (chaos drop or crash drop); duplicates add copies."""
+    if world.in_flight:
+        # A bounded run can end mid-flight; accounting applies only
+        # once the wire has drained.
+        return []
+    balance = world.delivery_balance()
+    if balance != 0:
+        return [f"message accounting broken: deliveries off by "
+                f"{balance:+d} (sent={world.stats.packets} "
+                f"delivered={world.deliveries} "
+                f"chaos-dropped={world.chaos_dropped} "
+                f"crash-dropped={world.dropped_packets} "
+                f"duplicated={world.chaos_duplicated})"]
+    return []
+
+
+def check_termination_not_early(net: "DiTyCONetwork") -> list[str]:
+    """If Safra's detector says *terminated*, the network must actually
+    be quiescent with nothing left on the wire."""
+    world = net.world
+    detector = SafraDetector(world)
+    # Safra needs one clean round after the last receive before it can
+    # announce; three attempts give a fresh detector that chance.
+    detected = any(detector.try_detect() for _ in range(3))
+    if not detected:
+        return []
+    violations = []
+    if not net.is_quiescent():
+        busy = sorted(ip for ip, node in world.nodes.items()
+                      if not node.is_quiescent())
+        violations.append(
+            f"termination detected early: nodes still active: {busy}")
+    if isinstance(world, SimWorld) and world.in_flight:
+        violations.append(
+            f"termination detected early: {world.in_flight} packet(s) "
+            f"still in flight")
+    return violations
+
+
+def check_no_dangling_imports(net: "DiTyCONetwork") -> list[str]:
+    """A stalled import must be *unresolvable*.  Probe: force every
+    stalled site to retry; if any retry resolves, the site sat stalled
+    on a name that was in the name service -- a lost notification.
+
+    The probe mutates the network (it may complete the stalled work),
+    so run it last, after all observations have been taken.
+    """
+    world = net.world
+    probes = []
+    for node in world.nodes.values():
+        if world.is_failed(node.ip):
+            continue
+        for site in node.sites.values():
+            if site.vm.has_stalled():
+                probes.append((site, site.stats.imports_resolved))
+                site.vm.resume_stalled()
+                node.on_work_available()
+    if not probes:
+        return []
+    world.run()
+    return [
+        f"dangling import: site {site.site_name!r} was stalled on a "
+        f"resolvable name (a name-service notification was lost)"
+        for site, resolved_before in probes
+        if site.stats.imports_resolved > resolved_before
+    ]
+
+
+def check_nameservice_integrity(net: "DiTyCONetwork",
+                                monitor: "HeartbeatMonitor") -> list[str]:
+    """After reconfiguration, no name-service row may point at a node
+    the detector suspects (and that has not come back)."""
+    world = net.world
+    violations = []
+    snap = net.nameservice.snapshot()
+    for ip in monitor.suspected:
+        if not world.is_failed(ip):
+            continue  # restarted: entries may legitimately return
+        stale = [rec.site_name for rec in snap["sites"].values()
+                 if rec.ip == ip]
+        if stale:
+            violations.append(
+                f"name service still routes to dead node {ip}: "
+                f"sites {sorted(stale)}")
+    return violations

@@ -19,10 +19,11 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.node import Node
+    from repro.vm.trace import NetTracer
 
 
 @dataclass(slots=True)
@@ -40,6 +41,15 @@ class World(ABC):
     def __init__(self) -> None:
         self.nodes: dict[str, "Node"] = {}
         self.stats = TransportStats()
+        # Optional network event log (repro.vm.trace.NetTracer); the
+        # chaos testkit installs one to capture fault schedules.
+        self.tracer: Optional["NetTracer"] = None
+
+    def trace(self, kind: str, src: str = "", dst: str = "",
+              size: int = 0, note: str = "") -> None:
+        """Record a network event if a tracer is attached."""
+        if self.tracer is not None:
+            self.tracer.record(self.time, kind, src, dst, size, note)
 
     @abstractmethod
     def add_node(self, node: "Node") -> None:

@@ -58,6 +58,8 @@ class SimWorld(World):
         self._in_flight = 0
         # Failure injection (repro.runtime.failure): crashed node ips.
         self.failed: set[str] = set()
+        self.crashed_ever: set[str] = set()
+        self.restarted: set[str] = set()
         self.dropped_packets = 0
 
     # -- world interface -------------------------------------------------------
@@ -85,22 +87,43 @@ class SimWorld(World):
     def _send(self, src_ip: str, dst_ip: str, data: bytes) -> None:
         if src_ip in self.failed:
             self.dropped_packets += 1
+            self.trace("crash-drop", src_ip, dst_ip, len(data),
+                       note="sender down")
             return
         size = len(data)
-        self.stats.packets += 1
-        self.stats.bytes += size
-        delay = self.cluster.link.transfer_time(size)
-        self.network_time_paid += delay
         dst = self.nodes.get(dst_ip)
         if dst is None:
             raise LookupError(f"no node at {dst_ip}")
+        self.stats.packets += 1
+        self.stats.bytes += size
+        copies = self._admit_packet(src_ip, dst_ip, data)
+        for _ in range(copies):
+            delay = self._delivery_delay(src_ip, dst_ip, size)
+            self.network_time_paid += delay
+            self._schedule_delivery(src_ip, dst_ip, dst, data, delay)
 
+    # Chaos hooks (repro.testkit.chaos overrides these two): how many
+    # copies of a packet reach the scheduler, and with what delay.
+
+    def _admit_packet(self, src_ip: str, dst_ip: str, data: bytes) -> int:
+        """How many copies to deliver: 1 normally; 0 drops, 2 duplicates."""
+        return 1
+
+    def _delivery_delay(self, src_ip: str, dst_ip: str, size: int) -> float:
+        """Link traversal time for one copy of a packet."""
+        return self.cluster.link.transfer_time(size)
+
+    def _schedule_delivery(self, src_ip: str, dst_ip: str, dst: "Node",
+                           data: bytes, delay: float) -> None:
         def deliver() -> None:
             self._in_flight -= 1
             if dst_ip in self.failed:
                 self.dropped_packets += 1
+                self.trace("crash-drop", src_ip, dst_ip, len(data),
+                           note="receiver down")
                 return
             self.deliveries += 1
+            self.trace("deliver", src_ip, dst_ip, len(data))
             dst.receive(data)
             self._wake(dst_ip)
 
@@ -162,10 +185,33 @@ class SimWorld(World):
 
     def fail_node(self, ip: str) -> None:
         """Crash a node: it stops computing, and packets to or from it
-        are silently dropped (a dead machine on a switched network)."""
+        are silently dropped (a dead machine on a switched network).
+        Idempotent: crashing a crashed node is a no-op."""
         if ip not in self.nodes:
             raise LookupError(f"no node at {ip}")
+        if ip in self.failed:
+            return
         self.failed.add(ip)
+        self.crashed_ever.add(ip)
+        self.trace("crash", ip)
+
+    def restart_node(self, ip: str) -> None:
+        """Bring a crashed node back: it resumes computing with its
+        state intact (the semantics of a healed partition; a real
+        crash-with-state-loss additionally needs its sites relaunched)."""
+        if ip not in self.nodes:
+            raise LookupError(f"no node at {ip}")
+        if ip not in self.failed:
+            return
+        self.failed.discard(ip)
+        self.restarted.add(ip)
+        self.trace("restart", ip)
+        self._wake(ip)
 
     def is_failed(self, ip: str) -> bool:
         return ip in self.failed
+
+    @property
+    def in_flight(self) -> int:
+        """Packets currently traversing the (virtual) wire."""
+        return self._in_flight

@@ -1,10 +1,17 @@
-"""Execution tracing for the TyCO VM.
+"""Execution tracing for the TyCO VM and the network layer.
 
 A :class:`Tracer` attached to a :class:`~repro.vm.machine.TycoVM`
 records one event per executed instruction (bounded ring buffer) plus
 every reduction, spawn and remote operation -- the tool one reaches for
 when a distributed program deadlocks.  The CLI exposes it as
 ``python -m repro run --trace``.
+
+A :class:`NetTracer` attached to a :class:`~repro.transport.base.World`
+records network-level events (sends, deliveries, injected faults) on
+the virtual clock.  Because the simulator is deterministic, the fault
+events alone are a *minimized repro dump*: replaying the same
+``(program, seed, config)`` regenerates the identical schedule, and
+:meth:`NetTracer.format_faults` is the part a human needs to read.
 """
 
 from __future__ import annotations
@@ -66,6 +73,63 @@ class Tracer:
 
     def format_tail(self, n: int = 20) -> str:
         return "\n".join(str(e) for e in self.tail(n))
+
+    def __len__(self) -> int:
+        return self._seq
+
+
+@dataclass(slots=True)
+class NetEvent:
+    """One traced network-layer event."""
+
+    seq: int
+    time: float
+    kind: str        # send / deliver / drop / dup / delay / crash / restart / crash-drop
+    src: str = ""
+    dst: str = ""
+    size: int = 0
+    note: str = ""
+
+    def __str__(self) -> str:
+        route = f"{self.src}->{self.dst}" if self.dst else self.src
+        suffix = f" {self.note}" if self.note else ""
+        return (f"{self.seq:6d} {self.time:.9f} {self.kind:<10s} "
+                f"{route} {self.size}B{suffix}")
+
+
+class NetTracer:
+    """Bounded network event log (attach with ``world.tracer = NetTracer()``).
+
+    ``FAULT_KINDS`` events are the injected perturbations; everything
+    else is ordinary traffic.  The fault subsequence is the minimized
+    repro dump: together with the seed and config it pins the schedule.
+    """
+
+    FAULT_KINDS = frozenset(
+        {"drop", "dup", "delay", "crash", "restart", "crash-drop"})
+
+    def __init__(self, capacity: int = 65536) -> None:
+        self.capacity = capacity
+        self.events: deque[NetEvent] = deque(maxlen=capacity)
+        self._seq = 0
+
+    def record(self, time: float, kind: str, src: str = "", dst: str = "",
+               size: int = 0, note: str = "") -> None:
+        self._seq += 1
+        self.events.append(NetEvent(seq=self._seq, time=time, kind=kind,
+                                    src=src, dst=dst, size=size, note=note))
+
+    def faults(self) -> list[NetEvent]:
+        return [e for e in self.events if e.kind in self.FAULT_KINDS]
+
+    def format_log(self, n: Optional[int] = None) -> str:
+        events = list(self.events)
+        if n is not None:
+            events = events[-n:]
+        return "\n".join(str(e) for e in events)
+
+    def format_faults(self) -> str:
+        return "\n".join(str(e) for e in self.faults())
 
     def __len__(self) -> int:
         return self._seq

@@ -39,6 +39,8 @@ from repro.core import (
 )
 from repro.vm import TycoVM
 
+pytestmark = pytest.mark.slow
+
 # ---------------------------------------------------------------------------
 # A generator of confluent, terminating, printing programs.
 #

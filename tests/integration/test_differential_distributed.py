@@ -12,11 +12,14 @@ one round trip per service call).
 """
 
 import hypothesis.strategies as st
+import pytest
 from hypothesis import given, settings
 
 from repro.core import Label, NetworkEngine, Site
 from repro.lang.parser import Parser
 from repro.runtime import DiTyCONetwork
+
+pytestmark = pytest.mark.slow
 
 SERVER, CLIENT = Site("server"), Site("client")
 

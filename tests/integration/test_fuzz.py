@@ -4,18 +4,48 @@ Three attack surfaces: source text (lexer/parser), wire buffers
 (decode), and assembly listings (asmparser).  Each must either succeed
 or raise its module's documented exception -- anything else (crash,
 hang, wrong exception) is a bug.
+
+Every test runs under a pinned hypothesis seed (``FUZZ_SEED``) so CI
+failures reproduce locally; on failure the seed and a one-line repro
+command are printed to stderr.
 """
+
+import functools
+import sys
 
 import hypothesis.strategies as st
 import pytest
-from hypothesis import given, settings
+from hypothesis import given, seed, settings
 
 from repro.compiler import AsmParseError, parse_assembly
 from repro.lang import LexError, Lexer, ParseError, parse_program
 from repro.runtime.wire import WireError, decode, encode
 
+FUZZ_SEED = 0xD17C0
+
+
+def pinned(test):
+    """Pin the hypothesis seed and, on failure, print the seed plus a
+    one-line repro command before re-raising."""
+    test = seed(FUZZ_SEED)(test)
+
+    @functools.wraps(test)
+    def wrapper(self, *args, **kwargs):
+        try:
+            return test(self, *args, **kwargs)
+        except BaseException:
+            nodeid = (f"tests/integration/test_fuzz.py::"
+                      f"{type(self).__name__}::{test.__name__}")
+            print(f"\nfuzz failure under pinned seed {FUZZ_SEED}; repro:\n"
+                  f"  PYTHONPATH=src python -m pytest -x -q '{nodeid}'",
+                  file=sys.stderr)
+            raise
+
+    return wrapper
+
 
 class TestLexerFuzz:
+    @pinned
     @settings(max_examples=200, deadline=None)
     @given(st.text(max_size=200))
     def test_arbitrary_text(self, source):
@@ -25,6 +55,7 @@ class TestLexerFuzz:
             return
         assert tokens[-1].kind.name == "EOF"
 
+    @pinned
     @settings(max_examples=100, deadline=None)
     @given(st.text(alphabet="xy!?[](){}|=,.0123456789 \n", max_size=100))
     def test_punctuation_soup(self, source):
@@ -35,6 +66,7 @@ class TestLexerFuzz:
 
 
 class TestParserFuzz:
+    @pinned
     @settings(max_examples=200, deadline=None)
     @given(st.text(max_size=150))
     def test_arbitrary_text(self, source):
@@ -43,6 +75,7 @@ class TestParserFuzz:
         except (ParseError, LexError):
             pass
 
+    @pinned
     @settings(max_examples=150, deadline=None)
     @given(st.text(
         alphabet="xyzw XYZ new def in and if then else let import export "
@@ -54,6 +87,7 @@ class TestParserFuzz:
         except (ParseError, LexError):
             pass
 
+    @pinned
     @settings(max_examples=50, deadline=None)
     @given(st.integers(1, 30))
     def test_deep_nesting(self, depth):
@@ -70,6 +104,7 @@ class TestParserFuzz:
 
 
 class TestWireFuzz:
+    @pinned
     @settings(max_examples=300, deadline=None)
     @given(st.binary(max_size=200))
     def test_arbitrary_bytes(self, data):
@@ -82,6 +117,7 @@ class TestWireFuzz:
         # Whatever decoded must re-encode (canonical form).
         assert decode(encode(value)) == value
 
+    @pinned
     @settings(max_examples=150, deadline=None)
     @given(st.binary(max_size=60))
     def test_corrupted_valid_packet(self, noise):
@@ -102,6 +138,7 @@ class TestWireFuzz:
 
 
 class TestAsmFuzz:
+    @pinned
     @settings(max_examples=150, deadline=None)
     @given(st.text(max_size=200))
     def test_arbitrary_text(self, source):
@@ -110,6 +147,7 @@ class TestAsmFuzz:
         except AsmParseError:
             pass
 
+    @pinned
     @settings(max_examples=80, deadline=None)
     @given(st.text(alphabet="block object group pushc pushl halt 0123 ()[];=,->b'",
                    max_size=150))

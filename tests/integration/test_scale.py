@@ -6,6 +6,8 @@ import pytest
 from repro.runtime import DiTyCONetwork
 from repro.transport import SimWorld
 
+pytestmark = pytest.mark.slow
+
 
 class TestManySites:
     def test_fifty_clients_one_server(self):

@@ -111,6 +111,77 @@ class TestHeartbeatMonitor:
         with pytest.raises(RuntimeError):
             monitor.install(horizon=0.005)
 
+    def test_heartbeat_exactly_at_timeout_not_suspected(self):
+        """The deadline is strict: a silence of *exactly* ``timeout``
+        is still alive; suspicion fires at the first check after it.
+
+        Powers of two keep every tick time and subtraction exact, so
+        this really probes the boundary and not float rounding."""
+        period = 2.0 ** -10
+        timeout = 3 * period
+        world = SimWorld()
+        net = DiTyCONetwork(world=world)
+        net.add_nodes(["n1", "n2"])
+        monitor = HeartbeatMonitor(world, net.nameservice,
+                                   period=period, timeout=timeout)
+        monitor.install(horizon=10 * period)
+        world.fail_node("n1")  # at t=0, right after last_heartbeat=0
+        world.run()
+        suspicion = monitor.suspected["n1"]
+        # At t=3p the silence equals timeout exactly: not suspected.
+        # The 4p check is the first with silence > timeout.
+        assert suspicion.detected_at == 4 * period
+        assert suspicion.last_heartbeat == 0.0
+
+    def test_crash_between_detector_periods(self):
+        """A node dying *between* ticks is charged silence from its
+        last actual heartbeat, not from the crash instant."""
+        period = 2.0 ** -10
+        timeout = 3.5 * period
+        world = SimWorld()
+        net = DiTyCONetwork(world=world)
+        net.add_nodes(["n1", "n2"])
+        monitor = HeartbeatMonitor(world, net.nameservice,
+                                   period=period, timeout=timeout)
+        monitor.install(horizon=10 * period)
+        world.schedule_at(2.5 * period, lambda: world.fail_node("n1"))
+        world.run()
+        suspicion = monitor.suspected["n1"]
+        assert suspicion.last_heartbeat == 2 * period
+        # First tick with now - 2p > 3.5p is 6p.
+        assert suspicion.detected_at == 6 * period
+
+    def test_double_fail_node_is_idempotent(self):
+        """Crashing a crashed node is a no-op: one suspicion, one
+        reconfiguration callback."""
+        world, net = running_net()
+        monitor = HeartbeatMonitor(world, net.nameservice,
+                                   period=1e-3, timeout=3.5e-3)
+        seen = []
+        monitor.on_failure(lambda s: seen.append(s.ip))
+        monitor.install(horizon=0.02)
+        world.fail_node("n1")
+        world.fail_node("n1")
+        world.run()
+        assert seen == ["n1"]
+        assert world.is_failed("n1")
+
+    def test_restart_clears_suspicion(self):
+        """A restarted node heartbeats again and sheds its suspicion
+        (its exports stay unregistered until relaunched)."""
+        world, net = running_net()
+        monitor = HeartbeatMonitor(world, net.nameservice,
+                                   period=1e-3, timeout=3.5e-3)
+        monitor.install(horizon=0.03)
+        world.schedule_at(2e-3, lambda: world.fail_node("n1"))
+        world.schedule_at(15e-3, lambda: world.restart_node("n1"))
+        world.run()
+        assert "n1" not in monitor.suspected
+        assert "n1" in world.restarted
+        # Reconfiguration already removed the dead exports; they do
+        # not silently reappear on restart.
+        assert net.nameservice.lookup_name("server", "svc") is None
+
     def test_recovery_reexport(self):
         """After a failure, the service can be relaunched on a healthy
         node and importers recover (the reconfiguration story)."""

@@ -1,0 +1,102 @@
+"""The seed-pinned chaos regression corpus.
+
+Every entry is a schedule the explorer (or a human) once found
+interesting, frozen as ``(scenario, seed, config)`` plus the expected
+observables.  Because the chaos world is deterministic, replaying the
+triple regenerates the schedule exactly -- these are permanent
+regression tests for the network layer's failure behaviour.
+
+Promotion workflow (see docs/TESTING.md): when a chaos sweep surfaces
+a schedule worth keeping, take the seed/config from its repro line,
+run it once to record the expected observables, and append an entry
+here with a note saying *why* the schedule matters.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.testkit import ChaosConfig, CrashEvent
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    name: str
+    scenario: str                   # key into scenarios.SCENARIOS
+    seed: int
+    config: ChaosConfig
+    outputs: dict                   # site name -> expected printed values
+    quiescent: bool
+    stalled_sites: tuple = ()
+    fault_kinds: tuple = ()         # exact sequence of injected fault kinds
+    note: str = ""
+
+
+CORPUS = [
+    CorpusEntry(
+        name="echo-request-dropped",
+        scenario="echo", seed=1, config=ChaosConfig(drop_prob=0.5),
+        outputs={"client": (), "server": ()},
+        quiescent=True,
+        fault_kinds=("drop",),
+        note="The client's SHIPM request is dropped on the wire: the "
+             "reply object waits forever, which is *quiescence* (a "
+             "waiting object is passive), not a stall -- the divergence "
+             "is only visible in the missing output.",
+    ),
+    CorpusEntry(
+        name="echo-reply-dropped",
+        scenario="echo", seed=9, config=ChaosConfig(drop_prob=0.4),
+        outputs={"client": (), "server": ()},
+        quiescent=True,
+        fault_kinds=("drop",),
+        note="The server processed the request but the reply vanished: "
+             "server-side state advanced, client observed nothing -- "
+             "the classic lost-answer asymmetry.",
+    ),
+    CorpusEntry(
+        name="applet-fetch-dropped",
+        scenario="applet", seed=42, config=ChaosConfig(drop_prob=0.4),
+        outputs={"client": (), "server": ()},
+        quiescent=False,
+        stalled_sites=("client",),
+        fault_kinds=("drop",),
+        note="The FETCH reply carrying the applet's code is dropped: "
+             "the client keeps its instantiation parked (pending FETCH) "
+             "and the network is NOT quiescent -- code mobility loss is "
+             "observably different from message loss.",
+    ),
+    CorpusEntry(
+        name="pump-dup-storm",
+        scenario="pump", seed=3, config=ChaosConfig(dup_prob=1.0),
+        outputs={"client0": (0,), "client1": (1,), "client2": (2,),
+                 "client3": (3,), "server": ()},
+        quiescent=True,
+        fault_kinds=("dup",) * 12,
+        note="Every packet delivered twice: duplicated requests make "
+             "the pump answer twice (8 replies for 4 calls, hence 12 "
+             "dup events for 8 logical packets), but each client's "
+             "linear reply channel is consumed once -- at-least-once "
+             "delivery preserves the race-free answer.",
+    ),
+    CorpusEntry(
+        name="echo-crash-restart",
+        scenario="echo", seed=5,
+        config=ChaosConfig(
+            crashes=(CrashEvent("n1", at=1e-5, restart_at=1e-3),)),
+        outputs={"client": (7,), "server": ()},
+        quiescent=True,
+        fault_kinds=("crash", "restart"),
+        note="The server crashes just after its reply hits the wire "
+             "and later heals: the answer survives because the packet "
+             "was already in flight when the node died.",
+    ),
+    CorpusEntry(
+        name="pump-jitter-reorder",
+        scenario="pump", seed=11, config=ChaosConfig(jitter_s=1e-3),
+        outputs={"client0": (0,), "client1": (1,), "client2": (2,),
+                 "client3": (3,), "server": ()},
+        quiescent=True,
+        fault_kinds=(),
+        note="A jitter window 100x the link latency scrambles delivery "
+             "order completely; confluence holds for the race-free pump.",
+    ),
+]

@@ -1,0 +1,52 @@
+"""Shared distributed scenarios for the chaos-harness tests.
+
+A scenario is a callable populating a fresh DiTyCONetwork; keeping
+them here lets the corpus name them symbolically (corpus entries pin
+``(scenario, seed, config)`` triples).
+"""
+
+SERVER = "export new svc svc?(r) = r![7]"
+CLIENT = ("import svc from server in "
+          "new a (svc![a] | a?(w) = print![w])")
+
+
+def echo(net):
+    """One request/reply pair across two nodes (2 packets)."""
+    net.add_nodes(["n1", "n2"])
+    net.launch("n1", "server", SERVER)
+    net.launch("n2", "client", CLIENT)
+
+
+def pump(net, clients=4):
+    """A replicated server answering ``clients`` remote callers --
+    race-free: every client owns its reply channel."""
+    net.add_node("hub")
+    net.launch("hub", "server", """
+    export new svc
+    def Pump(self) = self?{ call(reply, tag) = (reply![tag] | Pump[self]) }
+    in Pump[svc]
+    """)
+    for i in range(clients):
+        ip = f"c{i}"
+        net.add_node(ip)
+        net.launch(ip, f"client{i}", f"""
+        import svc from server in
+        new a (svc!call[a, {i}] | a?(v) = print![v])
+        """)
+
+
+def applet(net):
+    """Code mobility: the client FETCHes a class from the server."""
+    net.add_nodes(["n1", "n2"])
+    net.launch("n1", "server",
+               "export def Applet(out) = out![6 * 7] in 0")
+    net.launch("n2", "client",
+               "import Applet from server in "
+               "new v (Applet[v] | v?(w) = print![w])")
+
+
+SCENARIOS = {
+    "echo": echo,
+    "pump": pump,
+    "applet": applet,
+}

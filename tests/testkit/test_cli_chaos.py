@@ -1,0 +1,107 @@
+"""Tests for the ``python -m repro chaos`` subcommand."""
+
+import io
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+SESSION = """\
+eval n1 server export new svc svc?(r) = r![7]
+eval n2 client import svc from server in new a (svc![a] | a?(w) = print![w])
+step
+"""
+
+
+@pytest.fixture
+def session_file(tmp_path):
+    path = tmp_path / "echo.tycosh"
+    path.write_text(SESSION)
+    return str(path)
+
+
+def run_cli(argv):
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(argv)
+    return code, buffer.getvalue()
+
+
+class TestSingleRun:
+    def test_byte_identical_across_runs(self, session_file):
+        """The acceptance criterion: same (program, seed, config) =>
+        byte-identical report."""
+        argv = ["chaos", "--seed", "42", "--drop", "0.3", session_file]
+        code_a, out_a = run_cli(argv)
+        code_b, out_b = run_cli(argv)
+        assert code_a == code_b == 0
+        assert out_a == out_b
+
+    def test_different_seeds_differ(self, session_file):
+        outputs = {run_cli(["chaos", "--seed", str(seed), "--drop", "0.5",
+                            "--jitter", "1e-4", session_file])[1]
+                   for seed in range(6)}
+        assert len(outputs) > 1
+
+    def test_clean_run_reports_answer(self, session_file):
+        code, out = run_cli(["chaos", "--seed", "0", session_file])
+        assert code == 0
+        assert "client: 7" in out
+        assert "invariants: ok" in out
+        assert "repro:" in out
+
+    def test_report_carries_repro_line(self, session_file):
+        code, out = run_cli(["chaos", "--seed", "9", "--drop", "0.4",
+                             session_file])
+        assert f"--seed 9" in out
+        assert "--drop 0.4" in out
+        assert session_file in out
+
+    def test_crash_flag(self, session_file):
+        code, out = run_cli(["chaos", "--seed", "1",
+                             "--crash", "n1@0.00001:0.001", session_file])
+        assert code == 0
+        assert "crash" in out
+        assert "restart" in out
+
+    def test_bad_crash_spec_rejected(self, session_file):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--crash", "banana", session_file])
+
+    def test_dityco_program_accepted(self, tmp_path):
+        prog = tmp_path / "hello.dityco"
+        prog.write_text("print![1]")
+        code, out = run_cli(["chaos", "--seed", "0", str(prog)])
+        assert code == 0
+        assert "main: 1" in out
+
+
+class TestExploreMode:
+    def test_explore_flags_drop_divergence(self, session_file):
+        """The explorer must surface drop schedules as divergent and
+        hand back their repro lines."""
+        code, out = run_cli(["chaos", "--explore", "10", "--drop", "0.5",
+                             session_file])
+        assert code == 0  # divergence under loss is a finding, not a bug
+        assert "diverged" in out
+        assert "divergent schedule(s):" in out
+        assert "--seed" in out
+        assert "invariants: ok" in out
+
+    def test_explore_loss_free_all_ok(self, session_file):
+        code, out = run_cli(["chaos", "--explore", "5",
+                             "--jitter", "1e-4", session_file])
+        assert code == 0
+        assert "diverged" not in out
+
+    def test_explore_deterministic(self, session_file):
+        argv = ["chaos", "--explore", "8", "--drop", "0.4", "--dup", "0.2",
+                session_file]
+        assert run_cli(argv) == run_cli(argv)
+
+    def test_explore_with_monitor_and_crash(self, session_file):
+        code, out = run_cli(["chaos", "--explore", "3", "--monitor",
+                             "--crash", "n1@0.002", session_file])
+        assert code == 0, out

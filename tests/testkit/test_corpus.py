@@ -1,0 +1,38 @@
+"""Replay the seed-pinned regression corpus.
+
+Each corpus entry is a schedule once found by exploration and frozen;
+replaying ``(scenario, seed, config)`` must reproduce the recorded
+observables exactly, forever.
+"""
+
+import pytest
+
+from repro.testkit import run_scenario
+
+from .corpus import CORPUS
+from .scenarios import SCENARIOS
+
+
+@pytest.mark.parametrize("entry", CORPUS, ids=lambda e: e.name)
+def test_corpus_entry_replays(entry):
+    run = run_scenario(SCENARIOS[entry.scenario], entry.seed, entry.config)
+    assert run.outputs == entry.outputs, entry.note
+    assert run.quiescent == entry.quiescent, entry.note
+    assert run.stalled_sites == entry.stalled_sites, entry.note
+    kinds = tuple(line.split()[2] for line in run.fault_log.splitlines())
+    assert kinds == entry.fault_kinds, entry.note
+    assert run.violations == [], entry.note
+
+
+@pytest.mark.parametrize("entry", CORPUS, ids=lambda e: e.name)
+def test_corpus_entry_is_stable_across_replays(entry):
+    a = run_scenario(SCENARIOS[entry.scenario], entry.seed, entry.config)
+    b = run_scenario(SCENARIOS[entry.scenario], entry.seed, entry.config)
+    assert a.fault_log == b.fault_log
+    assert a.outputs == b.outputs
+    assert a.elapsed == b.elapsed
+
+
+def test_corpus_names_unique():
+    names = [entry.name for entry in CORPUS]
+    assert len(names) == len(set(names))
