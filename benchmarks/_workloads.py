@@ -137,11 +137,15 @@ def latency_hiding_network(n_threads: int, local_work: int,
     return net
 
 
-def applet_fetch_network(body_size: int, uses: int) -> DiTyCONetwork:
+def applet_fetch_network(body_size: int, uses: int,
+                         **net_kwargs) -> DiTyCONetwork:
     """E4, fetch flavour: an applet class with ``body_size`` padding
-    instructions, instantiated ``uses`` times (sequentially)."""
+    instructions, instantiated ``uses`` times (sequentially).
+
+    ``net_kwargs`` pass through to :class:`DiTyCONetwork` (the E4
+    ablations toggle ``code_cache`` / ``fetch_cache`` this way)."""
     pad = _padded_body(body_size)
-    net = DiTyCONetwork()
+    net = DiTyCONetwork(**net_kwargs)
     net.add_nodes(["n1", "n2"])
     net.launch("n1", "server", f"""
     export def Applet(out) = ({pad} | out![1])
@@ -155,11 +159,12 @@ def applet_fetch_network(body_size: int, uses: int) -> DiTyCONetwork:
     return net
 
 
-def applet_ship_network(body_size: int, uses: int) -> DiTyCONetwork:
+def applet_ship_network(body_size: int, uses: int,
+                        **net_kwargs) -> DiTyCONetwork:
     """E4, ship flavour: the server ships a ``body_size`` applet object
     per request; the client invokes it ``uses`` times sequentially."""
     pad = _padded_body(body_size)
-    net = DiTyCONetwork()
+    net = DiTyCONetwork(**net_kwargs)
     net.add_nodes(["n1", "n2"])
     net.launch("n1", "server", f"""
     def AppletServer(self) =

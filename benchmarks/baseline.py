@@ -1,0 +1,181 @@
+"""Benchmark baseline collector: a small, stable JSON metric set.
+
+``collect_metrics()`` measures the E1/E2/E4/E9 numbers the roadmap
+tracks across PRs and returns a flat ``{metric: value}`` dict; each
+measurement is the median of ``repeats`` runs.  ``run_all.py --json``
+writes the dict to disk (``BENCH_<tag>.json``).
+
+The collector is feature-gated so the *same file* runs against older
+checkouts: constructor keywords that do not exist yet (``batching``,
+``code_cache``) are silently dropped, which is how ``BENCH_seed.json``
+was produced from the pre-code-cache tree.
+
+Metric glossary
+---------------
+- ``e1_counter_wall_us``  -- wall time of a 2000-step instantiation
+  recursion on one VM (local hot path; no network involvement).
+- ``e2_cross_node_sim_us`` / ``e2_same_node_sim_us`` -- simulated time
+  per message for a 16-message one-hop burst.
+- ``e4_fetch_cold_bytes``  -- wire bytes to FETCH a 40-pad class once.
+- ``e4_fetch_warm_bytes``  -- wire bytes for 8 uses with all caches on.
+- ``e4_refetch_bytes``     -- wire bytes for 12 sequential uses with the
+  ClassRef (A2) cache *off*: every use re-runs the FETCH protocol for
+  the same remote class.  This is the code-cache headline number.
+- ``e4_ship_bytes``        -- wire bytes for 8 SHIPO uses of one applet.
+- ``e9_msg_wire_bytes`` / ``e9_class_wire_bytes`` -- single-packet sizes.
+- ``e9_burst_packets`` / ``e9_burst_bytes`` -- transport packets/bytes
+  for a 32-message cross-node burst (default config).
+- ``e9_burst_packets_nobatch`` -- same burst with wire batching
+  disabled (equals ``e9_burst_packets`` on trees without batching).
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+import statistics
+import time
+
+from repro.compiler import compile_source
+from repro.runtime import DiTyCONetwork
+from repro.vm import TycoVM
+
+from _workloads import applet_fetch_network, counter_loop, one_hop_network
+
+#: (body_size, uses) of the repeated-FETCH workload; shared with the
+#: tier-2 regression test in test_baseline.py.
+REFETCH_BODY = 40
+REFETCH_USES = 12
+
+
+def _supported_kwargs(**kwargs) -> dict:
+    """Keep only the DiTyCONetwork kwargs this checkout supports."""
+    params = inspect.signature(DiTyCONetwork.__init__).parameters
+    return {k: v for k, v in kwargs.items() if k in params}
+
+
+def make_network(**kwargs) -> DiTyCONetwork:
+    return DiTyCONetwork(**_supported_kwargs(**kwargs))
+
+
+def _median(fn, repeats: int):
+    return statistics.median(fn() for _ in range(repeats))
+
+
+def _e1_counter_wall_us() -> float:
+    program = compile_source(counter_loop(2000))
+    start = time.perf_counter()
+    vm = TycoVM(program)
+    vm.boot()
+    vm.run(50_000_000)
+    assert vm.is_idle()
+    return (time.perf_counter() - start) * 1e6
+
+
+def _one_hop_sim_us(placement: str, n: int) -> float:
+    net = one_hop_network(placement, n_messages=n)
+    elapsed = net.run()
+    return elapsed * 1e6 / n
+
+
+def refetch_network(code_cache: bool = True) -> DiTyCONetwork:
+    """The repeated-FETCH workload: ``REFETCH_USES`` sequential
+    instantiations of the same remote class with the ClassRef cache
+    disabled, so every use re-runs the FETCH protocol."""
+    net = applet_fetch_network(REFETCH_BODY, REFETCH_USES)
+    if not _supported_kwargs(code_cache=code_cache).get("code_cache", True):
+        pass  # pre-code-cache tree: nothing to disable
+    for node in net.world.nodes.values():
+        node.fetch_cache = False
+        for site in node.sites.values():
+            site.fetch_cache = False
+            if not code_cache and hasattr(site, "codecache"):
+                site.codecache = None
+    net.fetch_cache = False
+    return net
+
+
+def _refetch(code_cache: bool = True) -> tuple[float, int]:
+    net = refetch_network(code_cache=code_cache)
+    elapsed = net.run()
+    assert net.site("client").output == [42]
+    return elapsed, net.world.stats.bytes
+
+
+def _fetch_bytes(body: int, uses: int) -> int:
+    net = applet_fetch_network(body, uses)
+    net.run()
+    assert net.site("client").output == [42]
+    return net.world.stats.bytes
+
+
+def _ship_bytes(body: int, uses: int) -> int:
+    from _workloads import applet_ship_network
+
+    net = applet_ship_network(body, uses)
+    net.run()
+    assert net.site("client").output == [42]
+    return net.world.stats.bytes
+
+
+def _burst(batching: bool) -> tuple[int, int]:
+    net = make_network(batching=batching)
+    net.add_nodes(["n1", "n2"])
+    receivers = " | ".join(f"(svc?(v{i}) = print![v{i}])" for i in range(32))
+    net.launch("n1", "server", f"export new svc ({receivers})")
+    sends = " | ".join(f"svc![{i}]" for i in range(32))
+    net.launch("n2", "client", f"import svc from server in ({sends})")
+    net.run()
+    assert sorted(net.site("server").output) == list(range(32))
+    return net.world.stats.packets, net.world.stats.bytes
+
+
+def collect_metrics(repeats: int = 5) -> dict:
+    metrics: dict[str, float | int] = {}
+    metrics["e1_counter_wall_us"] = round(
+        _median(_e1_counter_wall_us, repeats), 1)
+    metrics["e2_cross_node_sim_us"] = round(_median(
+        lambda: _one_hop_sim_us("cross-node", 16), repeats), 4)
+    metrics["e2_same_node_sim_us"] = round(_median(
+        lambda: _one_hop_sim_us("same-node", 16), repeats), 4)
+    metrics["e4_fetch_cold_bytes"] = int(_median(
+        lambda: _fetch_bytes(REFETCH_BODY, 1), repeats))
+    metrics["e4_fetch_warm_bytes"] = int(_median(
+        lambda: _fetch_bytes(REFETCH_BODY, 8), repeats))
+    refetch = [_refetch() for _ in range(repeats)]
+    metrics["e4_refetch_sim_us"] = round(
+        statistics.median(t for t, _ in refetch) * 1e6, 2)
+    metrics["e4_refetch_bytes"] = int(
+        statistics.median(b for _, b in refetch))
+    metrics["e4_ship_bytes"] = int(_median(
+        lambda: _ship_bytes(REFETCH_BODY, 8), repeats))
+
+    from bench_e9_wire import class_packet, message_packet
+
+    metrics["e9_msg_wire_bytes"] = message_packet().wire_size()
+    metrics["e9_class_wire_bytes"] = class_packet(16).wire_size()
+    batched = [_burst(batching=True) for _ in range(repeats)]
+    unbatched = [_burst(batching=False) for _ in range(repeats)]
+    metrics["e9_burst_packets"] = int(
+        statistics.median(p for p, _ in batched))
+    metrics["e9_burst_bytes"] = int(
+        statistics.median(b for _, b in batched))
+    metrics["e9_burst_packets_nobatch"] = int(
+        statistics.median(p for p, _ in unbatched))
+    return metrics
+
+
+def write_json(path: str, repeats: int = 5) -> dict:
+    metrics = collect_metrics(repeats)
+    with open(path, "w") as fh:
+        json.dump(metrics, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return metrics
+
+
+if __name__ == "__main__":
+    import sys
+
+    out = sys.argv[1] if len(sys.argv) > 1 else "BENCH.json"
+    for key, value in sorted(write_json(out).items()):
+        print(f"{key}: {value}")

@@ -10,7 +10,12 @@ sweep the applet's code size and the number of uses:
 * as uses grow, fetching amortises its single download while shipping
   pays per use -- both in time and in bytes on the wire;
 * ablation A2 disables the FETCH cache, making fetch degenerate to
-  ship-like per-use cost.
+  ship-like per-use cost;
+* the per-site *code cache* (offer/need/reply) rescues both degenerate
+  shapes: once a digest is installed, repeats move zero code bytes.
+
+The pre-cache shapes are pinned with ``code_cache=False`` networks so
+the two cost models stay separately measurable.
 """
 
 import pytest
@@ -18,8 +23,9 @@ import pytest
 from _workloads import applet_fetch_network, applet_ship_network
 
 
-def run_fetch(body_size: int, uses: int, cache: bool = True):
-    net = applet_fetch_network(body_size, uses)
+def run_fetch(body_size: int, uses: int, cache: bool = True,
+              code_cache: bool = True):
+    net = applet_fetch_network(body_size, uses, code_cache=code_cache)
     if not cache:
         for node in net.world.nodes.values():
             for site in node.sites.values():
@@ -30,8 +36,8 @@ def run_fetch(body_size: int, uses: int, cache: bool = True):
     return elapsed, net.world.stats.bytes, net
 
 
-def run_ship(body_size: int, uses: int):
-    net = applet_ship_network(body_size, uses)
+def run_ship(body_size: int, uses: int, code_cache: bool = True):
+    net = applet_ship_network(body_size, uses, code_cache=code_cache)
     elapsed = net.run()
     assert net.site("client").output == [42]
     return elapsed, net.world.stats.bytes, net
@@ -46,14 +52,24 @@ class TestShape:
         assert b8 < 2 * b1
         assert net.site("client").stats.fetch_requests_sent == 1
 
-    def test_ship_pays_per_use(self):
-        _, b1, _ = run_ship(10, 1)
-        _, b8, _ = run_ship(10, 8)
+    def test_ship_pays_per_use_without_code_cache(self):
+        _, b1, _ = run_ship(10, 1, code_cache=False)
+        _, b8, _ = run_ship(10, 8, code_cache=False)
         assert b8 > 5 * b1  # bytes grow with uses
 
+    def test_code_cache_rescues_ship(self):
+        # With the code cache, only the first SHIPO moves byte-code;
+        # the 7 repeats send digest offers and plain messages.
+        _, b8_nocache, _ = run_ship(10, 8, code_cache=False)
+        _, b8_cached, net = run_ship(10, 8)
+        assert b8_cached < b8_nocache / 2
+        client = net.site("client")
+        assert client.stats.code_cache_hits >= 7
+        assert client.stats.code_needs_sent == 1
+
     def test_fetch_wins_at_many_uses(self):
-        t_fetch, b_fetch, _ = run_fetch(10, 8)
-        t_ship, b_ship, _ = run_ship(10, 8)
+        t_fetch, b_fetch, _ = run_fetch(10, 8, code_cache=False)
+        t_ship, b_ship, _ = run_ship(10, 8, code_cache=False)
         assert t_fetch < t_ship
         assert b_fetch < b_ship
 
@@ -63,11 +79,29 @@ class TestShape:
         assert b_big > 2 * b_small
 
     def test_ablation_no_cache_refetches(self):
-        _, bytes_cached, net_c = run_fetch(10, 6, cache=True)
-        _, bytes_nocache, net_n = run_fetch(10, 6, cache=False)
+        # Both caches off: the historical A2 shape, every use pays the
+        # full download again.
+        _, bytes_cached, net_c = run_fetch(10, 6, cache=True,
+                                           code_cache=False)
+        _, bytes_nocache, net_n = run_fetch(10, 6, cache=False,
+                                            code_cache=False)
         assert net_c.site("client").stats.fetch_requests_sent == 1
         assert net_n.site("client").stats.fetch_requests_sent == 6
         assert bytes_nocache > 3 * bytes_cached
+
+    def test_code_cache_rescues_refetch(self):
+        """A2 with the code cache back on: every use still runs the
+        FETCH protocol, but uses 2..6 are answered from the digest
+        offer alone -- a >=5x byte reduction on this workload (the
+        headline ratio test_baseline.py pins on the 40-pad class)."""
+        _, bytes_nocache, _ = run_fetch(40, 6, cache=False,
+                                        code_cache=False)
+        _, bytes_cached, net = run_fetch(40, 6, cache=False)
+        client = net.site("client")
+        assert client.stats.fetch_requests_sent == 6
+        assert client.stats.code_cache_hits == 5
+        assert client.stats.code_needs_sent == 1
+        assert bytes_nocache > 5 * bytes_cached
 
 
 @pytest.mark.parametrize("mode", ["fetch", "ship"])
@@ -98,13 +132,23 @@ def report() -> list[dict]:
                 "ship_bytes": b_s,
                 "winner": "fetch" if t_f < t_s else "ship",
             })
-    t_nc, b_nc, _ = run_fetch(20, 8, cache=False)
+    t_nc, b_nc, _ = run_fetch(20, 8, cache=False, code_cache=False)
     rows.append({
         "code_size": 20,
-        "uses": "8 (A2: no cache)",
+        "uses": "8 (A2: no caches)",
         "fetch_us": round(t_nc * 1e6, 2),
         "ship_us": "-",
         "fetch_bytes": b_nc,
+        "ship_bytes": "-",
+        "winner": "-",
+    })
+    t_cc, b_cc, _ = run_fetch(20, 8, cache=False)
+    rows.append({
+        "code_size": 20,
+        "uses": "8 (A2 + code cache)",
+        "fetch_us": round(t_cc * 1e6, 2),
+        "ship_us": "-",
+        "fetch_bytes": b_cc,
         "ship_bytes": "-",
         "winner": "-",
     })

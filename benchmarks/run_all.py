@@ -1,9 +1,12 @@
 """Regenerate every experiment table (E1-E12) for EXPERIMENTS.md.
 
 Usage:  python benchmarks/run_all.py [e1 e4 ...]
+        python benchmarks/run_all.py --json BENCH_pr2.json
 
 Each ``bench_*`` module exposes ``report() -> list[dict]``; this script
-runs them all and prints aligned tables.
+runs them all and prints aligned tables.  ``--json PATH`` instead
+writes the baseline metric set (see baseline.py) -- the per-PR
+regression record compared by test_baseline.py.
 """
 
 import importlib
@@ -45,6 +48,14 @@ def print_table(rows: list[dict]) -> None:
 
 
 def main() -> None:
+    if sys.argv[1:2] == ["--json"]:
+        import baseline
+
+        out = sys.argv[2] if len(sys.argv) > 2 else "BENCH.json"
+        for key, value in sorted(baseline.write_json(out).items()):
+            print(f"{key}: {value}")
+        print(f"wrote {out}")
+        return
     wanted = [w.lower() for w in sys.argv[1:]] or list(EXPERIMENTS)
     for key in wanted:
         module_name, title = EXPERIMENTS[key]

@@ -1,0 +1,76 @@
+"""Tier-2 regression wall over the benchmark baseline.
+
+Two layers:
+
+* **live ratios** -- re-measure the two headline effects of the code
+  cache + wire batching PR on this checkout (E4 repeated-fetch byte
+  reduction, E9 burst packet reduction);
+* **committed baselines** -- compare the JSON records written by
+  ``run_all.py --json`` (``BENCH_seed.json`` from the pre-cache tree,
+  ``BENCH_pr2.json`` from this one) so the improvement, and the
+  absence of an E1 hot-path regression, stay pinned in the repo.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from baseline import _burst, refetch_network
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_baseline(name: str) -> dict:
+    path = REPO_ROOT / name
+    if not path.exists():
+        pytest.skip(f"{name} not present in the repo root")
+    return json.loads(path.read_text())
+
+
+class TestLiveRatios:
+    def test_code_cache_cuts_refetch_bytes_5x(self):
+        """12 sequential FETCHes of a 40-pad class with the ClassRef
+        cache off: the code cache must cut total wire bytes at least
+        5x (one download + 11 digest-offer round trips)."""
+
+        def run(code_cache: bool) -> int:
+            net = refetch_network(code_cache=code_cache)
+            net.run()
+            assert net.site("client").output == [42]
+            return net.world.stats.bytes
+
+        with_cache = run(True)
+        without_cache = run(False)
+        assert without_cache >= 5 * with_cache, (
+            f"code cache saved only {without_cache / with_cache:.1f}x "
+            f"({without_cache} -> {with_cache} bytes)")
+
+    def test_batching_reduces_burst_packets(self):
+        packets_batched, bytes_batched = _burst(batching=True)
+        packets_raw, bytes_raw = _burst(batching=False)
+        assert packets_batched < packets_raw
+        # Frames add only header bytes.
+        assert bytes_batched < bytes_raw * 1.1
+
+
+class TestCommittedBaselines:
+    def test_pr2_improves_on_seed(self):
+        seed = _load_baseline("BENCH_seed.json")
+        pr2 = _load_baseline("BENCH_pr2.json")
+        # Headline: >=5x fewer bytes for repeated FETCHes of one class.
+        assert pr2["e4_refetch_bytes"] * 5 <= seed["e4_refetch_bytes"]
+        # Batching collapses the 32-message burst into fewer packets.
+        assert pr2["e9_burst_packets"] < pr2["e9_burst_packets_nobatch"]
+        assert pr2["e9_burst_packets"] < seed["e9_burst_packets"]
+        # The local hot path (E1, no network) must not regress >5%.
+        assert pr2["e1_counter_wall_us"] <= \
+            seed["e1_counter_wall_us"] * 1.05
+
+    def test_seed_records_the_uncached_world(self):
+        """Guard against accidentally regenerating BENCH_seed.json on a
+        post-cache tree: the seed must show refetch bytes scaling with
+        uses and no packet reduction from batching."""
+        seed = _load_baseline("BENCH_seed.json")
+        assert seed["e4_refetch_bytes"] > 5 * seed["e4_fetch_cold_bytes"]
+        assert seed["e9_burst_packets"] == seed["e9_burst_packets_nobatch"]

@@ -17,7 +17,14 @@ from .assembly import (
 )
 from .asmparser import AsmParseError, parse_assembly
 from .codegen import CompileError, Compiler, compile_source, compile_term
-from .linker import CodeBundle, LinkError, LinkResult, extract_bundle, link_bundle
+from .linker import (
+    BundleManifest,
+    CodeBundle,
+    LinkError,
+    LinkResult,
+    extract_bundle,
+    link_bundle,
+)
 from .peephole import (
     eliminate_dead_code,
     fold_constants,

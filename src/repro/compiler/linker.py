@@ -58,6 +58,43 @@ class LinkResult:
     block_map: dict[int, int]
     object_map: dict[int, int]
     group_map: dict[int, int]
+    #: Bundle-local ids that were NOT appended because the destination
+    #: already held identical code (see repro.runtime.codecache).
+    reused_blocks: frozenset[int] = frozenset()
+    reused_objects: frozenset[int] = frozenset()
+    reused_groups: frozenset[int] = frozenset()
+
+    def installed_count(self) -> int:
+        """How many items this link actually appended."""
+        return (len(self.block_map) - len(self.reused_blocks)
+                + len(self.object_map) - len(self.reused_objects)
+                + len(self.group_map) - len(self.reused_groups))
+
+
+@dataclass(slots=True)
+class BundleManifest:
+    """Content digests parallel to a :class:`CodeBundle`.
+
+    ``block_digests[i]`` is the digest of the transitive slice rooted
+    at ``bundle.blocks[i]`` (likewise objects/groups) -- see
+    :mod:`repro.runtime.codecache` for the digest definition.  The
+    manifest travels on the wire next to (or instead of) the bundle so
+    the receiver can answer with the subset of code it is missing.
+    """
+
+    block_digests: tuple[bytes, ...] = ()
+    object_digests: tuple[bytes, ...] = ()
+    group_digests: tuple[bytes, ...] = ()
+
+    def __len__(self) -> int:
+        return (len(self.block_digests) + len(self.object_digests)
+                + len(self.group_digests))
+
+    def matches(self, bundle: CodeBundle) -> bool:
+        """Does this manifest have one digest per bundle item?"""
+        return (len(self.block_digests) == len(bundle.blocks)
+                and len(self.object_digests) == len(bundle.objects)
+                and len(self.group_digests) == len(bundle.groups))
 
 
 # ---------------------------------------------------------------------------
@@ -169,35 +206,79 @@ def _remap_instr(ins: Instr, blocks: dict[int, int],
 # ---------------------------------------------------------------------------
 
 
-def link_bundle(program: Program, bundle: CodeBundle) -> LinkResult:
+def link_bundle(program: Program, bundle: CodeBundle,
+                reuse_blocks: dict[int, int] | None = None,
+                reuse_objects: dict[int, int] | None = None,
+                reuse_groups: dict[int, int] | None = None) -> LinkResult:
     """Append a bundle to ``program``, renumbering all references.
 
     This is the "dynamically linked to the local program" step of the
     FETCH protocol (and of object migration).
-    """
-    block_map = {i: len(program.blocks) + i for i in range(len(bundle.blocks))}
-    object_map = {i: len(program.objects) + i for i in range(len(bundle.objects))}
-    group_map = {i: len(program.groups) + i for i in range(len(bundle.groups))}
 
-    for blk in bundle.blocks:
+    The ``reuse_*`` maps (bundle-local id -> existing program id) come
+    from the per-site code cache: items listed there are *not*
+    appended; every cross-reference to them is renumbered onto the
+    existing copy instead.  Linking a fully cached bundle is therefore
+    a pure renumbering: the program area does not change at all.
+    """
+    reuse_blocks = reuse_blocks or {}
+    reuse_objects = reuse_objects or {}
+    reuse_groups = reuse_groups or {}
+
+    def build_map(count: int, reuse: dict[int, int],
+                  base: int, what: str) -> dict[int, int]:
+        for i, target in reuse.items():
+            if not (0 <= i < count):
+                raise LinkError(
+                    f"reuse map names {what} {i} not in bundle (0..{count - 1})")
+            if not (0 <= target < base):
+                raise LinkError(
+                    f"reuse map targets {what} {target} outside program area")
+        mapping = {}
+        nxt = base
+        for i in range(count):
+            if i in reuse:
+                mapping[i] = reuse[i]
+            else:
+                mapping[i] = nxt
+                nxt += 1
+        return mapping
+
+    block_map = build_map(len(bundle.blocks), reuse_blocks,
+                          len(program.blocks), "block")
+    object_map = build_map(len(bundle.objects), reuse_objects,
+                           len(program.objects), "object")
+    group_map = build_map(len(bundle.groups), reuse_groups,
+                          len(program.groups), "group")
+
+    for i, blk in enumerate(bundle.blocks):
+        if i in reuse_blocks:
+            continue
         program.blocks.append(CodeBlock(
-            instrs=tuple(_remap_instr(i, block_map, object_map, group_map)
-                         for i in blk.instrs),
+            instrs=tuple(_remap_instr(ins, block_map, object_map, group_map)
+                         for ins in blk.instrs),
             nfree=blk.nfree,
             nparams=blk.nparams,
             frame_size=blk.frame_size,
             name=blk.name,
         ))
-    for obj in bundle.objects:
+    for i, obj in enumerate(bundle.objects):
+        if i in reuse_objects:
+            continue
         program.objects.append(ObjectCode(
             methods={l: block_map[b] for l, b in obj.methods.items()},
             name=obj.name,
         ))
-    for grp in bundle.groups:
+    for i, grp in enumerate(bundle.groups):
+        if i in reuse_groups:
+            continue
         program.groups.append(ClassGroup(
             clauses=tuple((h, block_map[b]) for h, b in grp.clauses),
             nfree=grp.nfree,
             name=grp.name,
         ))
     return LinkResult(block_map=block_map, object_map=object_map,
-                      group_map=group_map)
+                      group_map=group_map,
+                      reused_blocks=frozenset(reuse_blocks),
+                      reused_objects=frozenset(reuse_objects),
+                      reused_groups=frozenset(reuse_groups))

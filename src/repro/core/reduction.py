@@ -212,7 +212,9 @@ class LocalEngine:
         for name, st in self.channels.items():
             for m in st.messages:
                 for o in st.objects:
-                    if m.label in o.methods:
+                    method = o.methods.get(m.label)
+                    if method is not None and \
+                            len(method.params) == len(m.args):
                         raise AssertionError(
                             f"unreduced redex at {name}: {m.label}")
 
@@ -304,11 +306,14 @@ class LocalEngine:
                     self.pending.append(q)
             return
         state = self.channels.setdefault(subject, ChannelState())
-        # Scan for the first queued object offering this label.
+        # Scan for the first queued object offering this label.  COMM's
+        # substitution P{v~/x~} is only defined for equal lengths, so an
+        # arity-mismatched pair is stuck, not a redex.
         for i, o in enumerate(state.objects):
-            if p.label in o.methods:
+            method = o.methods.get(p.label)
+            if method is not None and len(method.params) == len(args):
                 del state.objects[i]
-                self._fire_comm(o.methods[p.label], args)
+                self._fire_comm(method, args)
                 return
         state.messages.append(PendingMessage(p.label, args))
 
@@ -324,11 +329,13 @@ class LocalEngine:
                 f"cannot locate an object at builtin channel {subject}")
         state = self.channels.setdefault(subject, ChannelState())
         methods = dict(p.methods)
-        # Scan for the first queued message this object can consume.
+        # Scan for the first queued message this object can consume
+        # (label offered *and* arities agree -- see _exec_message).
         for i, m in enumerate(state.messages):
-            if m.label in methods:
+            method = methods.get(m.label)
+            if method is not None and len(method.params) == len(m.args):
                 del state.messages[i]
-                self._fire_comm(methods[m.label], m.args)
+                self._fire_comm(method, m.args)
                 return
         state.objects.append(PendingObject(methods))
 

@@ -34,6 +34,8 @@ from .typecheck import (
     type_to_tag,
 )
 from .wire import (
+    KIND_CODE_NEED,
+    KIND_CODE_REPLY,
     KIND_FETCH_REPLY,
     KIND_FETCH_REQUEST,
     KIND_MESSAGE,

@@ -1,0 +1,267 @@
+"""Per-site content-addressed code cache (the "download once" of FETCH).
+
+The paper's FETCH rule says class byte-code is "downloaded and linked
+locally" -- the whole point of code-fetching semantics is that the
+download happens *once*.  This module gives each site's program area a
+content digest per block/object/group so the runtime can recognise
+code it already holds:
+
+* :func:`digest_item` -- the digest of one program item is the hash of
+  the wire encoding of the *transitive slice* rooted at it.  Two items
+  digest equal iff the whole sub-graph of code reachable from them is
+  identical, which is exactly the condition for one installed copy to
+  stand in for the other.  Rooted-slice hashing also side-steps the
+  cycles in the code graph (a recursive class's clause block references
+  its own group), which defeat naive per-item Merkle hashing.
+* :func:`manifest_for_bundle` -- per-item digests parallel to an
+  extracted :class:`~repro.compiler.linker.CodeBundle`.  Because
+  extraction renumbers deterministically from the roots, the digest of
+  a bundle item equals the digest of the program item it was extracted
+  from -- sender-side and receiver-side digests agree with no shared
+  state.
+* :class:`CodeCache` -- digest -> installed program id, plus the
+  transient protocol state: in-flight digest requests (so concurrent
+  fetches of the same code share one download) and a *generation*
+  counter bumped when the owning node restarts, which invalidates
+  in-flight state that a crash made unanswerable (the cached code
+  itself is content-addressed and can never go stale).
+* :func:`link_bundle_cached` -- the receiving half: link a bundle into
+  a program area installing **only** the items whose digests are
+  missing, renumbering every cross-reference onto the cached copies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+from repro.compiler.assembly import Program
+from repro.compiler.linker import (
+    BundleManifest,
+    CodeBundle,
+    LinkError,
+    LinkResult,
+    extract_bundle,
+    link_bundle,
+)
+
+#: Digest width in bytes.  16 bytes of blake2b keeps manifests compact
+#: while making accidental collisions astronomically unlikely.
+DIGEST_SIZE = 16
+
+BLOCK = "block"
+OBJECT = "object"
+GROUP = "group"
+
+
+def _bundle_as_program(bundle: CodeBundle) -> Program:
+    """View a bundle as a program area so it can be re-extracted."""
+    return Program(blocks=list(bundle.blocks), objects=list(bundle.objects),
+                   groups=list(bundle.groups))
+
+
+def _digest_bytes(data: bytes) -> bytes:
+    return hashlib.blake2b(data, digest_size=DIGEST_SIZE).digest()
+
+
+def _rooted_slice_digest(program: Program, kind: str, item_id: int) -> bytes:
+    # Imported lazily: wire imports the linker, which this module extends.
+    from .wire import encode
+
+    roots = {BLOCK: "block_roots", OBJECT: "object_roots",
+             GROUP: "group_roots"}[kind]
+    slice_bundle = extract_bundle(program, **{roots: (item_id,)})
+    return _digest_bytes(encode(slice_bundle))
+
+
+def digest_item(program: Program, kind: str, item_id: int,
+                memo: Optional[dict] = None) -> bytes:
+    """Digest of the transitive code slice rooted at one program item.
+
+    ``memo`` (keyed by ``(kind, id)``) is safe to keep for the lifetime
+    of the program area: areas are append-only and items immutable.
+    """
+    if memo is not None:
+        key = (kind, item_id)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+    digest = _rooted_slice_digest(program, kind, item_id)
+    if memo is not None:
+        memo[key] = digest
+    return digest
+
+
+def manifest_for_bundle(bundle: CodeBundle) -> BundleManifest:
+    """Per-item digests for an extracted bundle.
+
+    Each digest is computed on the rooted slice *within* the bundle;
+    extraction is canonical, so this equals the digest of the source
+    program item the bundle entry came from.
+    """
+    view = _bundle_as_program(bundle)
+    memo: dict = {}
+    return BundleManifest(
+        block_digests=tuple(digest_item(view, BLOCK, i, memo)
+                            for i in range(len(bundle.blocks))),
+        object_digests=tuple(digest_item(view, OBJECT, i, memo)
+                             for i in range(len(bundle.objects))),
+        group_digests=tuple(digest_item(view, GROUP, i, memo)
+                            for i in range(len(bundle.groups))),
+    )
+
+
+class CodeCache:
+    """Digest -> installed location for one site's program area.
+
+    Also owns the transient fetch-protocol state:
+
+    * ``in_flight`` -- digests this site has asked a remote sender for
+      and not yet received, tagged with the generation that asked.  A
+      second fetch needing an in-flight digest parks instead of
+      re-downloading (request coalescing).
+    * ``generation`` -- bumped by :meth:`bump_generation` when the
+      owning node restarts after a crash.  In-flight marks from older
+      generations are dead (their replies may have been crash-dropped)
+      and are discarded; installed entries survive because they are
+      content-addressed and verified against the program area itself.
+    """
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.generation = 0
+        self._by_digest: dict[bytes, tuple[str, int]] = {}
+        self._digest_memo: dict = {}
+        self._in_flight: dict[bytes, int] = {}
+        self.hits = 0
+        self.misses = 0
+        self.installs = 0
+
+    def __len__(self) -> int:
+        return len(self._by_digest)
+
+    # -- digest bookkeeping ---------------------------------------------------
+
+    def digest_of(self, kind: str, item_id: int) -> bytes:
+        """Digest of one of *our own* program items (memoized)."""
+        return digest_item(self.program, kind, item_id, self._digest_memo)
+
+    def register(self, digest: bytes, kind: str, item_id: int) -> None:
+        """Record that ``digest`` lives at ``(kind, item_id)`` locally."""
+        self._by_digest.setdefault(digest, (kind, item_id))
+
+    def register_own(self, kind: str, item_id: int) -> bytes:
+        """Digest and register one of our own items (the serving side
+        does this so code we exported once is also recognised when it
+        bounces back to us)."""
+        digest = self.digest_of(kind, item_id)
+        self.register(digest, kind, item_id)
+        return digest
+
+    def lookup(self, digest: bytes) -> Optional[tuple[str, int]]:
+        return self._by_digest.get(digest)
+
+    def has(self, digest: bytes) -> bool:
+        return digest in self._by_digest
+
+    def snapshot(self) -> dict[bytes, tuple[str, int]]:
+        """Copy of the digest table (for the integrity invariant)."""
+        return dict(self._by_digest)
+
+    # -- in-flight request coalescing ----------------------------------------
+
+    def mark_in_flight(self, digest: bytes) -> None:
+        self._in_flight[digest] = self.generation
+
+    def is_in_flight(self, digest: bytes) -> bool:
+        """In flight *in the current generation* and not yet installed.
+
+        Marks from older generations are stale by definition: the
+        request (or its reply) may have died with the crash, so they
+        must never suppress a re-request."""
+        if digest in self._by_digest:
+            return False
+        return self._in_flight.get(digest) == self.generation
+
+    def clear_in_flight(self, digest: bytes) -> None:
+        self._in_flight.pop(digest, None)
+
+    def bump_generation(self) -> None:
+        """Node restart: invalidate every in-flight mark."""
+        self.generation += 1
+        self._in_flight.clear()
+
+
+def link_bundle_cached(program: Program, bundle: CodeBundle,
+                       manifest: BundleManifest,
+                       cache: Optional[CodeCache]) -> LinkResult:
+    """Link ``bundle``, installing only the items ``cache`` is missing.
+
+    Items whose digest is already installed are renumbered onto the
+    existing copy; everything else is appended and registered under its
+    manifest digest.  With a fully warm cache this is a pure
+    renumbering (idempotent: the program area does not grow).  Without
+    a cache it degenerates to plain :func:`link_bundle`.
+    """
+    if cache is None:
+        return link_bundle(program, bundle)
+    if not manifest.matches(bundle):
+        raise LinkError(
+            f"manifest shape {len(manifest.block_digests)}/"
+            f"{len(manifest.object_digests)}/{len(manifest.group_digests)} "
+            f"does not match bundle {len(bundle.blocks)}/"
+            f"{len(bundle.objects)}/{len(bundle.groups)}")
+
+    def reuse_map(digests: tuple[bytes, ...], kind: str) -> dict[int, int]:
+        reuse = {}
+        for i, digest in enumerate(digests):
+            found = cache.lookup(digest)
+            if found is not None and found[0] == kind:
+                reuse[i] = found[1]
+        return reuse
+
+    reuse_b = reuse_map(manifest.block_digests, BLOCK)
+    reuse_o = reuse_map(manifest.object_digests, OBJECT)
+    reuse_g = reuse_map(manifest.group_digests, GROUP)
+    result = link_bundle(program, bundle, reuse_blocks=reuse_b,
+                         reuse_objects=reuse_o, reuse_groups=reuse_g)
+    for i, digest in enumerate(manifest.block_digests):
+        if i not in reuse_b:
+            cache.register(digest, BLOCK, result.block_map[i])
+            cache.installs += 1
+        cache.clear_in_flight(digest)
+    for i, digest in enumerate(manifest.object_digests):
+        if i not in reuse_o:
+            cache.register(digest, OBJECT, result.object_map[i])
+            cache.installs += 1
+        cache.clear_in_flight(digest)
+    for i, digest in enumerate(manifest.group_digests):
+        if i not in reuse_g:
+            cache.register(digest, GROUP, result.group_map[i])
+            cache.installs += 1
+        cache.clear_in_flight(digest)
+    return result
+
+
+def verify_cache_integrity(cache: CodeCache) -> list[str]:
+    """Recompute the digest of every cached item from the program area.
+
+    Any mismatch means the cache would serve code that is not what its
+    digest promises -- the "stale code" failure the chaos invariant
+    guards against.  Returns violation strings (empty = consistent).
+    """
+    violations = []
+    for digest, (kind, item_id) in cache.snapshot().items():
+        table = {BLOCK: cache.program.blocks, OBJECT: cache.program.objects,
+                 GROUP: cache.program.groups}[kind]
+        if not (0 <= item_id < len(table)):
+            violations.append(
+                f"code cache maps digest {digest.hex()[:12]} to missing "
+                f"{kind} {item_id}")
+            continue
+        actual = digest_item(cache.program, kind, item_id)
+        if actual != digest:
+            violations.append(
+                f"stale code: cached {kind} {item_id} digests "
+                f"{actual.hex()[:12]}, cache promised {digest.hex()[:12]}")
+    return violations

@@ -145,7 +145,7 @@ class TyCOi:
         nothing parked); returns how many were reaped."""
         dead = [sid for sid, site in self.node.sites.items()
                 if site.is_idle() and not site.vm.has_stalled()
-                and not site._pending_fetch
+                and not site._pending_fetch and not site._pending_code
                 and site.vm.heap.live_queues() == 0]
         for sid in dead:
             del self.node.sites[sid]

@@ -39,6 +39,10 @@ class DiTyCONetwork:
         for the future-work distributed variant.
     local_fast_path / fetch_cache:
         Toggles for ablations A3 and A2 respectively.
+    code_cache / batching:
+        Toggles for the per-site code cache (offer/need/reply protocol)
+        and the per-destination wire batching; on by default, turned
+        off for the ablation benchmarks.
     """
 
     def __init__(self, world: Optional[World] = None,
@@ -46,6 +50,8 @@ class DiTyCONetwork:
                  cluster: Optional[ClusterModel] = None,
                  local_fast_path: bool = True,
                  fetch_cache: bool = True,
+                 code_cache: bool = True,
+                 batching: bool = True,
                  typecheck: bool = False) -> None:
         if world is None:
             world = SimWorld(cluster) if cluster else SimWorld()
@@ -55,6 +61,8 @@ class DiTyCONetwork:
         self.nameservice = nameservice or NameService()
         self.local_fast_path = local_fast_path
         self.fetch_cache = fetch_cache
+        self.code_cache = code_cache
+        self.batching = batching
         self.typecheck = typecheck
 
     # -- topology -------------------------------------------------------------
@@ -64,6 +72,8 @@ class DiTyCONetwork:
         node = Node(ip, self.nameservice,
                     local_fast_path=self.local_fast_path,
                     fetch_cache=self.fetch_cache,
+                    code_cache=self.code_cache,
+                    batching=self.batching,
                     typecheck=self.typecheck)
         self.world.add_node(node)
         return node

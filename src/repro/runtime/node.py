@@ -24,6 +24,7 @@ from repro.compiler.assembly import Program
 from .daemon import TyCOd, TyCOi
 from .nameservice import NameService
 from .site import Site
+from .wire import decode_frame, encode_frame, is_frame
 
 
 @dataclass(slots=True)
@@ -46,6 +47,9 @@ class Node:
                  send: Optional[Callable[[str, str, bytes], None]] = None,
                  local_fast_path: bool = True,
                  fetch_cache: bool = True,
+                 code_cache: bool = True,
+                 batching: bool = True,
+                 batch_bytes: int = 4096,
                  typecheck: bool = False) -> None:
         self.ip = ip
         self.nameservice = nameservice
@@ -54,9 +58,21 @@ class Node:
         self.tycod = TyCOd(self, local_fast_path=local_fast_path)
         self.tycoi = TyCOi(self)
         self.fetch_cache = fetch_cache
+        self.code_cache = code_cache
+        #: Wire batching: buffers outgoing buffers per destination while
+        #: a scheduling quantum runs and flushes them as one frame at
+        #: the quantum boundary (or earlier, once ``batch_bytes`` is
+        #: buffered).  Only active inside :meth:`step`, so direct pumps
+        #: from tests and tools behave exactly as before.
+        self.batching = batching
+        self.batch_bytes = batch_bytes
+        self._batch_buf: dict[str, list[bytes]] = {}
+        self._batch_size: dict[str, int] = {}
+        self._in_step = False
         self.typecheck = typecheck
         self._send = send
         self._wakeup: Optional[Callable[[], None]] = None
+        self._trace_hook: Optional[Callable] = None
         self._switches_seen = 0
 
     # -- wiring ---------------------------------------------------------------
@@ -72,11 +88,49 @@ class Node:
     def transport_send(self, dest_ip: str, data: bytes) -> None:
         if self._send is None:
             raise RuntimeError(f"node {self.ip} has no transport attached")
-        self._send(self.ip, dest_ip, data)
+        if not (self.batching and self._in_step):
+            self._send(self.ip, dest_ip, data)
+            return
+        self._batch_buf.setdefault(dest_ip, []).append(data)
+        size = self._batch_size.get(dest_ip, 0) + len(data)
+        self._batch_size[dest_ip] = size
+        if size >= self.batch_bytes:
+            self._flush_dest(dest_ip)
+
+    def _flush_dest(self, dest_ip: str) -> None:
+        chunks = self._batch_buf.pop(dest_ip, None)
+        self._batch_size.pop(dest_ip, None)
+        if not chunks:
+            return
+        if len(chunks) == 1:
+            # A lone packet goes out raw: framing buys nothing.
+            self._send(self.ip, dest_ip, chunks[0])
+            return
+        frame = encode_frame(chunks)
+        self.trace("batch", self.ip, dest_ip, len(frame),
+                   note=f"{len(chunks)} packets")
+        self._send(self.ip, dest_ip, frame)
+
+    def flush_batches(self) -> None:
+        """Send every buffered batch (insertion order: deterministic)."""
+        for dest_ip in list(self._batch_buf):
+            self._flush_dest(dest_ip)
 
     def on_work_available(self) -> None:
         if self._wakeup is not None:
             self._wakeup()
+
+    def set_trace(self, hook: Optional[Callable]) -> None:
+        """Install the world's network-event trace hook; forwarded to
+        every site (existing and future)."""
+        self._trace_hook = hook
+        for site in self.sites.values():
+            site.trace = hook
+
+    def trace(self, kind: str, src: str = "", dst: str = "",
+              size: int = 0, note: str = "") -> None:
+        if self._trace_hook is not None:
+            self._trace_hook(kind, src, dst, size, note)
 
     # -- site pool ----------------------------------------------------------------
 
@@ -86,10 +140,12 @@ class Node:
         site_id = self.nameservice.register_site(site_name, self.ip)
         site = Site(site_name, site_id, self.ip, program,
                     self.nameservice, fetch_cache=self.fetch_cache,
+                    code_cache=self.code_cache,
                     name_signatures=name_signatures)
         self.sites[site_id] = site
         self.sites_by_name[site_name] = site
         site.on_work = self.on_work_available
+        site.trace = self._trace_hook
         self.nameservice.subscribe(self._on_ns_update)
         site.boot()
         self.on_work_available()
@@ -107,19 +163,30 @@ class Node:
 
     def receive(self, data: bytes) -> None:
         """A buffer arrives from the network (called by the world)."""
+        if is_frame(data):
+            for chunk in decode_frame(data):
+                self.tycod.receive(chunk)
+            return
         self.tycod.receive(data)
 
     def step(self, quantum: int = 256) -> NodeStepReport:
         """One scheduling quantum: pump the daemon, then round-robin
-        the site pool with a per-site instruction budget."""
-        moved = self.tycod.pump()
-        executed = 0
-        nsites = len(self.sites)
-        if nsites:
-            per_site = max(1, quantum // nsites)
-            for site in list(self.sites.values()):
-                executed += site.step(per_site)
-        moved += self.tycod.pump()
+        the site pool with a per-site instruction budget.  While the
+        quantum runs, outgoing buffers are batched per destination;
+        the quantum boundary flushes them."""
+        self._in_step = True
+        try:
+            moved = self.tycod.pump()
+            executed = 0
+            nsites = len(self.sites)
+            if nsites:
+                per_site = max(1, quantum // nsites)
+                for site in list(self.sites.values()):
+                    executed += site.step(per_site)
+            moved += self.tycod.pump()
+        finally:
+            self._in_step = False
+            self.flush_batches()
         switches = sum(s.vm.runqueue.context_switches
                        for s in self.sites.values())
         delta_switches = switches - self._switches_seen
@@ -128,18 +195,29 @@ class Node:
                               context_switches=delta_switches,
                               packets_moved=moved)
 
+    def on_restart(self) -> None:
+        """The world restarted this node after a crash: let every site
+        re-drive its in-flight code requests (stale in-flight state is
+        what generation-based cache invalidation clears)."""
+        self._batch_buf.clear()
+        self._batch_size.clear()
+        for site in list(self.sites.values()):
+            site.on_restart()
+        self.on_work_available()
+
     def has_work(self) -> bool:
         """Anything runnable or queued on this node?"""
-        return any(
+        return bool(self._batch_buf) or any(
             not site.vm.is_idle() or site.incoming or site.outgoing
             for site in self.sites.values()
         )
 
     def is_quiescent(self) -> bool:
-        """Nothing runnable, queued, stalled or awaiting FETCH."""
-        return all(
+        """Nothing runnable, queued, stalled or awaiting FETCH/code."""
+        return not self._batch_buf and all(
             site.vm.is_idle() and not site.incoming and not site.outgoing
             and not site.vm.has_stalled() and not site._pending_fetch
+            and not site._pending_code
             for site in self.sites.values()
         )
 

@@ -29,12 +29,22 @@ from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.compiler.assembly import Program
-from repro.compiler.linker import extract_bundle, link_bundle
+from repro.compiler.linker import extract_bundle
 from repro.vm.machine import ImportPending, TycoVM, VMRuntimeError
 from repro.vm.values import Channel, ClassRef, NetRef, RemoteClassRef
 
+from .codecache import (
+    BLOCK,
+    GROUP,
+    CodeCache,
+    digest_item,
+    link_bundle_cached,
+    manifest_for_bundle,
+)
 from .nameservice import NameService
 from .wire import (
+    KIND_CODE_NEED,
+    KIND_CODE_REPLY,
     KIND_FETCH_REPLY,
     KIND_FETCH_REQUEST,
     KIND_MESSAGE,
@@ -59,6 +69,12 @@ class SiteStats:
     fetch_cache_hits: int = 0
     imports_resolved: int = 0
     imports_stalled: int = 0
+    # Code cache (offer/need/reply protocol, docs/WIRE.md).
+    code_cache_hits: int = 0
+    code_cache_misses: int = 0
+    code_needs_sent: int = 0
+    code_replies_served: int = 0
+    code_items_installed: int = 0
 
 
 class Site:
@@ -67,6 +83,7 @@ class Site:
     def __init__(self, site_name: str, site_id: int, ip: str,
                  program: Program, nameservice: NameService,
                  fetch_cache: bool = True,
+                 code_cache: bool = True,
                  name_signatures: Optional[dict] = None) -> None:
         self.site_name = site_name
         self.site_id = site_id
@@ -89,12 +106,32 @@ class Site:
         self._fetched: dict[tuple[str, int, int], ClassRef] = {}
         # Instantiations waiting for an in-flight FETCH.
         self._pending_fetch: dict[tuple[str, int, int], list[tuple]] = {}
+        # Per-site code cache (ablation: code_cache=False links every
+        # bundle from scratch, the pre-cache behaviour).
+        self.codecache: Optional[CodeCache] = (
+            CodeCache(program) if code_cache else None)
+        # Serving-side digest memo; kept separately from the receive
+        # cache so disabling the latter does not slow down serving.
+        self._digest_memo: dict = {}
+        # Offers whose code has not arrived yet:
+        # (src ip, src site, token kind, token value) ->
+        #     (needed digests, offer payload).
+        self._pending_code: dict[tuple[str, int, str, Any],
+                                 tuple[tuple[bytes, ...], tuple]] = {}
+        # SHIPO offers we made, so a CODE_NEED can be answered later --
+        # kept for the lifetime of the site: a crashed receiver may ask
+        # for the code long after the offer (restart recovery).
+        self._ship_offers: dict[int, tuple[int, ...]] = {}
+        self._next_ship_token = 1
         # Incoming/outgoing packet queues (pumped by the node's TyCOd).
         self.incoming: deque[Packet] = deque()
         self.outgoing: deque[Packet] = deque()
         # Set by the owning node: reschedules the node when outside
         # events (user input) make this site runnable again.
         self.on_work: Optional[callable] = None
+        # Set by the owning node: network-event trace hook
+        # (kind, src, dst, size, note) -> None.
+        self.trace: Optional[callable] = None
 
     # -- life-cycle ----------------------------------------------------------
 
@@ -105,9 +142,16 @@ class Site:
         return (self.vm.is_idle() and not self.incoming and not self.outgoing)
 
     def is_blocked(self) -> bool:
-        """Idle but holding parked work (stalled imports / pending FETCH)."""
+        """Idle but holding parked work (stalled imports / pending
+        FETCH / code offers awaiting their byte-code)."""
         return self.is_idle() and (
-            self.vm.has_stalled() or bool(self._pending_fetch))
+            self.vm.has_stalled() or bool(self._pending_fetch)
+            or bool(self._pending_code))
+
+    def _trace(self, kind: str, dst: str = "", size: int = 0,
+               note: str = "") -> None:
+        if self.trace is not None:
+            self.trace(kind, self.site_name, dst, size, note)
 
     def step(self, budget: int) -> int:
         """Drain the incoming queue, then run the VM for ``budget``."""
@@ -169,6 +213,11 @@ class Site:
             ip, sid, cid = key
             lines.append(f"  FETCH pending from {ip}/s{sid}/c{cid} "
                          f"({len(args_list)} instantiation(s) parked)")
+        for pkey, (needed, _payload) in self._pending_code.items():
+            ip, sid, token_kind, token_val = pkey
+            lines.append(f"  code pending from {ip}/s{sid} "
+                         f"({token_kind} {token_val}, "
+                         f"{len(needed)} digest(s) awaited)")
         if len(lines) == 2 and not waiting:
             lines.append("  idle, no queued work")
         return "\n".join(lines)
@@ -258,17 +307,29 @@ class Site:
                    tuple(self.marshal_value(a) for a in args))
         self._send(KIND_MESSAGE, target, payload)
 
+    def _digest_of(self, kind: str, item_id: int) -> bytes:
+        """Content digest of one of our own program items (serving
+        side of the code cache protocol)."""
+        return digest_item(self.vm.program, kind, item_id,
+                           self._digest_memo)
+
     def ship_object(self, target: NetRef, methods: dict[str, int],
                     env: tuple) -> None:
-        """SHIPO: extract the movable byte-code slice, marshal the
-        environment, enqueue the packet."""
+        """SHIPO: *offer* the movable byte-code by content digest; the
+        receiver answers with a CODE_NEED for the method blocks it does
+        not already hold (docs/WIRE.md)."""
         block_ids = tuple(methods.values())
-        bundle = extract_bundle(self.vm.program, block_roots=block_ids)
-        local_methods = {
-            label: bundle.entry_blocks[i]
-            for i, label in enumerate(methods.keys())
-        }
-        payload = (target.heap_id, local_methods, bundle,
+        digests = tuple(self._digest_of(BLOCK, bid) for bid in block_ids)
+        if self.codecache is not None:
+            # Our own exported code is cached too, so code that bounces
+            # back to this site is recognised instead of re-downloaded.
+            for bid, digest in zip(block_ids, digests):
+                self.codecache.register(digest, BLOCK, bid)
+        token = self._next_ship_token
+        self._next_ship_token += 1
+        self._ship_offers[token] = block_ids
+        positions = {label: i for i, label in enumerate(methods.keys())}
+        payload = (token, target.heap_id, positions, digests,
                    tuple(self.marshal_value(v) for v in env))
         self._send(KIND_OBJECT, target, payload)
 
@@ -364,19 +425,20 @@ class Site:
             self.vm.deliver_message(heap_id, label, values)
             return
         if packet.kind == KIND_OBJECT:
-            heap_id, methods, bundle, env = packet.payload
-            self._check_target(heap_id)
-            result = link_bundle(self.vm.program, bundle)
-            linked = {label: result.block_map[b] for label, b in methods.items()}
-            self.vm.deliver_object(
-                heap_id, linked, tuple(self.unmarshal_value(v) for v in env))
+            self._on_object_offer(packet)
             return
         if packet.kind == KIND_FETCH_REQUEST:
             (class_id,) = packet.payload
             self._serve_fetch(packet, class_id)
             return
         if packet.kind == KIND_FETCH_REPLY:
-            self._link_fetched(packet)
+            self._on_fetch_offer(packet)
+            return
+        if packet.kind == KIND_CODE_NEED:
+            self._serve_code_need(packet)
+            return
+        if packet.kind == KIND_CODE_REPLY:
+            self._on_code_reply(packet)
             return
         raise DeliveryError(f"unknown packet kind {packet.kind!r}")
 
@@ -386,14 +448,16 @@ class Site:
                 f"{self.site_name}: delivery to unexported heap id {heap_id}")
 
     def _serve_fetch(self, packet: Packet, class_id: int) -> None:
-        """Owner side of FETCH: package the class group and its
-        captured environment."""
+        """Owner side of FETCH: *offer* the class group by content
+        digest plus its captured environment.  The byte-code itself
+        travels only if the requester answers with a CODE_NEED."""
         classref = self._class_exports.get(class_id)
         if classref is None:
             raise DeliveryError(
                 f"{self.site_name}: FETCH of unknown class id {class_id}")
-        bundle = extract_bundle(self.vm.program,
-                                group_roots=(classref.group_id,))
+        root_digest = self._digest_of(GROUP, classref.group_id)
+        if self.codecache is not None:
+            self.codecache.register(root_digest, GROUP, classref.group_id)
         group = self.vm.program.groups[classref.group_id]
         captured = tuple(self.marshal_value(v)
                          for v in classref.env[:group.nfree])
@@ -402,16 +466,224 @@ class Site:
             kind=KIND_FETCH_REPLY,
             src_ip=self.ip, src_site_id=self.site_id,
             dest_ip=packet.src_ip, dest_site_id=packet.src_site_id,
-            payload=(class_id, bundle, bundle.entry_groups[0],
-                     classref.index, captured, classref.hint),
+            payload=(class_id, root_digest, classref.index, captured,
+                     classref.hint),
         ))
         self.stats.packets_sent += 1
 
-    def _link_fetched(self, packet: Packet) -> None:
-        """Requester side of FETCH: dynamically link and instantiate."""
-        class_id, bundle, entry_group, index, captured, hint = packet.payload
-        result = link_bundle(self.vm.program, bundle)
-        group_id = result.group_map[entry_group]
+    # -- the offer / need / reply protocol (docs/WIRE.md) ---------------------
+
+    def _send_code_need(self, src_ip: str, src_site_id: int,
+                        token_kind: str, token_val,
+                        digests: tuple[bytes, ...]) -> None:
+        if self.codecache is not None:
+            for digest in digests:
+                self.codecache.mark_in_flight(digest)
+        self.stats.code_needs_sent += 1
+        self.outgoing.append(Packet(
+            kind=KIND_CODE_NEED,
+            src_ip=self.ip, src_site_id=self.site_id,
+            dest_ip=src_ip, dest_site_id=src_site_id,
+            payload=(token_kind, token_val, digests),
+        ))
+        self.stats.packets_sent += 1
+
+    def _park_offer(self, packet: Packet, token_kind: str, token_val,
+                    needed: tuple[bytes, ...]) -> None:
+        """Record an offer whose code is missing; request the missing
+        digests unless an earlier request already covers them all
+        (in-flight coalescing: concurrent fetches of the same code
+        share one download)."""
+        pkey = (packet.src_ip, packet.src_site_id, token_kind, token_val)
+        if pkey in self._pending_code:
+            return  # duplicate offer; a request is already out
+        self._pending_code[pkey] = (needed, packet.payload)
+        if self.codecache is not None:
+            missing = tuple(d for d in needed
+                            if not self.codecache.has(d)
+                            and not self.codecache.is_in_flight(d))
+            if not missing:
+                return  # every digest is cached or already requested
+        else:
+            missing = needed
+        self._send_code_need(packet.src_ip, packet.src_site_id,
+                             token_kind, token_val, missing)
+
+    def _on_fetch_offer(self, packet: Packet) -> None:
+        """Requester side of FETCH, step 1: the owner offered the class
+        group by digest.  Cached -> link locally with zero code bytes
+        on the wire; missing -> ask for the slice."""
+        class_id, root_digest, _index, _captured, _hint = packet.payload
+        if self.codecache is not None and self.codecache.has(root_digest):
+            self.stats.code_cache_hits += 1
+            self._trace("cache-hit", packet.src_ip, note=f"class {class_id}")
+            self._install_fetched(packet.src_ip, packet.src_site_id,
+                                  packet.payload)
+            return
+        self.stats.code_cache_misses += 1
+        self._trace("cache-miss", packet.src_ip, note=f"class {class_id}")
+        self._park_offer(packet, "fetch", class_id, (root_digest,))
+
+    def _on_object_offer(self, packet: Packet) -> None:
+        """Receiver side of SHIPO, step 1: method blocks offered by
+        digest; deliver from cache or ask for the missing ones."""
+        token, heap_id, _positions, entry_digests, _env = packet.payload
+        self._check_target(heap_id)
+        if self.codecache is not None and all(
+                self.codecache.has(d) for d in entry_digests):
+            self.stats.code_cache_hits += 1
+            self._trace("cache-hit", packet.src_ip, note=f"obj {heap_id}")
+            self._install_shipped(packet.payload)
+            return
+        self.stats.code_cache_misses += 1
+        self._trace("cache-miss", packet.src_ip, note=f"obj {heap_id}")
+        # Request only the digests we are actually missing; de-dup
+        # (an object may expose the same block under two labels).
+        seen: dict[bytes, None] = {}
+        for d in entry_digests:
+            seen.setdefault(d)
+        self._park_offer(packet, "ship", token, tuple(seen))
+
+    def _serve_code_need(self, packet: Packet) -> None:
+        """Owner side, step 2: extract and send the requested slice
+        with its manifest, so the receiver installs item-by-item."""
+        token_kind, token_val, digests = packet.payload
+        if token_kind == "fetch":
+            classref = self._class_exports.get(token_val)
+            if classref is None:
+                raise DeliveryError(
+                    f"{self.site_name}: CODE_NEED for unknown class "
+                    f"id {token_val}")
+            bundle = extract_bundle(self.vm.program,
+                                    group_roots=(classref.group_id,))
+        elif token_kind == "ship":
+            block_ids = self._ship_offers.get(token_val)
+            if block_ids is None:
+                raise DeliveryError(
+                    f"{self.site_name}: CODE_NEED for unknown ship "
+                    f"token {token_val}")
+            # Send only the subset of entry blocks the receiver asked
+            # for; the rest it already holds.
+            wanted = set(digests)
+            subset = tuple(b for b in block_ids
+                           if self._digest_of(BLOCK, b) in wanted)
+            bundle = extract_bundle(self.vm.program,
+                                    block_roots=subset or block_ids)
+        else:
+            raise DeliveryError(
+                f"{self.site_name}: unknown CODE_NEED token kind "
+                f"{token_kind!r}")
+        manifest = manifest_for_bundle(bundle)
+        self.stats.code_replies_served += 1
+        self.outgoing.append(Packet(
+            kind=KIND_CODE_REPLY,
+            src_ip=self.ip, src_site_id=self.site_id,
+            dest_ip=packet.src_ip, dest_site_id=packet.src_site_id,
+            payload=(token_kind, token_val, bundle, manifest),
+        ))
+        self.stats.packets_sent += 1
+
+    def _on_code_reply(self, packet: Packet) -> None:
+        """Receiver side, step 3: link the slice (installing only the
+        missing items), then complete every offer it satisfies."""
+        token_kind, token_val, bundle, manifest = packet.payload
+        if not manifest.matches(bundle):
+            raise DeliveryError(
+                f"{self.site_name}: CODE_REPLY manifest does not match "
+                f"its bundle")
+        result = link_bundle_cached(self.vm.program, bundle, manifest,
+                                    self.codecache)
+        installed = self._installed_map(manifest, result)
+        new_items = result.installed_count()
+        self.stats.code_items_installed += new_items
+        self._trace("code-install", packet.src_ip, size=new_items,
+                    note=f"{token_kind} {token_val}")
+        pkey = (packet.src_ip, packet.src_site_id, token_kind, token_val)
+        self._try_complete_code(pkey, installed)
+        if self.codecache is not None:
+            # Coalesced offers parked on the same digests complete now.
+            for other in list(self._pending_code):
+                self._try_complete_code(other, installed)
+
+    @staticmethod
+    def _installed_map(manifest, result) -> dict[bytes, tuple[str, int]]:
+        """digest -> (kind, local id) for every item of one reply."""
+        installed: dict[bytes, tuple[str, int]] = {}
+        for i, digest in enumerate(manifest.block_digests):
+            installed[digest] = (BLOCK, result.block_map[i])
+        for i, digest in enumerate(manifest.group_digests):
+            installed[digest] = (GROUP, result.group_map[i])
+        return installed
+
+    def _try_complete_code(
+            self, pkey, installed: dict[bytes, tuple[str, int]]) -> bool:
+        """Complete one parked offer if all its code is now local."""
+        entry = self._pending_code.get(pkey)
+        if entry is None:
+            return False
+        src_ip, src_site_id, token_kind, _token_val = pkey
+        _needed, payload = entry
+
+        def resolve(digest: bytes, kind: str) -> Optional[int]:
+            found = installed.get(digest)
+            if found is not None and found[0] == kind:
+                return found[1]
+            if self.codecache is not None:
+                found = self.codecache.lookup(digest)
+                if found is not None and found[0] == kind:
+                    return found[1]
+            return None
+
+        if token_kind == "fetch":
+            _class_id, root_digest, _index, _captured, _hint = payload
+            group_id = resolve(root_digest, GROUP)
+            if group_id is None:
+                return False
+            del self._pending_code[pkey]
+            self._install_fetched(src_ip, src_site_id, payload,
+                                  group_id=group_id)
+            return True
+        _token, _heap_id, positions, entry_digests, _env = payload
+        block_ids = {}
+        for label, pos in positions.items():
+            block_id = resolve(entry_digests[pos], BLOCK)
+            if block_id is None:
+                return False
+            block_ids[label] = block_id
+        del self._pending_code[pkey]
+        self._install_shipped(payload, block_ids=block_ids)
+        return True
+
+    def _install_shipped(self, payload, block_ids=None) -> None:
+        """Deliver a shipped object once its method blocks are local."""
+        _token, heap_id, positions, entry_digests, env = payload
+        if block_ids is None:
+            # Warm path: every method block already cached.
+            block_ids = {}
+            for label, pos in positions.items():
+                found = self.codecache.lookup(entry_digests[pos])
+                if found is None or found[0] != BLOCK:
+                    raise DeliveryError(
+                        f"{self.site_name}: cached object code for heap "
+                        f"id {heap_id} vanished")
+                block_ids[label] = found[1]
+        self.vm.deliver_object(
+            heap_id, block_ids,
+            tuple(self.unmarshal_value(v) for v in env))
+
+    def _install_fetched(self, src_ip: str, src_site_id: int, payload,
+                         group_id: Optional[int] = None) -> None:
+        """Requester side of FETCH, final step: build the ClassRefs on
+        the (cached or just-installed) class group and spawn every
+        parked instantiation."""
+        class_id, root_digest, index, captured, hint = payload
+        if group_id is None:
+            found = self.codecache.lookup(root_digest)
+            if found is None or found[0] != GROUP:
+                raise DeliveryError(
+                    f"{self.site_name}: cached class code for class "
+                    f"id {class_id} vanished")
+            group_id = found[1]
         group = self.vm.program.groups[group_id]
         env: list = [self.unmarshal_value(v) for v in captured]
         env.extend([None] * len(group.clauses))
@@ -421,9 +693,48 @@ class Site:
             env[group.nfree + i] = cr
             classrefs.append(cr)
         target = classrefs[index]
-        key = (packet.src_ip, packet.src_site_id, class_id)
+        key = (src_ip, src_site_id, class_id)
         if self.fetch_cache:
             self._fetched[key] = target
         waiting = self._pending_fetch.pop(key, [])
         for args in waiting:
             self.vm.spawn_instance(target, args)
+
+    # -- restart recovery -----------------------------------------------------
+
+    def on_restart(self) -> None:
+        """Called when the owning node restarts after a crash.
+
+        A crash makes every in-flight code request unanswerable (its
+        CODE_NEED or CODE_REPLY may have been dropped while we were
+        down).  Bump the cache generation to invalidate the in-flight
+        marks, then re-drive the protocol: complete offers the cache
+        can already satisfy, re-request the rest, and re-issue FETCH
+        requests whose offer never arrived.  Installed code survives --
+        it is content-addressed, never stale."""
+        if self.codecache is not None:
+            self.codecache.bump_generation()
+        for pkey in list(self._pending_code):
+            if self._try_complete_code(pkey, {}):
+                continue
+            src_ip, src_site_id, token_kind, token_val = pkey
+            needed, _payload = self._pending_code[pkey]
+            if self.codecache is not None:
+                missing = tuple(d for d in needed
+                                if not self.codecache.has(d))
+            else:
+                missing = needed
+            self._send_code_need(src_ip, src_site_id, token_kind,
+                                 token_val, missing)
+        for key in list(self._pending_fetch):
+            ip, sid, class_id = key
+            if (ip, sid, "fetch", class_id) in self._pending_code:
+                continue  # offer arrived; the re-sent NEED covers it
+            self.stats.fetch_requests_sent += 1
+            self.outgoing.append(Packet(
+                kind=KIND_FETCH_REQUEST,
+                src_ip=self.ip, src_site_id=self.site_id,
+                dest_ip=ip, dest_site_id=sid,
+                payload=(class_id,),
+            ))
+            self.stats.packets_sent += 1

@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.compiler.assembly import ClassGroup, CodeBlock, Instr, ObjectCode, Op
-from repro.compiler.linker import CodeBundle
+from repro.compiler.linker import BundleManifest, CodeBundle
 from repro.vm.values import NetRef, RemoteClassRef
 
 
@@ -55,6 +55,11 @@ _T_OBJCODE = 0x0E
 _T_GROUP = 0x0F
 _T_BUNDLE = 0x10
 _T_PACKET = 0x11
+_T_MANIFEST = 0x12
+#: Transport-layer batch frame.  Never produced by :func:`encode` for a
+#: value, so the first byte of a buffer tells the receiver whether it
+#: holds one packet or a batch (see :func:`is_frame`).
+_T_FRAME = 0x13
 
 _OP_TO_CODE = {op: i for i, op in enumerate(Op)}
 _CODE_TO_OP = {i: op for i, op in enumerate(Op)}
@@ -181,6 +186,11 @@ def _encode_into(out: bytearray, v: Any) -> None:
         _encode_into(out, list(v.entry_blocks))
         _encode_into(out, list(v.entry_objects))
         _encode_into(out, list(v.entry_groups))
+    elif isinstance(v, BundleManifest):
+        out.append(_T_MANIFEST)
+        _encode_into(out, v.block_digests)
+        _encode_into(out, v.object_digests)
+        _encode_into(out, v.group_digests)
     elif isinstance(v, Packet):
         out.append(_T_PACKET)
         _encode_into(out, v.kind)
@@ -286,8 +296,15 @@ def _decode_at(buf: bytes, pos: int) -> tuple[Any, int]:
         nparams, pos = _read_varint(buf, pos)
         frame_size, pos = _read_varint(buf, pos)
         name, pos = _decode_at(buf, pos)
-        return CodeBlock(instrs=instrs, nfree=nfree, nparams=nparams,
-                         frame_size=frame_size, name=name), pos
+        try:
+            block = CodeBlock(instrs=instrs, nfree=nfree, nparams=nparams,
+                              frame_size=frame_size, name=name)
+        except ValueError as exc:
+            # CodeBlock validates frame_size >= nfree + nparams; a
+            # corrupted header must surface as WireError, not leak the
+            # dataclass's own exception.
+            raise WireError(f"invalid code block: {exc}") from exc
+        return block, pos
     if tag == _T_OBJCODE:
         methods, pos = _decode_at(buf, pos)
         name, pos = _decode_at(buf, pos)
@@ -307,6 +324,16 @@ def _decode_at(buf: bytes, pos: int) -> tuple[Any, int]:
         return CodeBundle(blocks=blocks, objects=objects, groups=groups,
                           entry_blocks=eb, entry_objects=eo,
                           entry_groups=eg), pos
+    if tag == _T_MANIFEST:
+        bd, pos = _decode_at(buf, pos)
+        od, pos = _decode_at(buf, pos)
+        gd, pos = _decode_at(buf, pos)
+        for digests in (bd, od, gd):
+            if not isinstance(digests, tuple) or any(
+                    not isinstance(d, bytes) for d in digests):
+                raise WireError("manifest digests must be byte strings")
+        return BundleManifest(block_digests=bd, object_digests=od,
+                              group_digests=gd), pos
     if tag == _T_PACKET:
         kind, pos = _decode_at(buf, pos)
         src_ip, pos = _decode_at(buf, pos)
@@ -324,12 +351,21 @@ def _decode_at(buf: bytes, pos: int) -> tuple[Any, int]:
 # Packets
 # ---------------------------------------------------------------------------
 
-#: Packet kinds exchanged by the TyCOd daemons.
+#: Packet kinds exchanged by the TyCOd daemons.  Code-carrying kinds
+#: follow the offer / need / reply protocol of the per-site code cache
+#: (docs/WIRE.md): the sender first *offers* content digests, the
+#: receiver answers with the subset of code it is missing.
 KIND_MESSAGE = "msg"          # payload: (heap_id, label, args tuple)
-KIND_OBJECT = "obj"           # payload: (heap_id, methods dict, bundle, env)
+KIND_OBJECT = "obj"           # offer: (token, heap_id,
+                              #         method positions dict, entry
+                              #         digests tuple, env tuple)
 KIND_FETCH_REQUEST = "fetch_req"    # payload: (class_id,)
-KIND_FETCH_REPLY = "fetch_reply"    # payload: (class_id, bundle, group_idx,
-                                    #           index, env tuple, hint)
+KIND_FETCH_REPLY = "fetch_reply"    # offer: (class_id, root digest,
+                                    #         index, env tuple, hint)
+KIND_CODE_NEED = "code_need"        # payload: (token kind, token value,
+                                    #           missing digests tuple)
+KIND_CODE_REPLY = "code_reply"      # payload: (token kind, token value,
+                                    #           bundle, manifest)
 
 
 @dataclass(slots=True)
@@ -351,3 +387,51 @@ class Packet:
 def packet_size_estimate(packet: Packet) -> int:
     """Size used by the transports for bandwidth accounting."""
     return packet.wire_size()
+
+
+# ---------------------------------------------------------------------------
+# Batch frames (transport layer)
+# ---------------------------------------------------------------------------
+#
+# A node coalesces the packets it queued for one destination during a
+# scheduling quantum into a single *frame*: the ``_T_FRAME`` byte, a
+# varint chunk count, then each encoded packet length-prefixed.  Chunk
+# order is send order, so per-(src, dst) FIFO delivery is preserved by
+# construction.  A frame is an envelope, not a value: ``decode`` rejects
+# it, ``decode_frame`` rejects everything else.
+
+
+def is_frame(buf: bytes) -> bool:
+    """Does this transport buffer hold a batch frame (vs one packet)?"""
+    return len(buf) > 0 and buf[0] == _T_FRAME
+
+
+def encode_frame(chunks: list[bytes]) -> bytes:
+    """Frame already-encoded packets into one transport buffer."""
+    if not chunks:
+        raise WireError("cannot frame zero chunks")
+    out = bytearray([_T_FRAME])
+    _write_varint(out, len(chunks))
+    for chunk in chunks:
+        _write_varint(out, len(chunk))
+        out.extend(chunk)
+    return bytes(out)
+
+
+def decode_frame(buf: bytes) -> list[bytes]:
+    """Split a batch frame back into its encoded packets (send order)."""
+    if not is_frame(buf):
+        raise WireError("not a batch frame")
+    count, pos = _read_varint(buf, 1)
+    if count == 0:
+        raise WireError("empty batch frame")
+    chunks = []
+    for _ in range(count):
+        n, pos = _read_varint(buf, pos)
+        if pos + n > len(buf):
+            raise WireError("truncated frame chunk")
+        chunks.append(bytes(buf[pos:pos + n]))
+        pos += n
+    if pos != len(buf):
+        raise WireError(f"{len(buf) - pos} trailing byte(s) in frame")
+    return chunks

@@ -157,8 +157,10 @@ def run_scenario(scenario: Scenario, seed: int = 0,
         site.site_name
         for node in world.nodes.values()
         for site in node.sites.values()
-        if site.vm.has_stalled() or site._pending_fetch))
+        if site.vm.has_stalled() or site._pending_fetch
+        or site._pending_code))
     violations += inv.check_message_accounting(world)
+    violations += inv.check_no_stale_code(net)
     if quiescent:
         violations += inv.check_termination_not_early(net)
     if hb is not None:

@@ -11,7 +11,10 @@ properties the DiTyCO network layer must keep under *any* schedule:
   waiting on an unresolvable name (a stall with a resolvable name
   means a name-service notification was lost);
 * **name-service integrity** -- after the failure detector
-  reconfigures, no table entry points at a dead node.
+  reconfigures, no table entry points at a dead node;
+* **no stale code** -- every digest in every site's code cache still
+  hashes to the installed byte-code it promises, no matter how many
+  crashes and restarts the schedule injected.
 """
 
 from __future__ import annotations
@@ -95,6 +98,39 @@ def check_no_dangling_imports(net: "DiTyCONetwork") -> list[str]:
         for site, resolved_before in probes
         if site.stats.imports_resolved > resolved_before
     ]
+
+
+def check_no_stale_code(net: "DiTyCONetwork") -> list[str]:
+    """No stale code after restart (or ever): recompute the digest of
+    every cached installed item and compare it to its cache key.  A
+    mismatch means a FETCH/SHIPO could be satisfied with byte-code that
+    is not what the sender's offer described.
+
+    Also, liveness on clean schedules: when the wire has drained and
+    the schedule never dropped a packet or crashed a node, every parked
+    code offer must have completed -- a leftover entry means the
+    offer/need/reply protocol lost a step on its own."""
+    from repro.runtime.codecache import verify_cache_integrity
+
+    world = net.world
+    violations = []
+    for node in world.nodes.values():
+        for site in node.sites.values():
+            if site.codecache is None:
+                continue
+            for problem in verify_cache_integrity(site.codecache):
+                violations.append(f"site {site.site_name!r}: {problem}")
+    lossy = (getattr(world, "chaos_dropped", 0)
+             or getattr(world, "dropped_packets", 0)
+             or getattr(world, "crashed_ever", ()))
+    if not lossy and not getattr(world, "in_flight", 0):
+        for node in world.nodes.values():
+            for site in node.sites.values():
+                if site._pending_code:
+                    violations.append(
+                        f"site {site.site_name!r}: fault-free run left "
+                        f"{len(site._pending_code)} parked code offer(s)")
+    return violations
 
 
 def check_nameservice_integrity(net: "DiTyCONetwork",

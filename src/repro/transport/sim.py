@@ -52,6 +52,11 @@ class SimWorld(World):
         self._events: list[_Event] = []
         self._seq = itertools.count()
         self._scheduled: set[str] = set()   # node ips with a pending step
+        # Per-(src, dst) link clock: packets on one link are delivered
+        # in send order (an ordered channel, like the TCP streams of
+        # the paper's deployment).  Without it a small packet could
+        # overtake a large code bundle sent just before it.
+        self._link_clock: dict[tuple[str, str], float] = {}
         self.deliveries = 0
         self.compute_time = 0.0
         self.network_time_paid = 0.0
@@ -73,6 +78,7 @@ class SimWorld(World):
             raise ValueError(f"duplicate node ip {node.ip}")
         self.nodes[node.ip] = node
         node.attach_transport(self._send, wakeup=lambda: self._wake(node.ip))
+        node.set_trace(self.trace)
 
     def _wake(self, ip: str) -> None:
         if ip not in self._scheduled:
@@ -115,6 +121,13 @@ class SimWorld(World):
 
     def _schedule_delivery(self, src_ip: str, dst_ip: str, dst: "Node",
                            data: bytes, delay: float) -> None:
+        # FIFO link discipline: never deliver before anything sent
+        # earlier on the same (src, dst) link (chaos delays included --
+        # they stretch time but cannot reorder one link's stream).
+        link = (src_ip, dst_ip)
+        arrival = max(self._clock + delay, self._link_clock.get(link, 0.0))
+        self._link_clock[link] = arrival
+
         def deliver() -> None:
             self._in_flight -= 1
             if dst_ip in self.failed:
@@ -130,7 +143,7 @@ class SimWorld(World):
         self._in_flight += 1
         if self._in_flight > self.stats.max_in_flight:
             self.stats.max_in_flight = self._in_flight
-        self._push(self._clock + delay, deliver)
+        self._push(arrival, deliver)
 
     # -- compute scheduling -----------------------------------------------------------
 
@@ -198,7 +211,11 @@ class SimWorld(World):
     def restart_node(self, ip: str) -> None:
         """Bring a crashed node back: it resumes computing with its
         state intact (the semantics of a healed partition; a real
-        crash-with-state-loss additionally needs its sites relaunched)."""
+        crash-with-state-loss additionally needs its sites relaunched).
+
+        The node's sites re-drive their in-flight code requests via
+        :meth:`~repro.runtime.node.Node.on_restart` -- a restarted node
+        must never wait on (or serve) stale in-flight cache state."""
         if ip not in self.nodes:
             raise LookupError(f"no node at {ip}")
         if ip not in self.failed:
@@ -206,6 +223,7 @@ class SimWorld(World):
         self.failed.discard(ip)
         self.restarted.add(ip)
         self.trace("restart", ip)
+        self.nodes[ip].on_restart()
         self._wake(ip)
 
     def is_failed(self, ip: str) -> bool:

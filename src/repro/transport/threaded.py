@@ -41,6 +41,8 @@ class ThreadedWorld(World):
         self.idle_wait_s = idle_wait_s
         self._threads: dict[str, threading.Thread] = {}
         self._wake_events: dict[str, threading.Event] = {}
+        # Per-destination delivery locks: see _send.
+        self._recv_locks: dict[str, threading.Lock] = {}
         self._generations: dict[str, int] = {}
         self._busy: dict[str, bool] = {}
         self._lock = threading.Lock()
@@ -61,10 +63,12 @@ class ThreadedWorld(World):
             raise ValueError(f"duplicate node ip {node.ip}")
         self.nodes[node.ip] = node
         self._wake_events[node.ip] = threading.Event()
+        self._recv_locks[node.ip] = threading.Lock()
         self._generations[node.ip] = 0
         self._busy[node.ip] = True
         node.attach_transport(self._send,
                               wakeup=lambda ip=node.ip: self._wake(ip))
+        node.set_trace(self.trace)
 
     def _wake(self, ip: str) -> None:
         ev = self._wake_events.get(ip)
@@ -82,9 +86,15 @@ class ThreadedWorld(World):
             if self._in_flight > self.stats.max_in_flight:
                 self.stats.max_in_flight = self._in_flight
         # Deliver directly into the destination's TyCOd; the receiving
-        # node thread processes the packet on its next quantum.
+        # node thread processes the packet on its next quantum.  The
+        # per-destination lock serialises concurrent senders into one
+        # node so a multi-packet batch frame is enqueued atomically --
+        # without it, another sender could interleave its packets
+        # between the frame's chunks and break per-(src, dst) FIFO
+        # observation on the receiving site queues.
         try:
-            dst.receive(data)
+            with self._recv_locks[dst_ip]:
+                dst.receive(data)
         finally:
             with self._lock:
                 self._in_flight -= 1

@@ -108,16 +108,30 @@ class NetTracer:
     FAULT_KINDS = frozenset(
         {"drop", "dup", "delay", "crash", "restart", "crash-drop"})
 
+    #: Non-fault kinds worth counting across a run: "batch" (one framed
+    #: multi-packet send), "cache-hit" / "cache-miss" (code cache probes
+    #: during FETCH/SHIPO offers), "code-install" (items appended by a
+    #: cached link).
+    COUNTED_KINDS = frozenset(
+        {"send", "deliver", "batch", "cache-hit", "cache-miss",
+         "code-install"})
+
     def __init__(self, capacity: int = 65536) -> None:
         self.capacity = capacity
         self.events: deque[NetEvent] = deque(maxlen=capacity)
         self._seq = 0
+        #: kind -> occurrence count, unbounded (survives ring eviction).
+        self.counters: dict[str, int] = {}
 
     def record(self, time: float, kind: str, src: str = "", dst: str = "",
                size: int = 0, note: str = "") -> None:
         self._seq += 1
+        self.counters[kind] = self.counters.get(kind, 0) + 1
         self.events.append(NetEvent(seq=self._seq, time=time, kind=kind,
                                     src=src, dst=dst, size=size, note=note))
+
+    def count(self, kind: str) -> int:
+        return self.counters.get(kind, 0)
 
     def faults(self) -> list[NetEvent]:
         return [e for e in self.events if e.kind in self.FAULT_KINDS]

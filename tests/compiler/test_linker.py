@@ -129,3 +129,163 @@ class TestLinking:
         dst_prog = compile_source("0")
         link_bundle(dst_prog, shipped)
         validate_program(dst_prog)
+
+
+# ---------------------------------------------------------------------------
+# Reuse-aware linking (the code-cache substrate): renumbering onto
+# already-installed copies instead of appending duplicates.
+# ---------------------------------------------------------------------------
+
+#: Three levels of *nested* definitions, so the byte-code reachability
+#: really is transitive: C's clause block holds a DEFGROUP for B, whose
+#: clause block holds a DEFGROUP for A.
+CHAIN = """
+def C(z) = (def B(y) = (def A(x) = x![1] in A[y]) in B[z]) in 0
+"""
+
+
+def _program_image(prog):
+    """Byte-identical snapshot of the full program area."""
+    from repro.runtime.wire import encode
+
+    return encode(extract_bundle(
+        prog,
+        block_roots=tuple(range(len(prog.blocks))),
+        object_roots=tuple(range(len(prog.objects))),
+        group_roots=tuple(range(len(prog.groups))),
+    ))
+
+
+def _group_id(prog, hint):
+    (gid,) = [i for i, g in enumerate(prog.groups)
+              if any(h == hint for h, _ in g.clauses)]
+    return gid
+
+
+def _reuse_by_name(bundle, prior_bundle, prior_result):
+    """Reuse maps pairing bundle items with a previously linked
+    bundle's installs by name (the cache does this by content digest;
+    names are unique in these fixtures so they are equivalent)."""
+    blocks = {b.name: prior_result.block_map[i]
+              for i, b in enumerate(prior_bundle.blocks)}
+    objects = {o.name: prior_result.object_map[i]
+               for i, o in enumerate(prior_bundle.objects)}
+    groups = {g.name: prior_result.group_map[i]
+              for i, g in enumerate(prior_bundle.groups)}
+    return (
+        {i: blocks[b.name] for i, b in enumerate(bundle.blocks)
+         if b.name in blocks},
+        {i: objects[o.name] for i, o in enumerate(bundle.objects)
+         if o.name in objects},
+        {i: groups[g.name] for i, g in enumerate(bundle.groups)
+         if g.name in groups},
+    )
+
+
+class TestReuseLinking:
+    def test_full_reuse_is_idempotent(self):
+        """Linking the same bundle twice with a complete reuse map is a
+        pure renumbering: identical id maps, byte-identical program."""
+        src = compile_source(NESTED)
+        bundle = extract_bundle(src, group_roots=(0,))
+        dst = compile_source("0")
+        r1 = link_bundle(dst, bundle)
+        image = _program_image(dst)
+        r2 = link_bundle(dst, bundle,
+                         reuse_blocks=dict(r1.block_map),
+                         reuse_objects=dict(r1.object_map),
+                         reuse_groups=dict(r1.group_map))
+        assert _program_image(dst) == image
+        assert r2.block_map == r1.block_map
+        assert r2.object_map == r1.object_map
+        assert r2.group_map == r1.group_map
+        assert r2.installed_count() == 0
+        assert r2.reused_blocks == frozenset(range(len(bundle.blocks)))
+        validate_program(dst)
+
+    def test_partial_reuse_aliases_shared_slice(self):
+        """Two bundles share a sub-slice (Inner's group): after linking
+        the small one, linking the big one with a reuse map for the
+        shared items must alias them, not duplicate them."""
+        src = compile_source(NESTED)
+        outer_gid = _group_id(src, "Outer")
+        inner_gid = _group_id(src, "Inner")
+        inner = extract_bundle(src, group_roots=(inner_gid,))
+        outer = extract_bundle(src, group_roots=(outer_gid,))
+        assert len(outer.blocks) > len(inner.blocks)
+
+        dst = compile_source("0")
+        r1 = link_bundle(dst, inner)
+        blocks_after_inner = len(dst.blocks)
+        reuse_b, reuse_o, reuse_g = _reuse_by_name(outer, inner, r1)
+        assert reuse_g  # the shared Inner group was found
+        r2 = link_bundle(dst, outer, reuse_blocks=reuse_b,
+                         reuse_objects=reuse_o, reuse_groups=reuse_g)
+        validate_program(dst)
+        # Only the non-shared part was appended...
+        assert len(dst.blocks) == (blocks_after_inner
+                                   + len(outer.blocks) - len(reuse_b))
+        # ...and the shared items alias the first install.
+        for i, prior in reuse_g.items():
+            assert r2.group_map[i] == prior
+        for i, prior in reuse_b.items():
+            assert r2.block_map[i] == prior
+        assert r2.reused_groups == frozenset(reuse_g)
+
+    def test_three_deep_transitive_renumbering(self):
+        """C uses B uses A: install the slices innermost-first, each
+        time reusing everything already present, then run C end to end
+        to prove the renumbered cross-references actually resolve."""
+        src = compile_source(CHAIN)
+        a = extract_bundle(src, group_roots=(_group_id(src, "A"),))
+        b = extract_bundle(src, group_roots=(_group_id(src, "B"),))
+        c = extract_bundle(src, group_roots=(_group_id(src, "C"),))
+        assert (len(a.groups), len(b.groups), len(c.groups)) == (1, 2, 3)
+
+        dst = compile_source("0")
+        ra = link_bundle(dst, a)
+        reuse = _reuse_by_name(b, a, ra)
+        rb = link_bundle(dst, b, reuse_blocks=reuse[0],
+                         reuse_objects=reuse[1], reuse_groups=reuse[2])
+        assert rb.installed_count() == 2  # B's group + its block only
+        # For C, merge the installs of both prior links.
+        reuse_b = {}
+        reuse_o = {}
+        reuse_g = {}
+        for prior_bundle, prior_result in ((a, ra), (b, rb)):
+            pb, po, pg = _reuse_by_name(c, prior_bundle, prior_result)
+            reuse_b.update(pb)
+            reuse_o.update(po)
+            reuse_g.update(pg)
+        rc = link_bundle(dst, c, reuse_blocks=reuse_b,
+                         reuse_objects=reuse_o, reuse_groups=reuse_g)
+        assert rc.installed_count() == 2  # C's group + its block only
+        validate_program(dst)
+
+        # A[x] reached through C -> B -> A across three link steps:
+        # instantiate the linked C exactly as DEFGROUP would.
+        from repro.vm import TycoVM
+        from repro.vm.values import ClassRef
+
+        vm = TycoVM(dst)
+        vm.boot()
+        vm.run()
+        x = vm.heap.new_channel(hint="x")
+        c_gid = rc.group_map[c.entry_groups[0]]
+        group = dst.groups[c_gid]
+        assert group.nfree == 0  # C captures nothing from outside
+        env = [None] * len(group.clauses)
+        for index, (hint, bid) in enumerate(group.clauses):
+            env[index] = ClassRef(bid, env, c_gid, index, hint=hint)
+        vm.spawn_instance(env[0], (x,))
+        vm.run()
+        assert x.messages == [("val", (1,))]
+
+    def test_reuse_map_out_of_range_rejected(self):
+        src = compile_source(NESTED)
+        bundle = extract_bundle(src, group_roots=(0,))
+        dst = compile_source("0")
+        with pytest.raises(LinkError):
+            link_bundle(dst, bundle, reuse_blocks={0: 999})
+        with pytest.raises(LinkError):
+            link_bundle(dst, bundle, reuse_groups={99: 0})

@@ -107,6 +107,34 @@ class TestCommunication:
         assert len(engine.queued_objects(x)) == 1
         engine.check_invariant()
 
+    def test_arity_mismatch_is_stuck_not_a_crash(self):
+        # COMM's substitution is only defined for equal lengths: a
+        # message whose label matches but whose arity doesn't is stuck
+        # (the type system rules it out; the untyped engine must not
+        # blow up on it).
+        x = Name("x")
+        engine = LocalEngine()
+        engine.add(val_obj(x, (Name("w"),), Nil()))
+        engine.add(val_msg(x))  # zero args for a one-param method
+        engine.run()
+        assert engine.comm_count == 0
+        assert len(engine.queued_messages(x)) == 1
+        assert len(engine.queued_objects(x)) == 1
+        engine.check_invariant()
+
+    def test_arity_scan_finds_deeper_match(self):
+        # The scan must skip an arity-mismatched method and react with
+        # a later compatible partner instead of crashing on the first.
+        x = Name("x")
+        engine = LocalEngine()
+        engine.add(val_msg(x))          # arity 0: stuck
+        engine.add(val_msg(x, Lit(5)))  # arity 1: the real partner
+        engine.add(val_obj(x, (Name("w"),), Nil()))
+        engine.run()
+        assert engine.comm_count == 1
+        assert len(engine.queued_messages(x)) == 1
+        engine.check_invariant()
+
     def test_queue_scan_finds_deeper_match(self):
         x = Name("x")
         engine = LocalEngine()

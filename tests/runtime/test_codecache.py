@@ -1,0 +1,351 @@
+"""Tests for the per-site content-addressed code cache
+(repro.runtime.codecache) and the offer/need/reply fetch protocol
+built on top of it."""
+
+import pytest
+
+from repro.compiler import LinkError, compile_source, extract_bundle
+from repro.runtime import DiTyCONetwork
+from repro.runtime.codecache import (
+    BLOCK,
+    DIGEST_SIZE,
+    GROUP,
+    OBJECT,
+    CodeCache,
+    digest_item,
+    link_bundle_cached,
+    manifest_for_bundle,
+    verify_cache_integrity,
+)
+from repro.runtime.wire import encode
+
+
+NESTED = """
+def Outer(x) =
+  x?{ go(p) = (p?(q) = (def Inner(y) = q![y] in Inner[1])) }
+in new a Outer[a]
+"""
+
+
+def _program_bytes(prog):
+    """Canonical byte image of a program's code areas."""
+    return encode(extract_bundle(
+        prog,
+        block_roots=tuple(range(len(prog.blocks))),
+        object_roots=tuple(range(len(prog.objects))),
+        group_roots=tuple(range(len(prog.groups))),
+    ))
+
+
+class TestDigests:
+    def test_digest_width(self):
+        prog = compile_source(NESTED)
+        assert len(digest_item(prog, GROUP, 0)) == DIGEST_SIZE
+
+    def test_digest_stable_for_one_program(self):
+        # Digests only need to be stable per program area: the protocol
+        # compares sender digests against digests of the *shipped
+        # bytes*, never across independent compiles (whose object names
+        # embed compile-time serials).
+        prog = compile_source(NESTED)
+        for kind, table in ((BLOCK, prog.blocks), (OBJECT, prog.objects),
+                            (GROUP, prog.groups)):
+            for i in range(len(table)):
+                assert digest_item(prog, kind, i) == \
+                    digest_item(prog, kind, i)
+
+    def test_different_code_different_digest(self):
+        p1 = compile_source("def C(x) = x![1] in 0")
+        p2 = compile_source("def C(x) = x![2] in 0")
+        assert digest_item(p1, GROUP, 0) != digest_item(p2, GROUP, 0)
+
+    def test_memo_is_used(self):
+        prog = compile_source(NESTED)
+        memo = {}
+        d1 = digest_item(prog, GROUP, 0, memo)
+        assert (GROUP, 0) in memo
+        memo[(GROUP, 0)] = b"sentinel"
+        assert digest_item(prog, GROUP, 0, memo) == b"sentinel"
+        assert digest_item(prog, GROUP, 0) == d1
+
+    def test_manifest_matches_source_program_digests(self):
+        """The load-bearing property of the whole protocol: digests of
+        bundle items equal digests of the source items they were
+        extracted from, so sender and receiver agree with no shared
+        state."""
+        prog = compile_source(NESTED)
+        bundle = extract_bundle(prog, group_roots=(0,))
+        manifest = manifest_for_bundle(bundle)
+        assert manifest.matches(bundle)
+        root = bundle.entry_groups[0]
+        assert manifest.group_digests[root] == digest_item(prog, GROUP, 0)
+
+    def test_manifest_digest_survives_wire_round_trip(self):
+        from repro.runtime.wire import decode
+
+        prog = compile_source(NESTED)
+        bundle = extract_bundle(prog, group_roots=(0,))
+        shipped = decode(encode(bundle))
+        assert manifest_for_bundle(shipped) == manifest_for_bundle(bundle)
+
+
+class TestCodeCache:
+    def _cache(self, source="0"):
+        return CodeCache(compile_source(source))
+
+    def test_register_and_lookup(self):
+        cache = self._cache()
+        cache.register(b"d1", BLOCK, 3)
+        assert cache.lookup(b"d1") == (BLOCK, 3)
+        assert cache.has(b"d1")
+        assert not cache.has(b"d2")
+        assert len(cache) == 1
+
+    def test_register_first_wins(self):
+        # Two items may digest equal (identical code); the cache must
+        # keep a stable mapping, not flap between copies.
+        cache = self._cache()
+        cache.register(b"d1", BLOCK, 3)
+        cache.register(b"d1", BLOCK, 9)
+        assert cache.lookup(b"d1") == (BLOCK, 3)
+
+    def test_register_own(self):
+        prog = compile_source(NESTED)
+        cache = CodeCache(prog)
+        digest = cache.register_own(GROUP, 0)
+        assert cache.lookup(digest) == (GROUP, 0)
+        assert digest == digest_item(prog, GROUP, 0)
+
+    def test_in_flight_marks(self):
+        cache = self._cache()
+        assert not cache.is_in_flight(b"d1")
+        cache.mark_in_flight(b"d1")
+        assert cache.is_in_flight(b"d1")
+        cache.clear_in_flight(b"d1")
+        assert not cache.is_in_flight(b"d1")
+
+    def test_installed_digest_is_never_in_flight(self):
+        cache = self._cache()
+        cache.mark_in_flight(b"d1")
+        cache.register(b"d1", BLOCK, 0)
+        assert not cache.is_in_flight(b"d1")
+
+    def test_generation_bump_invalidates_in_flight(self):
+        # The restart rule: a crash may have eaten the reply, so marks
+        # from the old generation must not suppress a re-request.
+        cache = self._cache()
+        cache.mark_in_flight(b"d1")
+        cache.bump_generation()
+        assert cache.generation == 1
+        assert not cache.is_in_flight(b"d1")
+        # A fresh mark in the new generation works normally.
+        cache.mark_in_flight(b"d2")
+        assert cache.is_in_flight(b"d2")
+
+
+class TestLinkBundleCached:
+    def test_cold_link_installs_and_registers(self):
+        src = compile_source(NESTED)
+        bundle = extract_bundle(src, group_roots=(0,))
+        manifest = manifest_for_bundle(bundle)
+        dst = compile_source("0")
+        cache = CodeCache(dst)
+        result = link_bundle_cached(dst, bundle, manifest, cache)
+        assert result.installed_count() == len(manifest)
+        assert cache.installs == len(manifest)
+        for digest in manifest.group_digests:
+            assert cache.has(digest)
+        assert verify_cache_integrity(cache) == []
+
+    def test_warm_link_is_pure_renumbering(self):
+        src = compile_source(NESTED)
+        bundle = extract_bundle(src, group_roots=(0,))
+        manifest = manifest_for_bundle(bundle)
+        dst = compile_source("0")
+        cache = CodeCache(dst)
+        r1 = link_bundle_cached(dst, bundle, manifest, cache)
+        image = _program_bytes(dst)
+        r2 = link_bundle_cached(dst, bundle, manifest, cache)
+        # Idempotent: nothing appended, byte-identical program area,
+        # and the second link resolves to the same installed ids.
+        assert r2.installed_count() == 0
+        assert _program_bytes(dst) == image
+        assert r2.block_map == r1.block_map
+        assert r2.object_map == r1.object_map
+        assert r2.group_map == r1.group_map
+        assert r2.reused_blocks == frozenset(r2.block_map)
+
+    def test_no_cache_degenerates_to_plain_link(self):
+        src = compile_source(NESTED)
+        bundle = extract_bundle(src, group_roots=(0,))
+        manifest = manifest_for_bundle(bundle)
+        dst = compile_source("0")
+        blocks_before = len(dst.blocks)
+        r1 = link_bundle_cached(dst, bundle, manifest, None)
+        r2 = link_bundle_cached(dst, bundle, manifest, None)
+        assert len(dst.blocks) == blocks_before + 2 * len(bundle.blocks)
+        assert set(r1.block_map.values()).isdisjoint(r2.block_map.values())
+
+    def test_manifest_shape_mismatch_rejected(self):
+        src = compile_source(NESTED)
+        bundle = extract_bundle(src, group_roots=(0,))
+        manifest = manifest_for_bundle(bundle)
+        other = extract_bundle(compile_source("new a x?(w) = a![w]"),
+                               block_roots=(0,))
+        dst = compile_source("0")
+        with pytest.raises(LinkError):
+            link_bundle_cached(dst, other, manifest, CodeCache(dst))
+
+    def test_integrity_detects_wrong_mapping(self):
+        prog = compile_source(NESTED)
+        cache = CodeCache(prog)
+        cache.register(digest_item(prog, BLOCK, 0), BLOCK, 1)  # lie
+        problems = verify_cache_integrity(cache)
+        assert len(problems) == 1
+        assert "stale code" in problems[0]
+
+    def test_integrity_detects_dangling_mapping(self):
+        prog = compile_source(NESTED)
+        cache = CodeCache(prog)
+        cache.register(b"x" * DIGEST_SIZE, GROUP, 999)
+        problems = verify_cache_integrity(cache)
+        assert len(problems) == 1
+        assert "missing" in problems[0]
+
+
+# -- protocol level ----------------------------------------------------------
+
+APPLET_SERVER = "export def Applet(x) = x![7 * 6] in 0"
+
+
+def two_node_net(**kwargs):
+    net = DiTyCONetwork(**kwargs)
+    net.add_nodes(["10.0.0.1", "10.0.0.2"])
+    return net
+
+
+class TestFetchProtocol:
+    def test_cold_fetch_needs_code_once(self):
+        net = two_node_net()
+        net.launch("10.0.0.1", "server", APPLET_SERVER)
+        net.launch("10.0.0.2", "client",
+                   "import Applet from server in "
+                   "new v (Applet[v] | v?(w) = print![w])")
+        net.run()
+        client = net.site("client")
+        assert client.output == [42]
+        assert client.stats.code_cache_misses == 1
+        assert client.stats.code_needs_sent == 1
+        assert client.stats.code_items_installed > 0
+        assert net.site("server").stats.code_replies_served == 1
+
+    def test_warm_refetch_moves_no_code(self):
+        """With the instantiation-level fetch cache ablated, a second
+        FETCH of the same class still crosses the wire -- but the offer
+        digest hits the code cache, so zero code bytes move."""
+        net = two_node_net(fetch_cache=False)
+        net.launch("10.0.0.1", "server", APPLET_SERVER)
+        # Sequenced instantiations: the second FETCH starts only after
+        # the first completed, so it cannot coalesce -- it must be a
+        # genuine cache hit.
+        net.launch("10.0.0.2", "client", """
+        import Applet from server in
+        new v v2 (
+          Applet[v]
+        | v?(w) = (Applet[v2] | v2?(u) = print![w + u])
+        )
+        """)
+        net.run()
+        client = net.site("client")
+        assert client.output == [84]
+        assert client.stats.fetch_requests_sent == 2
+        assert client.stats.code_cache_hits == 1
+        assert client.stats.code_needs_sent == 1          # only the first
+        assert net.site("server").stats.code_replies_served == 1
+
+    def test_concurrent_fetches_coalesce_upstream(self):
+        """Two concurrent FETCHes of the *same class* coalesce before
+        the wire: the second instantiation parks on the pending FETCH,
+        so only one request (and one code download) happens."""
+        net = two_node_net(fetch_cache=False)
+        net.launch("10.0.0.1", "server", APPLET_SERVER)
+        net.launch("10.0.0.2", "client", """
+        import Applet from server in
+        new v v2 (
+          Applet[v] | Applet[v2]
+        | (v?(w) = print![w]) | v2?(u) = print![u]
+        )
+        """)
+        net.run()
+        client = net.site("client")
+        assert sorted(client.output) == [42, 42]
+        assert client.stats.fetch_requests_sent == 1
+        assert client.stats.code_needs_sent == 1
+        assert net.site("server").stats.code_replies_served == 1
+        assert net.is_quiescent()
+
+    def test_concurrent_offers_coalesce_on_digests(self):
+        """Digest-level request coalescing: two objects with identical
+        code ship concurrently to one site.  Both offers miss the cache
+        (2 misses), but the second offer finds its digests already in
+        flight and parks WITHOUT sending a second CODE_NEED -- one
+        reply completes both migrations."""
+        net = two_node_net()
+        net.launch("10.0.0.1", "holder",
+                   "export new spot (spot![5] | spot![6])")
+        net.launch("10.0.0.2", "mover",
+                   "import spot from holder in "
+                   "((spot?(w) = print![w]) | spot?(w) = print![w])")
+        net.run()
+        holder, mover = net.site("holder"), net.site("mover")
+        assert sorted(mover.output) == [5, 6]
+        assert holder.stats.code_cache_misses == 2
+        assert holder.stats.code_needs_sent == 1
+        assert mover.stats.code_replies_served == 1
+        assert net.is_quiescent()
+
+    def test_cache_disabled_ablation_refetches_code(self):
+        net = two_node_net(fetch_cache=False, code_cache=False)
+        net.launch("10.0.0.1", "server", APPLET_SERVER)
+        net.launch("10.0.0.2", "client", """
+        import Applet from server in
+        new v v2 (
+          Applet[v]
+        | v?(w) = (Applet[v2] | v2?(u) = print![w + u])
+        )
+        """)
+        net.run()
+        client = net.site("client")
+        assert client.output == [84]
+        assert client.codecache is None
+        assert client.stats.code_needs_sent == 2
+        assert net.site("server").stats.code_replies_served == 2
+
+    def test_shipped_object_registers_digests(self):
+        net = two_node_net()
+        net.launch("10.0.0.1", "holder", "export new spot spot![5]")
+        net.launch("10.0.0.2", "mover",
+                   "import spot from holder in spot?(w) = print![w * 2]")
+        net.run()
+        holder = net.site("holder")
+        assert net.site("mover").output == [10]
+        # The receiver installed the method code under its digests and
+        # the cache is consistent with the program area.
+        assert holder.stats.code_items_installed > 0
+        assert len(holder.codecache) > 0
+        assert verify_cache_integrity(holder.codecache) == []
+
+    def test_caches_stay_consistent_after_mixed_traffic(self):
+        net = two_node_net()
+        net.launch("10.0.0.1", "server", APPLET_SERVER)
+        net.launch("10.0.0.2", "client",
+                   "import Applet from server in "
+                   "new v (Applet[v] | v?(w) = print![w])")
+        net.launch("10.0.0.1", "holder", "export new spot spot![5]")
+        net.launch("10.0.0.2", "sender",
+                   "import spot from holder in spot?(w) = print![w]")
+        net.run()
+        for name in ("server", "client", "holder", "sender"):
+            site = net.site(name)
+            assert verify_cache_integrity(site.codecache) == []
+            assert not site._pending_code

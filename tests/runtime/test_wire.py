@@ -5,12 +5,17 @@ from hypothesis import given, settings
 import hypothesis.strategies as st
 
 from repro.compiler import CodeBundle, Instr, Op, compile_source, extract_bundle
+from repro.compiler.assembly import ClassGroup, CodeBlock, ObjectCode
+from repro.compiler.linker import BundleManifest
 from repro.runtime.wire import (
     KIND_MESSAGE,
     Packet,
     WireError,
     decode,
+    decode_frame,
     encode,
+    encode_frame,
+    is_frame,
 )
 from repro.vm.values import NetRef, RemoteClassRef
 
@@ -154,3 +159,183 @@ def test_round_trip_property(v):
 @given(st.integers())
 def test_any_integer_round_trips(n):
     assert decode(encode(n)) == n
+
+
+# -- property tests: code values ---------------------------------------------
+
+_instr_args = st.lists(
+    st.one_of(st.integers(-1000, 2**20), st.text(max_size=8),
+              st.booleans(), st.none()),
+    max_size=3,
+).map(tuple)
+
+_instrs = st.builds(Instr, st.sampled_from(list(Op)), _instr_args)
+
+
+@st.composite
+def _blocks(draw):
+    nfree = draw(st.integers(0, 5))
+    nparams = draw(st.integers(0, 5))
+    return CodeBlock(
+        instrs=tuple(draw(st.lists(_instrs, max_size=5))),
+        nfree=nfree,
+        nparams=nparams,
+        frame_size=nfree + nparams + draw(st.integers(0, 4)),
+        name=draw(st.text(max_size=12)),
+    )
+
+
+_objects = st.builds(
+    ObjectCode,
+    methods=st.dictionaries(st.text(max_size=8), st.integers(0, 50),
+                            max_size=4),
+    name=st.text(max_size=12),
+)
+
+_groups = st.builds(
+    ClassGroup,
+    clauses=st.lists(st.tuples(st.text(max_size=8), st.integers(0, 50)),
+                     max_size=4).map(tuple),
+    nfree=st.integers(0, 5),
+    name=st.text(max_size=12),
+)
+
+_bundles = st.builds(
+    CodeBundle,
+    blocks=st.lists(_blocks(), max_size=4),
+    objects=st.lists(_objects, max_size=3),
+    groups=st.lists(_groups, max_size=3),
+    entry_blocks=st.lists(st.integers(0, 3), max_size=3),
+    entry_objects=st.lists(st.integers(0, 2), max_size=2),
+    entry_groups=st.lists(st.integers(0, 2), max_size=2),
+)
+
+_manifests = st.builds(
+    BundleManifest,
+    block_digests=st.lists(st.binary(min_size=16, max_size=16),
+                           max_size=4).map(tuple),
+    object_digests=st.lists(st.binary(min_size=16, max_size=16),
+                            max_size=3).map(tuple),
+    group_digests=st.lists(st.binary(min_size=16, max_size=16),
+                           max_size=3).map(tuple),
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(_instrs)
+def test_instr_round_trip_property(ins):
+    assert decode(encode(ins)) == ins
+
+
+@settings(max_examples=100, deadline=None)
+@given(_blocks())
+def test_block_round_trip_property(block):
+    assert decode(encode(block)) == block
+
+
+@settings(max_examples=60, deadline=None)
+@given(_bundles)
+def test_bundle_round_trip_property(bundle):
+    assert decode(encode(bundle)) == bundle
+
+
+@settings(max_examples=60, deadline=None)
+@given(_manifests)
+def test_manifest_round_trip_property(manifest):
+    assert decode(encode(manifest)) == manifest
+
+
+# -- property tests: malformed input is rejected, never a crash --------------
+
+_encodable = st.one_of(_values, _instrs, _blocks(), _bundles, _manifests)
+
+
+@settings(max_examples=150, deadline=None)
+@given(_encodable, st.data())
+def test_truncation_raises_wire_error(v, data):
+    buf = encode(v)
+    cut = data.draw(st.integers(0, len(buf) - 1), label="cut")
+    with pytest.raises(WireError):
+        decode(buf[:cut])
+
+
+@settings(max_examples=200, deadline=None)
+@given(_encodable, st.data())
+def test_corruption_never_crashes(v, data):
+    """Flipping any byte yields either WireError or *some* decoded
+    value -- never an unhandled exception (the daemon's receive loop
+    relies on this)."""
+    buf = bytearray(encode(v))
+    pos = data.draw(st.integers(0, len(buf) - 1), label="pos")
+    flip = data.draw(st.integers(1, 255), label="flip")
+    buf[pos] ^= flip
+    try:
+        decode(bytes(buf))
+    except WireError:
+        pass
+
+
+# -- batch frames ------------------------------------------------------------
+
+
+class TestFrames:
+    def test_round_trip(self):
+        chunks = [encode(1), encode("two"), encode((3, 4))]
+        frame = encode_frame(chunks)
+        assert is_frame(frame)
+        assert decode_frame(frame) == chunks
+
+    def test_single_chunk_frame(self):
+        chunks = [encode({"k": 1})]
+        assert decode_frame(encode_frame(chunks)) == chunks
+
+    def test_frame_is_not_a_value(self):
+        frame = encode_frame([encode(1)])
+        with pytest.raises(WireError):
+            decode(frame)
+
+    def test_value_is_not_a_frame(self):
+        for v in (1, "x", (1, 2), None):
+            buf = encode(v)
+            assert not is_frame(buf)
+            with pytest.raises(WireError):
+                decode_frame(buf)
+
+    def test_empty_frame_rejected(self):
+        with pytest.raises(WireError):
+            encode_frame([])
+        with pytest.raises(WireError):
+            decode_frame(bytes([0x13, 0x00]))
+
+    def test_empty_buffer_is_not_a_frame(self):
+        assert not is_frame(b"")
+        with pytest.raises(WireError):
+            decode_frame(b"")
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(_values, min_size=1, max_size=6))
+    def test_frame_round_trip_property(self, values):
+        chunks = [encode(v) for v in values]
+        frame = encode_frame(chunks)
+        assert decode_frame(frame) == chunks
+        assert [decode(c) for c in decode_frame(frame)] == values
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(_values, min_size=1, max_size=4), st.data())
+    def test_frame_truncation_raises_wire_error(self, values, data):
+        frame = encode_frame([encode(v) for v in values])
+        cut = data.draw(st.integers(0, len(frame) - 1), label="cut")
+        with pytest.raises(WireError):
+            decode_frame(frame[:cut])
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(_values, min_size=1, max_size=4), st.data())
+    def test_frame_corruption_never_crashes(self, values, data):
+        frame = bytearray(encode_frame([encode(v) for v in values]))
+        pos = data.draw(st.integers(0, len(frame) - 1), label="pos")
+        frame[pos] ^= data.draw(st.integers(1, 255), label="flip")
+        try:
+            for chunk in decode_frame(bytes(frame)):
+                decode(chunk)
+        except WireError:
+            pass

@@ -70,12 +70,13 @@ CORPUS = [
         outputs={"client0": (0,), "client1": (1,), "client2": (2,),
                  "client3": (3,), "server": ()},
         quiescent=True,
-        fault_kinds=("dup",) * 12,
+        fault_kinds=("dup",) * 8,
         note="Every packet delivered twice: duplicated requests make "
-             "the pump answer twice (8 replies for 4 calls, hence 12 "
-             "dup events for 8 logical packets), but each client's "
-             "linear reply channel is consumed once -- at-least-once "
-             "delivery preserves the race-free answer.",
+             "the pump answer twice, but wire batching coalesces each "
+             "client's two replies into one frame (4 requests + 4 "
+             "frames = 8 wire packets, down from 12 unbatched), and "
+             "each client's linear reply channel is consumed once -- "
+             "at-least-once delivery preserves the race-free answer.",
     ),
     CorpusEntry(
         name="echo-crash-restart",
@@ -88,6 +89,34 @@ CORPUS = [
         note="The server crashes just after its reply hits the wire "
              "and later heals: the answer survives because the packet "
              "was already in flight when the node died.",
+    ),
+    CorpusEntry(
+        name="applet-crash-mid-fetch",
+        scenario="applet", seed=7,
+        config=ChaosConfig(
+            crashes=(CrashEvent("n2", at=3.2e-5, restart_at=1e-3),)),
+        outputs={"client": (42,), "server": ()},
+        quiescent=True,
+        fault_kinds=("crash", "crash-drop", "restart"),
+        note="The client crashes while the CODE_REPLY carrying the "
+             "applet's byte-code is in flight (the reply is "
+             "crash-dropped), then restarts: generation-based cache "
+             "invalidation clears the stale in-flight mark, the parked "
+             "offer re-sends its CODE_NEED, and the fetch re-converges "
+             "to the same answer -- no stale code, no lost work.",
+    ),
+    CorpusEntry(
+        name="applet-crash-before-offer",
+        scenario="applet", seed=4,
+        config=ChaosConfig(
+            crashes=(CrashEvent("n2", at=1.2e-5, restart_at=1e-3),)),
+        outputs={"client": (42,), "server": ()},
+        quiescent=True,
+        fault_kinds=("crash", "crash-drop", "restart"),
+        note="The client crashes before the digest offer reaches it "
+             "(the offer is crash-dropped): on restart the orphaned "
+             "pending FETCH re-issues its FETCH_REQUEST from scratch "
+             "and the protocol restarts cleanly.",
     ),
     CorpusEntry(
         name="pump-jitter-reorder",
