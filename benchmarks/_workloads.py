@@ -227,3 +227,42 @@ def rpc_network(cluster: ClusterModel | None = None) -> DiTyCONetwork:
     new v a (proc![v, a] | a?(y) = print!["ok"])
     """)
     return net
+
+
+# ---------------------------------------------------------------------------
+# Distributed-GC churn (E10-GC)
+# ---------------------------------------------------------------------------
+
+
+def churn_network(cycles: int, distgc: bool = True,
+                  gc_config=None) -> DiTyCONetwork:
+    """Import/export churn: ``cycles`` sequential RPC rounds in which
+    the client allocates -- and, by shipping it, *exports* -- a fresh
+    reply channel every round.  Without the distributed GC the client's
+    export table and heap can only grow with the cycle count; with it
+    on, each round's export is reclaimed as soon as the server's lease
+    lapses, so the heap stays bounded.
+    """
+    kwargs = {}
+    if distgc:
+        from repro.runtime import GcConfig
+
+        kwargs = dict(distgc=True,
+                      gc_config=gc_config
+                      or GcConfig(lease_s=2e-4, renew_s=5e-5,
+                                  sweep_s=2.5e-5))
+    net = DiTyCONetwork(**kwargs)
+    net.add_nodes(["n1", "n2"])
+    net.launch("n1", "server", """
+    export new svc
+    def Serve(self) = self?{ call(reply) = (reply![1] | Serve[self]) }
+    in Serve[svc]
+    """)
+    net.launch("n2", "client", f"""
+    import svc from server in
+    def Loop(k) =
+      if k < {cycles} then new a (svc!call[a] | a?(v) = Loop[k + 1])
+      else print!["done"]
+    in Loop[0]
+    """)
+    return net

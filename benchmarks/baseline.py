@@ -27,6 +27,13 @@ Metric glossary
   for a 32-message cross-node burst (default config).
 - ``e9_burst_packets_nobatch`` -- same burst with wire batching
   disabled (equals ``e9_burst_packets`` on trees without batching).
+- ``e10_churn_final_heap_on`` / ``e10_churn_peak_heap_on`` -- client
+  heap size after (and at the peak of) ``e10_churn_cycles`` RPC
+  rounds of export churn with the distributed GC on: bounded by the
+  lease term, not the cycle count.
+- ``e10_churn_final_heap_off`` -- same workload with distgc off; the
+  conservative collector pins every exported id, so this grows
+  linearly with the cycles.  Absent on pre-distgc trees.
 """
 
 from __future__ import annotations
@@ -162,6 +169,18 @@ def collect_metrics(repeats: int = 5) -> dict:
         statistics.median(b for _, b in batched))
     metrics["e9_burst_packets_nobatch"] = int(
         statistics.median(p for p, _ in unbatched))
+
+    if _supported_kwargs(distgc=True):  # pre-distgc trees skip these
+        from bench_e10_distgc import run_churn
+
+        cycles = 10_000  # one run per arm: the shape, not the timing
+        on = run_churn(cycles, distgc=True)
+        off = run_churn(cycles, distgc=False)
+        metrics["e10_churn_cycles"] = cycles
+        metrics["e10_churn_final_heap_on"] = on["final_heap"]
+        metrics["e10_churn_peak_heap_on"] = on["peak_heap"]
+        metrics["e10_churn_reclaimed_on"] = on["reclaimed"]
+        metrics["e10_churn_final_heap_off"] = off["final_heap"]
     return metrics
 
 

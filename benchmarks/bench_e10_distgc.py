@@ -1,0 +1,91 @@
+"""E10-GC -- import/export churn under the distributed GC (docs/GC.md).
+
+The calculus reclaims unused restrictions structurally (GcN), but a
+shipped reference pins its channel in the owner's export table until
+something says otherwise.  This experiment drives ``cycles`` RPC
+rounds in which the client exports a *fresh* reply channel every round
+and measures the client heap with the lease protocol on vs off:
+
+* **distgc on**  -- every round's export is reclaimed once the
+  server's lease lapses; the heap (and export table) stay bounded by
+  the lease term, independent of the cycle count.
+* **distgc off** -- the conservative collector must pin every id ever
+  exported; heap and export table grow linearly with the cycles.
+"""
+
+import pytest
+
+from _workloads import churn_network
+
+#: Headline cycle count (the acceptance run); tests use fewer.
+CYCLES = 10_000
+
+#: Virtual-time cadence for peak-heap sampling during the run.
+SAMPLE_S = 1e-3
+
+
+def run_churn(cycles: int, distgc: bool) -> dict:
+    """Run the churn workload and return the heap/export measurements."""
+    net = churn_network(cycles, distgc=distgc)
+    client = net.site("client")
+    peak = 0
+
+    def sample(k: int = 1) -> None:
+        nonlocal peak
+        peak = max(peak, len(client.vm.heap))
+        if not client.output:  # stop once the workload prints "done"
+            net.world.schedule_at(k * SAMPLE_S, lambda: sample(k + 1))
+
+    sample()
+    net.run()
+    assert client.output == ["done"]
+    stats = client.vm.heap.stats()
+    return {
+        "cycles": cycles,
+        "distgc": "on" if distgc else "off",
+        "final_heap": len(client.vm.heap),
+        "peak_heap": max(peak, len(client.vm.heap)),
+        "exported_ids": len(client.exported_ids),
+        "allocated": stats.allocated,
+        "reclaimed": stats.reclaimed,
+        "wire_packets": net.world.stats.packets,
+    }
+
+
+class TestShape:
+    def test_bounded_heap_with_distgc(self):
+        on = run_churn(500, distgc=True)
+        # Bounded: final heap is a small constant, not O(cycles).
+        assert on["final_heap"] < 100
+        assert on["exported_ids"] < 100
+        assert on["reclaimed"] >= on["cycles"] - 100
+
+    def test_monotonic_growth_without_distgc(self):
+        off = run_churn(500, distgc=False)
+        assert off["final_heap"] >= off["cycles"]
+        assert off["exported_ids"] >= off["cycles"]
+        assert off["reclaimed"] == 0
+
+    def test_on_beats_off_at_same_cycle_count(self):
+        on = run_churn(300, distgc=True)
+        off = run_churn(300, distgc=False)
+        assert on["final_heap"] * 10 < off["final_heap"]
+        assert on["peak_heap"] < off["peak_heap"]
+
+
+@pytest.mark.benchmark(group="e10gc-churn")
+@pytest.mark.parametrize("distgc", [True, False], ids=["on", "off"])
+def test_bench_churn(benchmark, distgc):
+    result = benchmark.pedantic(
+        lambda: run_churn(1000, distgc), iterations=1, rounds=3)
+    benchmark.extra_info.update(result)
+
+
+def report() -> list[dict]:
+    return [run_churn(CYCLES, distgc=True),
+            run_churn(CYCLES, distgc=False)]
+
+
+if __name__ == "__main__":
+    for row in report():
+        print(row)

@@ -29,6 +29,7 @@ EXPERIMENTS = {
     "e11": ("bench_e11_calculus", "formal derivations"),
     "e12": ("bench_e12_termination", "termination-detection overhead"),
     "e13": ("bench_e13_failure", "failure detection and recovery"),
+    "e10gc": ("bench_e10_distgc", "distributed GC churn"),
 }
 
 

@@ -67,6 +67,27 @@ class TestCommittedBaselines:
         assert pr2["e1_counter_wall_us"] <= \
             seed["e1_counter_wall_us"] * 1.05
 
+    def test_pr3_distgc_bounds_churn_heap(self):
+        """The distributed-GC PR's headline: under export churn the
+        client heap is bounded by the lease term with distgc on, and
+        grows with the cycle count with it off."""
+        pr3 = _load_baseline("BENCH_pr3.json")
+        cycles = pr3["e10_churn_cycles"]
+        assert pr3["e10_churn_final_heap_on"] < 100
+        assert pr3["e10_churn_peak_heap_on"] < cycles / 2
+        assert pr3["e10_churn_final_heap_off"] >= cycles
+
+    def test_pr3_keeps_pr2_wins(self):
+        """The lease plumbing must not regress the code-cache or
+        batching headline numbers, nor the E1 hot path (>10%: the
+        GC hooks add a bounded constant, not a scaling term)."""
+        pr2 = _load_baseline("BENCH_pr2.json")
+        pr3 = _load_baseline("BENCH_pr3.json")
+        assert pr3["e4_refetch_bytes"] <= pr2["e4_refetch_bytes"] * 1.05
+        assert pr3["e9_burst_packets"] <= pr2["e9_burst_packets"]
+        assert pr3["e1_counter_wall_us"] <= \
+            pr2["e1_counter_wall_us"] * 1.10
+
     def test_seed_records_the_uncached_world(self):
         """Guard against accidentally regenerating BENCH_seed.json on a
         post-cache tree: the seed must show refetch bytes scaling with

@@ -130,16 +130,26 @@ def _chaos_scenario(args: argparse.Namespace):
     path = Path(args.program)
     text = path.read_text()
     nodes = [ip.strip() for ip in args.nodes.split(",")]
+    distgc = getattr(args, "distgc", False)
+    max_time = getattr(args, "max_time", 5.0)
+
+    def prepare(net):
+        if distgc:
+            from repro.runtime import GcScheduler
+
+            net.distgc = True
+            GcScheduler(net.world).install(horizon=min(max_time, 0.05))
+        for ip in nodes:
+            net.add_node(ip)
+
     if path.suffix == ".tycosh":
         def scenario(net):
-            for ip in nodes:
-                net.add_node(ip)
+            prepare(net)
             shell = TycoShell(net, write=lambda line: None)
             shell.execute_script(text)
     else:
         def scenario(net):
-            for ip in nodes:
-                net.add_node(ip)
+            prepare(net)
             net.launch(nodes[0], "main", text)
     return scenario
 
@@ -278,6 +288,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--monitor", action="store_true",
                          help="install a heartbeat failure detector "
                               "and check reconfiguration integrity")
+    p_chaos.add_argument("--distgc", action="store_true",
+                         help="enable lease-based distributed GC on every "
+                              "node and check the reclamation invariants")
     p_chaos.set_defaults(func=_cmd_chaos)
 
     p_shell = sub.add_parser("shell", help="interactive TyCOsh")

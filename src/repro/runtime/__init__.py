@@ -7,6 +7,7 @@ dynamic checking of remote interactions).
 """
 
 from .daemon import DaemonStats, TyCOd, TyCOi
+from .distgc import DistGC, GcConfig, GcScheduler, GcStats
 from .nameservice import (
     NameService,
     NameServiceError,
@@ -19,7 +20,7 @@ from .network import DiTyCONetwork
 from .node import Node, NodeStepReport
 from .shell import ShellError, TycoShell
 from .failure import HeartbeatMonitor, Suspicion
-from .site import DeliveryError, Site, SiteStats
+from .site import DeliveryError, ReclaimedRefError, Site, SiteStats
 from .termination import (
     SafraDetector,
     TerminationReport,
@@ -40,6 +41,9 @@ from .wire import (
     KIND_FETCH_REQUEST,
     KIND_MESSAGE,
     KIND_OBJECT,
+    KIND_REF_DROP,
+    KIND_REF_LEASE,
+    KIND_REF_RENEW,
     Packet,
     WireError,
     decode,

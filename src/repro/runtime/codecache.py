@@ -187,7 +187,14 @@ class CodeCache:
         self._in_flight.pop(digest, None)
 
     def bump_generation(self) -> None:
-        """Node restart: invalidate every in-flight mark."""
+        """Invalidate every in-flight mark.
+
+        Two callers: a node *restart* (our own in-flight requests may
+        have died with the crash) and the distributed GC's
+        *peer-suspected* path (requests toward the dead peer will never
+        be answered; see :meth:`~repro.runtime.site.Site.on_peer_suspected`).
+        Installed code is content-addressed and therefore never stale --
+        only the transient request-coalescing state is discarded."""
         self.generation += 1
         self._in_flight.clear()
 

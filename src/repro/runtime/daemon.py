@@ -148,5 +148,8 @@ class TyCOi:
                 and not site._pending_fetch and not site._pending_code
                 and site.vm.heap.live_queues() == 0]
         for sid in dead:
+            # Retire the site's name-service registrations first so no
+            # IdTable row dangles after the site object is gone.
+            self.node.sites[sid].retire_exports()
             del self.node.sites[sid]
         return len(dead)

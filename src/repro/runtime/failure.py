@@ -101,6 +101,13 @@ class HeartbeatMonitor:
         self.unregister_node_sites(suspicion.ip)
         if isinstance(self.nameservice, ReplicatedNameService):
             self.nameservice.drop_replica(suspicion.ip)
+        # Distributed GC reconfiguration: every live node expires the
+        # suspect's leases (its references are gone, reclaim now) and
+        # stops renewing into the void (a no-op on non-distgc nodes).
+        for ip, node in self.world.nodes.items():
+            if ip == suspicion.ip or ip in self.world.failed:
+                continue
+            node.on_peer_suspected(suspicion.ip)
         for cb in self._callbacks:
             cb(suspicion)
 

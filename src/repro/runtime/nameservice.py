@@ -191,6 +191,20 @@ class NameService:
                              if k[0] not in dead}
             return sorted(dead)
 
+    def unregister_export(self, site_name: str, id_name: str) -> bool:
+        """IdTable delete: a collected (or explicitly retired) export
+        disappears instead of dangling.  Later lookups return None, so
+        importers stall recoverably.  Returns whether an entry existed.
+        No subscriber notification -- removals never unblock a stalled
+        import."""
+        with self._lock:
+            return self._names.pop((site_name, id_name), None) is not None
+
+    def unregister_class_export(self, site_name: str, id_name: str) -> bool:
+        """ClassTable delete; same contract as :meth:`unregister_export`."""
+        with self._lock:
+            return self._classes.pop((site_name, id_name), None) is not None
+
     # -- notification ------------------------------------------------------------
 
     def subscribe(self, callback: Callable[[], None]) -> None:
@@ -273,3 +287,19 @@ class ReplicatedNameService(NameService):
                 rep.unregister_ip(ip)
                 self.replica_writes += 1
         return removed
+
+    def unregister_export(self, site_name: str, id_name: str) -> bool:
+        existed = super().unregister_export(site_name, id_name)
+        with self._lock:
+            for rep in self._replicas.values():
+                rep.unregister_export(site_name, id_name)
+                self.replica_writes += 1
+        return existed
+
+    def unregister_class_export(self, site_name: str, id_name: str) -> bool:
+        existed = super().unregister_class_export(site_name, id_name)
+        with self._lock:
+            for rep in self._replicas.values():
+                rep.unregister_class_export(site_name, id_name)
+                self.replica_writes += 1
+        return existed

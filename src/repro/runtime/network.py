@@ -43,6 +43,12 @@ class DiTyCONetwork:
         Toggles for the per-site code cache (offer/need/reply protocol)
         and the per-destination wire batching; on by default, turned
         off for the ablation benchmarks.
+    distgc / gc_config:
+        The lease-based distributed garbage collector (docs/GC.md).
+        Off by default -- lease traffic perturbs packet schedules, so
+        it is opt-in like ``typecheck``.  Both are plain attributes
+        read at :meth:`add_node` time, so a scenario can flip them
+        after construction but before adding nodes.
     """
 
     def __init__(self, world: Optional[World] = None,
@@ -52,7 +58,9 @@ class DiTyCONetwork:
                  fetch_cache: bool = True,
                  code_cache: bool = True,
                  batching: bool = True,
-                 typecheck: bool = False) -> None:
+                 typecheck: bool = False,
+                 distgc: bool = False,
+                 gc_config=None) -> None:
         if world is None:
             world = SimWorld(cluster) if cluster else SimWorld()
         elif cluster is not None:
@@ -64,6 +72,8 @@ class DiTyCONetwork:
         self.code_cache = code_cache
         self.batching = batching
         self.typecheck = typecheck
+        self.distgc = distgc
+        self.gc_config = gc_config
 
     # -- topology -------------------------------------------------------------
 
@@ -74,7 +84,9 @@ class DiTyCONetwork:
                     fetch_cache=self.fetch_cache,
                     code_cache=self.code_cache,
                     batching=self.batching,
-                    typecheck=self.typecheck)
+                    typecheck=self.typecheck,
+                    distgc=self.distgc,
+                    gc_config=self.gc_config)
         self.world.add_node(node)
         return node
 

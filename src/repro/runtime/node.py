@@ -16,12 +16,14 @@ method (the paper's process/thread architecture).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.compiler.assembly import Program
 
 from .daemon import TyCOd, TyCOi
+from .distgc import GcConfig
 from .nameservice import NameService
 from .site import Site
 from .wire import decode_frame, encode_frame, is_frame
@@ -50,7 +52,9 @@ class Node:
                  code_cache: bool = True,
                  batching: bool = True,
                  batch_bytes: int = 4096,
-                 typecheck: bool = False) -> None:
+                 typecheck: bool = False,
+                 distgc: bool = False,
+                 gc_config: Optional[GcConfig] = None) -> None:
         self.ip = ip
         self.nameservice = nameservice
         self.sites: dict[int, Site] = {}
@@ -70,6 +74,14 @@ class Node:
         self._batch_size: dict[str, int] = {}
         self._in_step = False
         self.typecheck = typecheck
+        #: Distributed GC (docs/GC.md): opt-in, like ``typecheck`` --
+        #: its lease traffic perturbs packet schedules, so default-off
+        #: keeps every non-GC run byte-identical to the pre-GC system.
+        self.distgc = distgc
+        self.gc_config = gc_config
+        self._gc_sweep_s = (gc_config or GcConfig()).sweep_s
+        self._next_sweep = 0.0
+        self._clock: Callable[[], float] = time.monotonic
         self._send = send
         self._wakeup: Optional[Callable[[], None]] = None
         self._trace_hook: Optional[Callable] = None
@@ -78,12 +90,21 @@ class Node:
     # -- wiring ---------------------------------------------------------------
 
     def attach_transport(self, send: Callable[[str, str, bytes], None],
-                         wakeup: Optional[Callable[[], None]] = None) -> None:
+                         wakeup: Optional[Callable[[], None]] = None,
+                         clock: Optional[Callable[[], float]] = None) -> None:
         """Connect the node to a world: ``send(src_ip, dst_ip, data)``
         forwards a buffer; ``wakeup`` reschedules the node when new
-        work appears (used by both transports)."""
+        work appears (used by both transports); ``clock`` is the
+        world's time base (virtual under simulation) that GC leases
+        and sweep cadences are measured on."""
         self._send = send
         self._wakeup = wakeup
+        if clock is not None:
+            self._clock = clock
+
+    def now(self) -> float:
+        """Current time on the attached world's clock."""
+        return self._clock()
 
     def transport_send(self, dest_ip: str, data: bytes) -> None:
         if self._send is None:
@@ -141,7 +162,9 @@ class Node:
         site = Site(site_name, site_id, self.ip, program,
                     self.nameservice, fetch_cache=self.fetch_cache,
                     code_cache=self.code_cache,
-                    name_signatures=name_signatures)
+                    name_signatures=name_signatures,
+                    distgc=self.distgc, gc_config=self.gc_config,
+                    clock=self.now)
         self.sites[site_id] = site
         self.sites_by_name[site_name] = site
         site.on_work = self.on_work_available
@@ -183,6 +206,14 @@ class Node:
                 per_site = max(1, quantum // nsites)
                 for site in list(self.sites.values()):
                     executed += site.step(per_site)
+            if self.distgc and self.sites:
+                # Sweep before the closing pump so renew/drop/claim
+                # packets ride this quantum's batch frames.
+                now = self.now()
+                if now >= self._next_sweep:
+                    self._next_sweep = now + self._gc_sweep_s
+                    for site in list(self.sites.values()):
+                        site.run_distgc(now)
             moved += self.tycod.pump()
         finally:
             self._in_step = False
@@ -194,6 +225,16 @@ class Node:
         return NodeStepReport(instructions=executed,
                               context_switches=delta_switches,
                               packets_moved=moved)
+
+    def on_peer_suspected(self, ip: str) -> None:
+        """The failure detector suspects the node at ``ip``: fan the
+        reconfiguration out to every site.  A no-op unless this node
+        runs the distributed GC (non-GC behaviour stays untouched)."""
+        if not self.distgc:
+            return
+        for site in list(self.sites.values()):
+            site.on_peer_suspected(ip)
+        self.on_work_available()
 
     def on_restart(self) -> None:
         """The world restarted this node after a crash: let every site

@@ -24,14 +24,21 @@ and provides everything the extension list in section 5 requires:
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 from repro.compiler.assembly import Program
 from repro.compiler.linker import extract_bundle
 from repro.vm.machine import ImportPending, TycoVM, VMRuntimeError
-from repro.vm.values import Channel, ClassRef, NetRef, RemoteClassRef
+from repro.vm.values import (
+    Channel,
+    ClassRef,
+    NetRef,
+    RemoteClassRef,
+    remote_ref_key,
+)
 
 from .codecache import (
     BLOCK,
@@ -41,6 +48,7 @@ from .codecache import (
     link_bundle_cached,
     manifest_for_bundle,
 )
+from .distgc import DistGC, GcConfig
 from .nameservice import NameService
 from .wire import (
     KIND_CODE_NEED,
@@ -49,12 +57,22 @@ from .wire import (
     KIND_FETCH_REQUEST,
     KIND_MESSAGE,
     KIND_OBJECT,
+    KIND_REF_DROP,
+    KIND_REF_LEASE,
+    KIND_REF_RENEW,
     Packet,
 )
 
 
 class DeliveryError(VMRuntimeError):
     """An incoming packet referenced an unknown or unexported entity."""
+
+
+class ReclaimedRefError(DeliveryError):
+    """An incoming packet referenced an id the distributed GC already
+    reclaimed.  Expected (not a protocol violation) during the races
+    the lease grace period exists for -- the site logs a ``gc-late``
+    trace event and drops the packet instead of faulting."""
 
 
 @dataclass(slots=True)
@@ -84,7 +102,10 @@ class Site:
                  program: Program, nameservice: NameService,
                  fetch_cache: bool = True,
                  code_cache: bool = True,
-                 name_signatures: Optional[dict] = None) -> None:
+                 name_signatures: Optional[dict] = None,
+                 distgc: bool = False,
+                 gc_config: Optional[GcConfig] = None,
+                 clock: Optional[Callable[[], float]] = None) -> None:
         self.site_name = site_name
         self.site_id = site_id
         self.ip = ip
@@ -92,6 +113,21 @@ class Site:
         self.fetch_cache = fetch_cache
         self.vm = TycoVM(program, port=self, name=site_name)
         self.stats = SiteStats()
+        # Distributed GC (repro.runtime.distgc, docs/GC.md).  Off by
+        # default: lease traffic perturbs packet schedules, so it is
+        # opt-in like ``typecheck``.  ``clock`` supplies the time base
+        # leases live on (the world's virtual clock under simulation).
+        self.distgc: Optional[DistGC] = DistGC(gc_config) if distgc else None
+        self.clock: Callable[[], float] = clock or time.monotonic
+        # hint -> id currently registered with the name service; the
+        # registration itself pins the id (an importer may claim at any
+        # time), so these survive every sweep until unexported.
+        self._name_exports: dict[str, int] = {}
+        self._class_export_names: dict[str, int] = {}
+        # Ids the distributed GC reclaimed: late packets for them are
+        # dropped gracefully rather than treated as protocol errors.
+        self._gc_tombstones: set[int] = set()
+        self._gc_class_tombstones: set[int] = set()
         # Dynamic-checking signatures (section 7): hint -> WireSignature
         # from the static pass; heap id -> WireSignature once exported.
         self.name_signatures: dict = dict(name_signatures or {})
@@ -156,15 +192,30 @@ class Site:
     def step(self, budget: int) -> int:
         """Drain the incoming queue, then run the VM for ``budget``."""
         self.pump_incoming()
-        return self.vm.step(budget)
+        executed = self.vm.step(budget)
+        self._flush_gc_claims()
+        return executed
 
     def pump_incoming(self) -> int:
         """Process every queued incoming packet."""
         count = 0
         while self.incoming:
-            self._deliver(self.incoming.popleft())
+            packet = self.incoming.popleft()
+            try:
+                self._deliver(packet)
+            except ReclaimedRefError as exc:
+                # Grace-period race resolved against a late packet:
+                # drop it, as the sender's lease had lapsed.
+                if self.distgc is not None:
+                    self.distgc.stats.late_drops += 1
+                self._trace("gc-late", packet.src_ip, note=str(exc))
             count += 1
+        self._flush_gc_claims()
         return count
+
+    def now(self) -> float:
+        """The lease time base (world virtual clock under simulation)."""
+        return self.clock()
 
     def on_nameservice_update(self) -> None:
         """Retry imports stalled on missing registrations."""
@@ -174,11 +225,129 @@ class Site:
     def collect_garbage(self) -> int:
         """Site-level GC: exported channels are pinned (a remote site
         may hold a network reference to them); arguments parked with
-        pending FETCHes are extra roots."""
+        pending FETCHes are extra roots.
+
+        This is the conservative pre-distgc collector: *every* id ever
+        exported stays pinned forever.  :meth:`run_distgc` is the
+        lease-based collector that can actually shrink the pinned set.
+        """
         fetch_roots = [args for waiting in self._pending_fetch.values()
                        for args in waiting]
         return self.vm.collect_garbage(pinned=set(self.exported_ids),
                                        extra_roots=fetch_roots)
+
+    # -- distributed GC (repro.runtime.distgc, docs/GC.md) ---------------------
+
+    def _gc_extra_roots(self, include_exports: bool = True) -> list:
+        """Values outside the VM graph that must count as live for a
+        sweep: arguments parked on FETCHes, parked code offers, cached
+        and exported classes (their environments hold channels), and
+        the payloads of queued packets (already marshalled, so they
+        contain references, never raw channels).
+
+        ``include_exports=False`` omits the exported channels
+        themselves -- the testkit uses it to ask "what is reachable
+        *without* the export pins?" for the liveness invariant."""
+        extra: list = [args for waiting in self._pending_fetch.values()
+                       for args in waiting]
+        extra.extend(entry[1] for entry in self._pending_code.values())
+        extra.extend(self._fetched.values())
+        extra.extend(self._class_exports.values())
+        extra.extend(p.payload for p in self.incoming)
+        extra.extend(p.payload for p in self.outgoing)
+        if include_exports:
+            # Exported channels' queues are live data while pinned;
+            # remote references parked in them still need renewing.
+            heap = self.vm.heap
+            extra.extend(heap.get(hid) for hid in self.exported_ids
+                         if hid in heap)
+        return extra
+
+    def run_distgc(self, now: Optional[float] = None) -> int:
+        """One distributed-GC sweep (driven by the owning node).
+
+        Holder half: rescan the live graph, drop leases on references
+        we no longer hold, renew the rest, flush first-sight claims.
+        Owner half: expire overdue leases, reclaim exported classes
+        and heap channels that are neither registered, leased, nor
+        locally reachable.  Returns reclaimed channel count."""
+        if self.distgc is None:
+            return 0
+        gc = self.distgc
+        if now is None:
+            now = self.now()
+        # -- holder side -----------------------------------------------------
+        self_ep = (self.ip, self.site_id)
+        remote = self.vm.scan_refs(extra_roots=self._gc_extra_roots())
+        reachable: dict[tuple[str, int], set] = {}
+        for ref in remote:
+            owner = (ref.ip, ref.site_id)
+            if owner == self_ep:
+                continue
+            reachable.setdefault(owner, set()).add(remote_ref_key(ref))
+        # Cached and in-flight fetches hold the owner's class alive
+        # even when no RemoteClassRef value remains in the graph.
+        for (ip, sid, cid) in self._fetched:
+            if (ip, sid) != self_ep:
+                reachable.setdefault((ip, sid), set()).add(("c", cid))
+        for (ip, sid, cid) in self._pending_fetch:
+            if (ip, sid) != self_ep:
+                reachable.setdefault((ip, sid), set()).add(("c", cid))
+        for owner, keys in gc.sync_held(reachable, now).items():
+            self._send_ref(KIND_REF_DROP, owner, keys)
+        for owner, keys in gc.pop_renewals(now).items():
+            self._send_ref(KIND_REF_RENEW, owner, keys)
+        self._flush_gc_claims()
+        # -- owner side ------------------------------------------------------
+        live = gc.live_keys(now)
+        live_classes = set(self._class_export_names.values())
+        live_classes.update(i for (k, i) in live if k == "c")
+        dead_classes = [c for c in self._class_exports
+                        if c not in live_classes]
+        for cid in dead_classes:
+            classref = self._class_exports.pop(cid)
+            self._class_ids.pop(id(classref), None)
+            self._gc_class_tombstones.add(cid)
+        gc.stats.classes_reclaimed += len(dead_classes)
+        pinned = set(self._name_exports.values())
+        pinned.update(i for (k, i) in live if k == "n")
+        # include_exports=False: pinned ids are already transitive roots
+        # inside Heap.collect; rooting *every* exported channel here
+        # would keep unpinned exports alive forever.
+        reclaimed = self.vm.collect_garbage(
+            pinned=pinned,
+            extra_roots=self._gc_extra_roots(include_exports=False))
+        dead_exports = [hid for hid in self.exported_ids
+                        if hid not in self.vm.heap]
+        for hid in dead_exports:
+            self.exported_ids.discard(hid)
+            self.wire_signatures.pop(hid, None)
+            self._gc_tombstones.add(hid)
+        gc.stats.sweeps += 1
+        gc.stats.channels_reclaimed += reclaimed
+        if reclaimed or dead_classes:
+            hs = self.vm.heap.stats()
+            self._trace("gc", size=reclaimed,
+                        note=f"classes={len(dead_classes)} "
+                             f"exports={len(dead_exports)} "
+                             f"heap={hs.live}/{hs.allocated}")
+        return reclaimed
+
+    def on_peer_suspected(self, ip: str) -> None:
+        """Failure-detector reconfiguration: the node at ``ip`` is
+        suspected dead.  Its leases on our exports lapse immediately
+        (no grace -- its references are gone with it), we stop renewing
+        leases it granted us, and its cached class bindings are evicted
+        (a restarted peer may rebind class ids; the content-addressed
+        code itself stays installed and is simply re-linked)."""
+        if self.distgc is None or ip == self.ip:
+            return
+        self.distgc.expire_holder(ip)
+        self.distgc.drop_owner(ip)
+        for key in [k for k in self._fetched if k[0] == ip]:
+            del self._fetched[key]
+        if self.codecache is not None:
+            self.codecache.bump_generation()
 
     def debug_report(self) -> str:
         """Human-readable state dump: what the site is waiting on.
@@ -218,6 +387,15 @@ class Site:
             lines.append(f"  code pending from {ip}/s{sid} "
                          f"({token_kind} {token_val}, "
                          f"{len(needed)} digest(s) awaited)")
+        if self.distgc is not None:
+            hs = self.vm.heap.stats()
+            gs = self.distgc.stats
+            lines.append(
+                f"  heap: {hs.live} live / {hs.allocated} allocated / "
+                f"{hs.reclaimed} reclaimed; gc: {gs.sweeps} sweep(s), "
+                f"{len(self.distgc.leases)} leased key(s), "
+                f"{gs.late_drops} late drop(s)")
+            lines.extend("  " + line for line in self.distgc.debug_lines())
         if len(lines) == 2 and not waiting:
             lines.append("  idle, no queued work")
         return "\n".join(lines)
@@ -258,7 +436,25 @@ class Site:
         ws = self.name_signatures.get(hint)
         if ws is not None:
             self.wire_signatures[channel.heap_id] = ws
+        old = self._name_exports.get(hint)
+        if self.distgc is not None and old is not None \
+                and old != channel.heap_id:
+            # Rebinding the name unpins the old id, but an importer may
+            # have looked it up moments ago and its claim may still be
+            # in flight: keep the old id pinned for the grace period.
+            self.distgc.add_grace(("n", old), self.now())
+        self._name_exports[hint] = channel.heap_id
         self.nameservice.export_name(self.site_name, hint, channel.heap_id)
+
+    def unexport_name(self, hint: str) -> bool:
+        """Withdraw a name-service registration; the id stays pinned
+        for the lease grace period, then becomes collectable (unless a
+        holder's lease keeps it alive).  Returns whether it existed."""
+        old = self._name_exports.pop(hint, None)
+        if old is not None and self.distgc is not None:
+            self.distgc.add_grace(("n", old), self.now())
+        return self.nameservice.unregister_export(self.site_name, hint) \
+            or old is not None
 
     def import_name(self, hint: str, site: str):
         ref = self.nameservice.lookup_name(site, hint)
@@ -269,6 +465,7 @@ class Site:
         # Same-site optimisation: an import of our own export is local.
         if ref.site_id == self.site_id and ref.ip == self.ip:
             return self.vm.heap.get(ref.heap_id)
+        self._note_remote(ref)
         return ref
 
     def export_class(self, hint: str, classref) -> None:
@@ -276,7 +473,27 @@ class Site:
             raise VMRuntimeError(
                 f"{self.site_name}: export of non-class {classref!r}")
         class_id = self._class_id_for(classref)
+        old = self._class_export_names.get(hint)
+        if self.distgc is not None and old is not None and old != class_id:
+            self.distgc.add_grace(("c", old), self.now())
+        self._class_export_names[hint] = class_id
         self.nameservice.export_class(self.site_name, hint, class_id)
+
+    def unexport_class(self, hint: str) -> bool:
+        """Withdraw a class registration (grace rules as for names)."""
+        old = self._class_export_names.pop(hint, None)
+        if old is not None and self.distgc is not None:
+            self.distgc.add_grace(("c", old), self.now())
+        return self.nameservice.unregister_class_export(self.site_name, hint) \
+            or old is not None
+
+    def retire_exports(self) -> None:
+        """Withdraw every registration this site made (called by the
+        TyCOi reaper before destroying an exited site)."""
+        for hint in list(self._name_exports):
+            self.unexport_name(hint)
+        for hint in list(self._class_export_names):
+            self.unexport_class(hint)
 
     def import_class(self, hint: str, site: str):
         ref = self.nameservice.lookup_class(site, hint)
@@ -286,6 +503,7 @@ class Site:
         self.stats.imports_resolved += 1
         if ref.site_id == self.site_id and ref.ip == self.ip:
             return self._class_exports[ref.class_id]
+        self._note_remote(ref)
         return ref
 
     def _class_id_for(self, classref: ClassRef) -> int:
@@ -303,8 +521,9 @@ class Site:
 
     def ship_message(self, target: NetRef, label: str, args: tuple) -> None:
         """SHIPM at the VM level: marshal args and enqueue the packet."""
+        dest = (target.ip, target.site_id)
         payload = (target.heap_id, label,
-                   tuple(self.marshal_value(a) for a in args))
+                   tuple(self.marshal_value(a, dest) for a in args))
         self._send(KIND_MESSAGE, target, payload)
 
     def _digest_of(self, kind: str, item_id: int) -> bytes:
@@ -329,8 +548,9 @@ class Site:
         self._next_ship_token += 1
         self._ship_offers[token] = block_ids
         positions = {label: i for i, label in enumerate(methods.keys())}
+        dest = (target.ip, target.site_id)
         payload = (token, target.heap_id, positions, digests,
-                   tuple(self.marshal_value(v) for v in env))
+                   tuple(self.marshal_value(v, dest) for v in env))
         self._send(KIND_OBJECT, target, payload)
 
     def fetch_instance(self, cref: RemoteClassRef, args: tuple) -> None:
@@ -370,39 +590,100 @@ class Site:
 
     # -- marshalling (the two-step translation of section 5) ------------------------
 
-    def marshal_value(self, v: Any) -> Any:
-        """Sender half: local references become network references."""
+    def marshal_value(self, v: Any, dest: Optional[tuple[str, int]] = None) -> Any:
+        """Sender half: local references become network references.
+
+        ``dest`` is the receiving endpoint ``(ip, site_id)`` when
+        known; with distributed GC it receives an immediate lease on
+        every reference shipped to it (grant-on-marshal-out), so the
+        id stays pinned until the holder's own claim takes over."""
         if isinstance(v, Channel):
             self.exported_ids.add(v.heap_id)
             self.stats.marshalled_channels += 1
+            self._grant_out(("n", v.heap_id), dest)
             return NetRef(heap_id=v.heap_id, site_id=self.site_id, ip=self.ip)
         if isinstance(v, ClassRef):
             # A class value leaving the site becomes a remote class
             # reference bound to this site (lexical scope on classes).
-            return RemoteClassRef(class_id=self._class_id_for(v),
+            class_id = self._class_id_for(v)
+            self._grant_out(("c", class_id), dest)
+            return RemoteClassRef(class_id=class_id,
                                   site_id=self.site_id, ip=self.ip)
-        if isinstance(v, (bool, int, float, str, NetRef, RemoteClassRef)):
+        if isinstance(v, (NetRef, RemoteClassRef)):
+            # Forwarding a reference we merely hold: if it points into
+            # *this* site it still needs a lease for the new holder.
+            if v.ip == self.ip and v.site_id == self.site_id:
+                self._grant_out(remote_ref_key(v), dest)
+            return v
+        if isinstance(v, (bool, int, float, str)):
             return v
         raise VMRuntimeError(
             f"{self.site_name}: value {v!r} cannot cross the network")
+
+    def _grant_out(self, key: tuple[str, int],
+                   dest: Optional[tuple[str, int]]) -> None:
+        if self.distgc is None or dest is None:
+            return
+        if dest == (self.ip, self.site_id):
+            return
+        self.distgc.grant(key, dest, self.now())
+
+    def _note_remote(self, ref) -> None:
+        """Holder side: a remote reference entered this site's graph;
+        claim a lease at its owner on first sight (idempotent at the
+        owner, and the only signal for third-party forwards)."""
+        if self.distgc is None:
+            return
+        owner = (ref.ip, ref.site_id)
+        if owner == (self.ip, self.site_id):
+            return
+        self.distgc.note_held(owner, remote_ref_key(ref), self.now())
+
+    def _flush_gc_claims(self) -> None:
+        if self.distgc is None:
+            return
+        for owner, keys in self.distgc.pop_claims().items():
+            self._send_ref(KIND_REF_LEASE, owner, keys)
+
+    def _send_ref(self, kind: str, owner: tuple[str, int],
+                  keys: tuple) -> None:
+        self.outgoing.append(Packet(
+            kind=kind,
+            src_ip=self.ip, src_site_id=self.site_id,
+            dest_ip=owner[0], dest_site_id=owner[1],
+            payload=(tuple(keys),),
+        ))
+        self.stats.packets_sent += 1
+        if self.on_work is not None:
+            self.on_work()
 
     def unmarshal_value(self, v: Any) -> Any:
         """Receiver half: references bound to this site become local."""
         if isinstance(v, NetRef):
             if v.site_id == self.site_id and v.ip == self.ip:
+                if v.heap_id in self._gc_tombstones:
+                    raise ReclaimedRefError(
+                        f"{self.site_name}: reference to reclaimed "
+                        f"heap id {v.heap_id}")
                 if v.heap_id not in self.exported_ids:
                     raise DeliveryError(
                         f"{self.site_name}: reference to unexported "
                         f"heap id {v.heap_id}")
                 return self.vm.heap.get(v.heap_id)
+            self._note_remote(v)
             return v
         if isinstance(v, RemoteClassRef):
             if v.site_id == self.site_id and v.ip == self.ip:
                 classref = self._class_exports.get(v.class_id)
                 if classref is None:
+                    if v.class_id in self._gc_class_tombstones:
+                        raise ReclaimedRefError(
+                            f"{self.site_name}: reference to reclaimed "
+                            f"class id {v.class_id}")
                     raise DeliveryError(
                         f"{self.site_name}: unknown class id {v.class_id}")
                 return classref
+            self._note_remote(v)
             if self.fetch_cache:
                 cached = self._fetched.get((v.ip, v.site_id, v.class_id))
                 if cached is not None:
@@ -440,9 +721,51 @@ class Site:
         if packet.kind == KIND_CODE_REPLY:
             self._on_code_reply(packet)
             return
+        if packet.kind in (KIND_REF_LEASE, KIND_REF_RENEW):
+            self._on_ref_lease(packet, renew=packet.kind == KIND_REF_RENEW)
+            return
+        if packet.kind == KIND_REF_DROP:
+            self._on_ref_drop(packet)
+            return
         raise DeliveryError(f"unknown packet kind {packet.kind!r}")
 
+    def _on_ref_lease(self, packet: Packet, renew: bool) -> None:
+        """Owner side of REF_LEASE / REF_RENEW: record or extend the
+        sender's leases.  Entries naming already-reclaimed ids are
+        skipped per-entry (the claim lost the grace race; the holder's
+        next scan will drop the dead reference) -- one stale entry must
+        not void the live ones batched with it."""
+        if self.distgc is None:
+            return  # stray lease traffic to a non-distgc site: ignore
+        holder = (packet.src_ip, packet.src_site_id)
+        now = self.now()
+        (entries,) = packet.payload
+        for kind, ident in entries:
+            key = (kind, ident)
+            if (kind == "n" and ident in self._gc_tombstones) or \
+                    (kind == "c" and ident in self._gc_class_tombstones):
+                self.distgc.stats.late_drops += 1
+                self._trace("gc-late", packet.src_ip,
+                            note=f"lease for reclaimed {kind}{ident}")
+                continue
+            if renew:
+                self.distgc.renew(key, holder, now)
+            else:
+                self.distgc.grant(key, holder, now)
+
+    def _on_ref_drop(self, packet: Packet) -> None:
+        if self.distgc is None:
+            return
+        holder = (packet.src_ip, packet.src_site_id)
+        now = self.now()
+        (entries,) = packet.payload
+        for kind, ident in entries:
+            self.distgc.drop((kind, ident), holder, now)
+
     def _check_target(self, heap_id: int) -> None:
+        if heap_id in self._gc_tombstones:
+            raise ReclaimedRefError(
+                f"{self.site_name}: delivery to reclaimed heap id {heap_id}")
         if heap_id not in self.exported_ids:
             raise DeliveryError(
                 f"{self.site_name}: delivery to unexported heap id {heap_id}")
@@ -453,13 +776,22 @@ class Site:
         travels only if the requester answers with a CODE_NEED."""
         classref = self._class_exports.get(class_id)
         if classref is None:
+            if class_id in self._gc_class_tombstones:
+                raise ReclaimedRefError(
+                    f"{self.site_name}: FETCH of reclaimed class "
+                    f"id {class_id}")
             raise DeliveryError(
                 f"{self.site_name}: FETCH of unknown class id {class_id}")
+        # The requester becomes a holder of the class the moment we
+        # serve it (its own claim may still be in flight).
+        self._grant_out(("c", class_id),
+                        (packet.src_ip, packet.src_site_id))
         root_digest = self._digest_of(GROUP, classref.group_id)
         if self.codecache is not None:
             self.codecache.register(root_digest, GROUP, classref.group_id)
         group = self.vm.program.groups[classref.group_id]
-        captured = tuple(self.marshal_value(v)
+        requester = (packet.src_ip, packet.src_site_id)
+        captured = tuple(self.marshal_value(v, requester)
                          for v in classref.env[:group.nfree])
         self.stats.fetch_replies_served += 1
         self.outgoing.append(Packet(
@@ -551,6 +883,10 @@ class Site:
         if token_kind == "fetch":
             classref = self._class_exports.get(token_val)
             if classref is None:
+                if token_val in self._gc_class_tombstones:
+                    raise ReclaimedRefError(
+                        f"{self.site_name}: CODE_NEED for reclaimed "
+                        f"class id {token_val}")
                 raise DeliveryError(
                     f"{self.site_name}: CODE_NEED for unknown class "
                     f"id {token_val}")

@@ -367,6 +367,15 @@ KIND_CODE_NEED = "code_need"        # payload: (token kind, token value,
 KIND_CODE_REPLY = "code_reply"      # payload: (token kind, token value,
                                     #           bundle, manifest)
 
+#: Distributed-GC lease traffic (repro.runtime.distgc, docs/GC.md).
+#: Each carries ``(entries,)`` where entries is a tuple of lease keys
+#: ``("n", heap_id)`` / ``("c", class_id)`` naming exported channels or
+#: classes of the *destination* site.  Existing str/int/tuple wire tags
+#: encode them; no new byte tags are needed.
+KIND_REF_LEASE = "ref_lease"    # holder claims leases on the keys
+KIND_REF_RENEW = "ref_renew"    # holder extends its leases on the keys
+KIND_REF_DROP = "ref_drop"      # holder relinquishes the keys
+
 
 @dataclass(slots=True)
 class Packet:

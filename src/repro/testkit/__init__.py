@@ -29,10 +29,13 @@ docs/TESTING.md for the promotion workflow).
 from .chaos import ChaosConfig, ChaosWorld, CrashEvent
 from .explore import ChaosRun, ExplorationReport, explore, run_scenario
 from .invariants import (
+    check_export_liveness,
     check_message_accounting,
     check_nameservice_integrity,
     check_no_dangling_imports,
+    check_no_premature_reclaim,
     check_termination_not_early,
+    settle_distgc,
 )
 
 __all__ = [name for name in dir() if not name.startswith("_")]

@@ -55,6 +55,7 @@ class ChaosRun:
     fault_log: str
     stalled_sites: tuple[str, ...]
     violations: list[str] = field(default_factory=list)
+    distgc: bool = False
 
     def canonical_outputs(self) -> dict[str, tuple]:
         """Per-site output *multisets* (order-insensitive): the
@@ -70,8 +71,9 @@ class ChaosRun:
         """One line that replays this exact schedule."""
         flags = self.config.cli_flags()
         flags = f" {flags}" if flags else ""
+        gc = " --distgc" if self.distgc else ""
         return (f"PYTHONPATH=src python -m repro chaos "
-                f"--seed {self.seed}{flags} {program}")
+                f"--seed {self.seed}{gc}{flags} {program}")
 
 
 @dataclass(slots=True)
@@ -165,6 +167,13 @@ def run_scenario(scenario: Scenario, seed: int = 0,
         violations += inv.check_termination_not_early(net)
     if hb is not None:
         violations += inv.check_nameservice_integrity(net, hb)
+    if inv.has_distgc(net):
+        # Let the lease protocol converge before judging it, then check
+        # both halves of its contract.  settle_distgc runs the world, so
+        # it must come after the quiescence/output observations above.
+        inv.settle_distgc(net)
+        violations += inv.check_no_premature_reclaim(net)
+        violations += inv.check_export_liveness(net)
     # Mutating probe last: it may complete stalled work.
     violations += inv.check_no_dangling_imports(net)
     return ChaosRun(
@@ -182,6 +191,7 @@ def run_scenario(scenario: Scenario, seed: int = 0,
         fault_log=world.tracer.format_faults(),
         stalled_sites=stalled,
         violations=violations,
+        distgc=inv.has_distgc(net),
     )
 
 

@@ -14,7 +14,12 @@ properties the DiTyCO network layer must keep under *any* schedule:
   reconfigures, no table entry points at a dead node;
 * **no stale code** -- every digest in every site's code cache still
   hashes to the installed byte-code it promises, no matter how many
-  crashes and restarts the schedule injected.
+  crashes and restarts the schedule injected;
+* **no premature reclamation** -- the distributed GC never reclaimed
+  an id some live site still reachably references (lease safety);
+* **export liveness** -- after a settling run, every id a distgc site
+  still pins is pinned for a reason: registered, leased, or locally
+  reachable (lease liveness: no export leaks forever).
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ from typing import TYPE_CHECKING
 
 from repro.runtime.termination import SafraDetector
 from repro.transport.sim import SimWorld
+from repro.vm.values import remote_ref_key
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.failure import HeartbeatMonitor
@@ -130,6 +136,137 @@ def check_no_stale_code(net: "DiTyCONetwork") -> list[str]:
                     violations.append(
                         f"site {site.site_name!r}: fault-free run left "
                         f"{len(site._pending_code)} parked code offer(s)")
+    return violations
+
+
+def _distgc_sites(net: "DiTyCONetwork") -> list:
+    """Every (node, site) pair running the distributed GC."""
+    return [(node, site)
+            for node in net.world.nodes.values()
+            for site in node.sites.values()
+            if site.distgc is not None]
+
+
+def has_distgc(net: "DiTyCONetwork") -> bool:
+    return bool(_distgc_sites(net))
+
+
+def settle_distgc(net: "DiTyCONetwork") -> None:
+    """Let the lease protocol converge: schedule wake ticks over a few
+    lease terms (idle nodes are otherwise never scheduled, so holders
+    could not renew and owners could not sweep) and drain the world.
+
+    SimWorld only -- threaded transports settle in real time.
+    """
+    world = net.world
+    if not isinstance(world, SimWorld):  # pragma: no cover - guard
+        return
+    sites = [site for _node, site in _distgc_sites(net)]
+    if not sites:
+        return
+    tick = min(min(s.distgc.config.renew_s, s.distgc.config.sweep_s)
+               for s in sites)
+    horizon = 3 * max(s.distgc.config.lease_s
+                      + s.distgc.config.effective_grace_s for s in sites)
+    now = world.time
+
+    def wake_all() -> None:
+        for ip, node in world.nodes.items():
+            if ip in world.failed:
+                continue
+            if getattr(node, "distgc", False):
+                node.on_work_available()
+
+    for k in range(1, int(horizon / tick) + 2):
+        world.schedule_at(now + k * tick, wake_all)
+    world.run()
+
+
+def check_no_premature_reclaim(net: "DiTyCONetwork") -> list[str]:
+    """Lease safety: no live site reachably holds a reference to an id
+    its owner already reclaimed.
+
+    The guarantee assumes lease traffic gets through in time, so the
+    check disarms itself on schedules that legitimately break it:
+    dropped packets (a swallowed claim/renewal *should* expire the
+    lease), and jitter/delay bounds that exceed the renewal margin.
+    References touching a crashed or failed node are excluded -- its
+    leases expire by design.
+    """
+    pairs = _distgc_sites(net)
+    if not pairs:
+        return []
+    world = net.world
+    cfg = getattr(world, "config", None)
+    if cfg is not None:
+        if cfg.drop_prob > 0:
+            return []
+        latency = cfg.jitter_s + (cfg.delay_s if cfg.delay_prob > 0 else 0.0)
+        margin = min(s.distgc.config.lease_s - s.distgc.config.renew_s
+                     for _n, s in pairs)
+        if latency >= margin:
+            return []
+    if getattr(world, "chaos_dropped", 0) or getattr(world, "dropped_packets", 0):
+        return []
+    crashed = set(getattr(world, "crashed_ever", ()))
+    owners = {(site.ip, site.site_id): site for _node, site in pairs}
+    violations = []
+    for node, site in pairs:
+        if world.is_failed(node.ip) or node.ip in crashed:
+            continue
+        refs = site.vm.scan_refs(extra_roots=site._gc_extra_roots())
+        for ref in refs:
+            owner = owners.get((ref.ip, ref.site_id))
+            if owner is None or owner.ip == site.ip and owner.site_id == site.site_id:
+                continue
+            if owner.ip in crashed or world.is_failed(owner.ip):
+                continue
+            kind, ident = remote_ref_key(ref)
+            if kind == "n":
+                if ident in owner._gc_tombstones or ident not in owner.vm.heap:
+                    violations.append(
+                        f"premature reclamation: {site.site_name!r} still "
+                        f"holds {ref}, but owner {owner.site_name!r} "
+                        f"reclaimed heap id {ident}")
+            elif ident in owner._gc_class_tombstones:
+                violations.append(
+                    f"premature reclamation: {site.site_name!r} still "
+                    f"holds {ref}, but owner {owner.site_name!r} "
+                    f"reclaimed class id {ident}")
+    return violations
+
+
+def check_export_liveness(net: "DiTyCONetwork") -> list[str]:
+    """Lease liveness (run after :func:`settle_distgc`): every id a
+    distgc site still pins must have a live reason -- a name-service
+    registration, a live lease, or local reachability.  A pinned id
+    with none of these is a leak the lease protocol failed to collect.
+    """
+    violations = []
+    for node, site in _distgc_sites(net):
+        if net.world.is_failed(node.ip):
+            continue
+        gc = site.distgc
+        leased = {ident for (k, ident) in gc.leases if k == "n"}
+        registered = set(site._name_exports.values())
+        reachable = site.vm.heap.trace(site.vm._gc_roots(
+            site._gc_extra_roots(include_exports=False)))
+        for hid in sorted(site.exported_ids):
+            if hid in registered or hid in leased or hid in reachable:
+                continue
+            violations.append(
+                f"export leak: {site.site_name!r} still pins heap id "
+                f"{hid} with no registration, lease, or local reference")
+        leased_classes = {ident for (k, ident) in gc.leases if k == "c"}
+        registered_classes = set(site._class_export_names.values())
+        for cid in sorted(site._class_exports):
+            if cid in registered_classes or cid in leased_classes:
+                continue
+            if cid in {c for (_ip, _sid, c) in site._fetched}:
+                continue
+            violations.append(
+                f"export leak: {site.site_name!r} still holds class "
+                f"export {cid} with no registration or lease")
     return violations
 
 

@@ -77,7 +77,8 @@ class SimWorld(World):
         if node.ip in self.nodes:
             raise ValueError(f"duplicate node ip {node.ip}")
         self.nodes[node.ip] = node
-        node.attach_transport(self._send, wakeup=lambda: self._wake(node.ip))
+        node.attach_transport(self._send, wakeup=lambda: self._wake(node.ip),
+                              clock=lambda: self._clock)
         node.set_trace(self.trace)
 
     def _wake(self, ip: str) -> None:

@@ -67,7 +67,8 @@ class ThreadedWorld(World):
         self._generations[node.ip] = 0
         self._busy[node.ip] = True
         node.attach_transport(self._send,
-                              wakeup=lambda ip=node.ip: self._wake(ip))
+                              wakeup=lambda ip=node.ip: self._wake(ip),
+                              clock=_time.monotonic)
         node.set_trace(self.trace)
 
     def _wake(self, ip: str) -> None:

@@ -9,9 +9,24 @@ that export tables and network references key on.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Optional
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Optional
 
 from .values import Channel
+
+
+@dataclass(slots=True)
+class HeapStats:
+    """Lifetime allocation/reclamation counters of one heap."""
+
+    allocated: int = 0
+    reclaimed: int = 0
+    collections: int = 0
+    live: int = 0
+
+    def as_dict(self) -> dict:
+        return {"allocated": self.allocated, "reclaimed": self.reclaimed,
+                "collections": self.collections, "live": self.live}
 
 
 class Heap:
@@ -20,6 +35,7 @@ class Heap:
     def __init__(self) -> None:
         self._next_id = 1
         self._channels: dict[int, Channel] = {}
+        self._stats = HeapStats()
 
     def new_channel(self, hint: str = "chan",
                     builtin: Optional[Callable] = None) -> Channel:
@@ -27,6 +43,7 @@ class Heap:
         ch = Channel(self._next_id, hint=hint, builtin=builtin)
         self._channels[ch.heap_id] = ch
         self._next_id += 1
+        self._stats.allocated += 1
         return ch
 
     def get(self, heap_id: int) -> Channel:
@@ -39,6 +56,9 @@ class Heap:
     def __len__(self) -> int:
         return len(self._channels)
 
+    def __contains__(self, heap_id: int) -> bool:
+        return heap_id in self._channels
+
     def __iter__(self) -> Iterator[Channel]:
         return iter(self._channels.values())
 
@@ -46,18 +66,26 @@ class Heap:
         """Number of channels with non-empty wait queues (diagnostics)."""
         return sum(1 for ch in self._channels.values() if not ch.is_idle())
 
-    def collect(self, roots, pinned: set[int] = frozenset()) -> int:
-        """Garbage-collect unreachable channels (the heap-level image
-        of the calculus rule GcN: unused restrictions disappear).
+    def stats(self) -> HeapStats:
+        """Snapshot of the allocation/reclamation counters (``live`` is
+        recomputed at call time)."""
+        s = self._stats
+        return HeapStats(allocated=s.allocated, reclaimed=s.reclaimed,
+                         collections=s.collections,
+                         live=len(self._channels))
 
-        ``roots`` is an iterable of VM values -- thread frames, stacks,
-        captured environments -- from which reachability is traced
-        through channel queues and class environments.  ``pinned``
-        heap ids (exported identifiers: a remote site may still hold a
-        network reference) always survive.  Returns how many channels
-        were reclaimed.
+    def trace(self, roots: Iterable,
+              remote_refs: Optional[set] = None) -> set[int]:
+        """Mark phase: the heap ids reachable from ``roots`` through
+        channel wait queues, class environments and containers.
+
+        Non-destructive.  If ``remote_refs`` is given, every
+        :class:`~repro.vm.values.NetRef` / ``RemoteClassRef``
+        encountered on the walk is added to it -- the distributed GC
+        uses this to learn which remote-site references this site still
+        holds (and which it has silently dropped).
         """
-        from .values import Channel, ClassRef
+        from .values import ClassRef, NetRef, RemoteClassRef
 
         reachable: set[int] = set()
         seen: set[int] = set()
@@ -78,10 +106,38 @@ class Heap:
                     stack.extend(env)
             elif isinstance(v, ClassRef):
                 stack.extend(v.env)
+            elif isinstance(v, (NetRef, RemoteClassRef)):
+                if remote_refs is not None:
+                    remote_refs.add(v)
             elif isinstance(v, (tuple, list)):
                 stack.extend(v)
-        keep = reachable | set(pinned)
+        return reachable
+
+    def collect(self, roots, pinned: Optional[Iterable[int]] = None,
+                remote_refs: Optional[set] = None) -> int:
+        """Garbage-collect unreachable channels (the heap-level image
+        of the calculus rule GcN: unused restrictions disappear).
+
+        ``roots`` is an iterable of VM values -- thread frames, stacks,
+        captured environments -- from which reachability is traced
+        through channel queues and class environments.  ``pinned``
+        heap ids (exported identifiers a remote site may still
+        reference) always survive, *and are traced as roots*: the
+        queued contents of a pinned channel are live data, so anything
+        they reference must survive too.  Returns how many channels
+        were reclaimed.
+        """
+        pinned_ids = set(pinned) if pinned is not None else set()
+        all_roots = list(roots)
+        for hid in pinned_ids:
+            ch = self._channels.get(hid)
+            if ch is not None:
+                all_roots.append(ch)
+        reachable = self.trace(all_roots, remote_refs=remote_refs)
+        keep = reachable | pinned_ids
         dead = [hid for hid in self._channels if hid not in keep]
         for hid in dead:
             del self._channels[hid]
+        self._stats.reclaimed += len(dead)
+        self._stats.collections += 1
         return len(dead)

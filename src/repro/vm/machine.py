@@ -407,11 +407,8 @@ class TycoVM:
         self.stats.inst_reductions += 1
         self.spawn(cref.block_id, cref.env, args)
 
-    def collect_garbage(self, pinned: set[int] = frozenset(),
-                        extra_roots: list | None = None) -> int:
-        """Reclaim channels unreachable from any runnable or parked
-        thread, the externals, ``extra_roots``, or ``pinned``
-        (exported) heap ids."""
+    def _gc_roots(self, extra_roots: list | None = None) -> list:
+        """Every value a thread or external binding can still reach."""
         roots: list = list(extra_roots or ())
         for thread in list(self.runqueue._queue):
             roots.append(thread.frame)
@@ -423,7 +420,25 @@ class TycoVM:
             roots.append(thread.frame)
             roots.append(thread.stack)
         roots.extend(self.externals.values())
-        return self.heap.collect(roots, pinned=pinned)
+        return roots
+
+    def collect_garbage(self, pinned: set[int] | None = None,
+                        extra_roots: list | None = None,
+                        remote_refs: set | None = None) -> int:
+        """Reclaim channels unreachable from any runnable or parked
+        thread, the externals, ``extra_roots``, or ``pinned``
+        (exported) heap ids.  ``remote_refs``, when given, is filled
+        with the NetRef/RemoteClassRef values the live graph holds."""
+        return self.heap.collect(self._gc_roots(extra_roots),
+                                 pinned=pinned, remote_refs=remote_refs)
+
+    def scan_refs(self, extra_roots: list | None = None) -> set:
+        """Non-destructive sweep: the remote references (NetRef /
+        RemoteClassRef) reachable from the VM's live graph.  Used by
+        the distributed GC's renew scan and the testkit invariants."""
+        remote_refs: set = set()
+        self.heap.trace(self._gc_roots(extra_roots), remote_refs=remote_refs)
+        return remote_refs
 
     # -- network delivery entry points (called by the site / daemons) ---------
 

@@ -111,10 +111,12 @@ class NetTracer:
     #: Non-fault kinds worth counting across a run: "batch" (one framed
     #: multi-packet send), "cache-hit" / "cache-miss" (code cache probes
     #: during FETCH/SHIPO offers), "code-install" (items appended by a
-    #: cached link).
+    #: cached link), "gc" (a distgc sweep reclaimed heap entries) and
+    #: "gc-late" (a packet arrived for an already-reclaimed id and was
+    #: dropped gracefully).
     COUNTED_KINDS = frozenset(
         {"send", "deliver", "batch", "cache-hit", "cache-miss",
-         "code-install"})
+         "code-install", "gc", "gc-late"})
 
     def __init__(self, capacity: int = 65536) -> None:
         self.capacity = capacity

@@ -98,6 +98,23 @@ class ClassRef:
 VMValue = object
 
 
+def is_remote_ref(v: VMValue) -> bool:
+    """Is ``v`` a reference into some remote site's heap/program area?"""
+    return isinstance(v, (NetRef, RemoteClassRef))
+
+
+def remote_ref_key(v: NetRef | RemoteClassRef) -> tuple[str, int]:
+    """The lease key a remote reference renews: ``("n", heap_id)`` for
+    channel references, ``("c", class_id)`` for class references.
+    Keys are scoped per owning ``(ip, site_id)`` by the distributed GC.
+    """
+    if isinstance(v, NetRef):
+        return ("n", v.heap_id)
+    if isinstance(v, RemoteClassRef):
+        return ("c", v.class_id)
+    raise TypeError(f"not a remote reference: {v!r}")
+
+
 def is_channel_value(v: VMValue) -> bool:
     """Can ``v`` be the target of a message/object?"""
     return isinstance(v, (Channel, NetRef))

@@ -80,6 +80,41 @@ class TestIdTable:
         assert ns.exported_count() == 2
 
 
+class TestUnregister:
+    def test_unregister_export(self):
+        ns = NameService()
+        ns.register_site("s", "ip")
+        ns.export_name("s", "x", 1)
+        assert ns.unregister_export("s", "x") is True
+        assert ns.lookup_name("s", "x") is None
+        assert ns.unregister_export("s", "x") is False
+
+    def test_unregister_class_export(self):
+        ns = NameService()
+        ns.register_site("s", "ip")
+        ns.export_class("s", "X", 2)
+        assert ns.unregister_class_export("s", "X") is True
+        assert ns.lookup_class("s", "X") is None
+        assert ns.unregister_class_export("s", "X") is False
+
+    def test_unregister_unknown_site_is_false(self):
+        ns = NameService()
+        assert ns.unregister_export("ghost", "x") is False
+
+    def test_replicated_unregister_propagates(self):
+        ns = ReplicatedNameService()
+        rep = ns.replica("a")
+        ns.register_site("s", "ip")
+        ns.export_name("s", "x", 1)
+        ns.export_class("s", "X", 2)
+        writes = ns.replica_writes
+        assert ns.unregister_export("s", "x")
+        assert ns.unregister_class_export("s", "X")
+        assert rep.lookup_name("s", "x") is None
+        assert rep.lookup_class("s", "X") is None
+        assert ns.replica_writes == writes + 2
+
+
 class TestSubscriptions:
     def test_callbacks_fired_on_registration(self):
         ns = NameService()

@@ -119,6 +119,39 @@ CORPUS = [
              "and the protocol restarts cleanly.",
     ),
     CorpusEntry(
+        name="lease-crash-renew-in-flight",
+        scenario="lease_churn", seed=0,
+        config=ChaosConfig(
+            crashes=(CrashEvent("n1", at=1.005e-3, restart_at=1.4e-3),)),
+        outputs={"cli0": (), "cli1": (), "cli2": (), "cli3": (),
+                 "srv0": (0,), "srv1": (1,), "srv2": (2,), "srv3": (3,)},
+        quiescent=True,
+        fault_kinds=("crash", "crash-drop", "crash-drop", "restart"),
+        note="The owner node crashes with a REF_RENEW frame in flight "
+             "(crash-dropped, receiver down) and swallows the next one "
+             "too; after the restart the holders' periodic renewals "
+             "re-establish their leases (a renewal is semantically a "
+             "claim), so no live reference is ever reclaimed -- the "
+             "no-premature-reclamation invariant is checked after a "
+             "settling run.",
+    ),
+    CorpusEntry(
+        name="lease-restart-races-drop",
+        scenario="lease_churn", seed=0,
+        config=ChaosConfig(
+            crashes=(CrashEvent("n1", at=7.45e-4, restart_at=7.7e-4),)),
+        outputs={"cli0": (), "cli1": (), "cli2": (), "cli3": (),
+                 "srv0": (0,), "srv1": (1,), "srv2": (2,), "srv3": (3,)},
+        quiescent=True,
+        fault_kinds=("crash", "crash-drop", "restart"),
+        note="The owner restarts just after the crash window swallows a "
+             "frame carrying a holder's REF_DROP (plus two renewals): "
+             "the restarted owner still believes the dropped lease is "
+             "live, and the protocol converges anyway -- the orphaned "
+             "lease simply expires after lease_s and the export is "
+             "reclaimed by a later sweep (liveness without the drop).",
+    ),
+    CorpusEntry(
         name="pump-jitter-reorder",
         scenario="pump", seed=11, config=ChaosConfig(jitter_s=1e-3),
         outputs={"client0": (0,), "client1": (1,), "client2": (2,),

@@ -45,8 +45,44 @@ def applet(net):
                "new v (Applet[v] | v?(w) = print![w])")
 
 
+def lease_churn(net, rounds=4):
+    """Import/export churn under the distributed GC: each round spawns
+    a fresh server site exporting ``churn``, a client that imports and
+    fires the round index at it, and a scheduled retirement of the
+    server's registration -- so every round drives a full lease
+    lifecycle.  Even-round clients park a receptor that keeps the
+    imported reference alive (claim + periodic renew); odd-round
+    clients release it immediately (claim + drop + reclamation)."""
+    from repro.runtime import GcConfig, GcScheduler
+
+    net.distgc = True
+    net.gc_config = GcConfig(lease_s=1e-3, renew_s=2.5e-4, sweep_s=1.25e-4)
+    net.add_nodes(["n1", "n2"])
+    world = net.world
+    GcScheduler(world).install(horizon=0.02)
+    spacing = 2e-4
+
+    def start_round(i):
+        server = net.launch("n1", f"srv{i}", (
+            "def Serve(c) = c?(w) = (print![w] | Serve[c]) "
+            "in export new churn Serve[churn]"))
+        if i % 2 == 0:
+            body = (f"import churn from srv{i} in "
+                    f"(churn![{i}] | export new keep keep?(w) = churn![w])")
+        else:
+            body = f"import churn from srv{i} in churn![{i}]"
+        world.schedule_at(i * spacing + 5e-5,
+                          lambda: net.launch("n2", f"cli{i}", body))
+        world.schedule_at(i * spacing + 15e-5, server.retire_exports)
+
+    start_round(0)
+    for i in range(1, rounds):
+        world.schedule_at(i * spacing, lambda i=i: start_round(i))
+
+
 SCENARIOS = {
     "echo": echo,
     "pump": pump,
     "applet": applet,
+    "lease_churn": lease_churn,
 }

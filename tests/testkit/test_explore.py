@@ -15,7 +15,7 @@ from repro.testkit import (
     run_scenario,
 )
 
-from .scenarios import echo, pump
+from .scenarios import echo, lease_churn, pump
 
 
 class TestExplore:
@@ -64,6 +64,22 @@ class TestExplore:
     def test_termination_never_fires_early_under_chaos(self):
         config = ChaosConfig(jitter_s=1e-3, delay_prob=0.5, delay_s=5e-3)
         report = explore(pump, range(5), config, check_termination=True)
+        assert report.ok(), report.summary()
+
+    def test_lease_churn_sweep_no_premature_reclaim(self):
+        """The distgc acceptance sweep: ten seeds of delivery jitter
+        over the lease-churn scenario, with the no-premature-reclaim
+        and export-liveness invariants armed after every run."""
+        config = ChaosConfig(jitter_s=1e-5)
+        report = explore(lease_churn, range(10), config)
+        assert report.ok(), report.summary()
+
+    def test_lease_churn_crash_sweep_holds_invariants(self):
+        """Crashing the owner mid-run (the corpus entries' family of
+        schedules) must never break lease safety across seeds."""
+        config = ChaosConfig(
+            crashes=(CrashEvent("n1", at=7.45e-4, restart_at=7.7e-4),))
+        report = explore(lease_churn, range(5), config)
         assert report.ok(), report.summary()
 
     def test_summary_mentions_every_seed(self):

@@ -5,6 +5,7 @@ import pytest
 from repro.compiler import compile_source
 from repro.runtime import DiTyCONetwork
 from repro.vm import TycoVM
+from repro.vm.values import ClassRef
 
 
 def run_vm(source):
@@ -64,6 +65,60 @@ class TestVMCollect:
         ch = vm.heap.new_channel()
         assert vm.collect_garbage(pinned={ch.heap_id}) == 0
         assert vm.collect_garbage() == 1
+
+
+class TestCollectEdgeCases:
+    def test_cycle_through_wait_queues_collected(self):
+        # Two channels referencing each other only through queued
+        # messages: a cycle no root reaches is garbage, both go.
+        vm = run_vm("0")
+        a = vm.heap.new_channel()
+        b = vm.heap.new_channel()
+        a.messages.append(("put", (b,)))
+        b.messages.append(("put", (a,)))
+        assert vm.collect_garbage() == 2
+        assert a.heap_id not in vm.heap
+        assert b.heap_id not in vm.heap
+
+    def test_channel_reachable_only_via_classref_env(self):
+        # A channel captured by a ClassRef environment queued at a live
+        # channel must survive: the class can be instantiated later and
+        # its body may use the capture.
+        vm = run_vm("0")
+        keep = vm.heap.new_channel()
+        hidden = vm.heap.new_channel()
+        cref = ClassRef(block_id=0, env=[hidden], group_id=0, index=0)
+        keep.messages.append(("make", (cref,)))
+        vm.externals["hook"] = keep
+        assert vm.collect_garbage() == 0
+        assert hidden.heap_id in vm.heap
+
+    def test_pinned_channel_is_transitive_root(self):
+        # An exported (pinned) channel's wait queues are live state: a
+        # channel referenced only from them must survive too.
+        vm = run_vm("0")
+        exported = vm.heap.new_channel()
+        dep = vm.heap.new_channel()
+        exported.messages.append(("m", (dep,)))
+        assert vm.collect_garbage(pinned={exported.heap_id}) == 0
+        assert dep.heap_id in vm.heap
+        # Unpinned, the pair is garbage again.
+        assert vm.collect_garbage() == 2
+
+    def test_heap_stats_track_allocation_and_reclaim(self):
+        vm = run_vm("0")
+        base = vm.heap.stats()
+        vm.heap.new_channel()
+        vm.heap.new_channel()
+        grown = vm.heap.stats()
+        assert grown.allocated == base.allocated + 2
+        vm.collect_garbage()
+        after = vm.heap.stats()
+        assert after.reclaimed >= base.reclaimed + 2
+        assert after.collections == base.collections + 1
+        assert after.live == len(vm.heap)
+        assert set(after.as_dict()) == {
+            "allocated", "reclaimed", "collections", "live"}
 
 
 class TestSiteCollect:
