@@ -88,6 +88,21 @@ class TestCommittedBaselines:
         assert pr3["e1_counter_wall_us"] <= \
             pr2["e1_counter_wall_us"] * 1.10
 
+    def test_pr4_observability_is_free_when_off(self):
+        """The unified observability layer's acceptance bar: with no
+        sink subscribed and tracing off, the E1 hot path stays within
+        3% of the pre-observability tree, and the wire traffic (E4/E9
+        byte and packet counts -- exact, not timed) is unchanged, so
+        untraced simulated schedules are bit-for-bit the same."""
+        pr3 = _load_baseline("BENCH_pr3.json")
+        pr4 = _load_baseline("BENCH_pr4.json")
+        assert pr4["e1_counter_wall_us"] <= \
+            pr3["e1_counter_wall_us"] * 1.03
+        for exact in ("e4_fetch_cold_bytes", "e4_refetch_bytes",
+                      "e9_burst_packets", "e9_burst_bytes",
+                      "e9_burst_packets_nobatch", "e9_msg_wire_bytes"):
+            assert pr4[exact] == pr3[exact], exact
+
     def test_seed_records_the_uncached_world(self):
         """Guard against accidentally regenerating BENCH_seed.json on a
         post-cache tree: the seed must show refetch bytes scaling with

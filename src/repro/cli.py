@@ -10,6 +10,8 @@
     python -m repro shell --nodes n1,n2           interactive TyCOsh
     python -m repro chaos --seed 42 SESSION       one seeded chaos run
     python -m repro chaos --explore 20 SESSION    sweep seeds, check invariants
+    python -m repro trace --out t.json SESSION    causal trace (Perfetto JSON)
+    python -m repro trace-check t.json            validate a trace file
 
 The single-program form plays the role of launching one site through
 TyCOsh on a fresh node; the ``net`` form drives a whole simulated
@@ -154,6 +156,66 @@ def _chaos_scenario(args: argparse.Namespace):
     return scenario
 
 
+def _write_or_print(path: str, text: str) -> None:
+    """``-`` means stdout; anything else is a file path."""
+    if path == "-":
+        print(text, end="")
+    else:
+        Path(path).write_text(text)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run once with full causal tracing; export Chrome-trace JSON."""
+    from repro.obs import (MetricsRegistry, TraceCollector,
+                           chrome_trace_json, world_metrics)
+    from repro.runtime import DiTyCONetwork
+    from repro.transport import SimWorld
+
+    scenario = _chaos_scenario(args)
+    world = SimWorld()
+    world.obs.tracing = True
+    collector = TraceCollector()
+    world.obs.subscribe(collector)
+    registry = None
+    if args.metrics is not None:
+        registry = MetricsRegistry()
+        world.obs.subscribe(registry)
+    net = DiTyCONetwork(world=world)
+    scenario(net)
+    net.run(args.max_time)
+    _write_or_print(args.out, chrome_trace_json(collector.events))
+    if args.out != "-":
+        print(f"wrote {len(collector.events)} event(s), "
+              f"{world.obs.spans_allocated} span(s) to {args.out}")
+    if registry is not None:
+        world_metrics(world, registry)
+        _write_or_print(args.metrics, registry.render())
+    return 0
+
+
+def _cmd_trace_check(args: argparse.Namespace) -> int:
+    """Validate a trace file against docs/trace_schema.json."""
+    import json
+
+    from repro.obs import validate_trace
+
+    try:
+        doc = json.loads(Path(args.trace).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"{args.trace}: unreadable: {exc}", file=sys.stderr)
+        return 1
+    errors = validate_trace(doc)
+    if errors:
+        for message in errors:
+            print(f"  {message}", file=sys.stderr)
+        print(f"{args.trace}: {len(errors)} schema violation(s)",
+              file=sys.stderr)
+        return 1
+    instants = sum(1 for ev in doc["traceEvents"] if ev.get("ph") == "i")
+    print(f"{args.trace}: ok ({instants} event(s))")
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.testkit import ChaosConfig, explore, run_scenario
 
@@ -168,15 +230,26 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     scenario = _chaos_scenario(args)
     program = args.program
     if args.explore:
+        if args.trace is not None or args.metrics is not None:
+            print("--trace/--metrics apply to single runs, not --explore",
+                  file=sys.stderr)
+            return 2
         report = explore(scenario, range(args.seed, args.seed + args.explore),
                          config, max_time=args.max_time,
                          check_termination=args.check_termination,
                          monitor=args.monitor)
         print(report.summary(program))
         return 0 if report.ok() else 3
+    registry = None
+    if args.metrics is not None:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
     run = run_scenario(scenario, args.seed, config, max_time=args.max_time,
                        check_termination=args.check_termination,
-                       monitor=args.monitor)
+                       monitor=args.monitor,
+                       tracing=args.trace is not None,
+                       metrics=registry)
     print(f"chaos seed={run.seed} {config.describe()}")
     print(f"quiescent: {'yes' if run.quiescent else 'no'}  "
           f"elapsed: {run.elapsed:.9f}s")
@@ -201,6 +274,14 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             print(f"  VIOLATION: {message}")
     else:
         print("invariants: ok")
+    if run.flight_dump:
+        print(run.flight_dump, file=sys.stderr)
+    if args.trace is not None:
+        _write_or_print(args.trace, run.trace_json)
+        if args.trace != "-":
+            print(f"trace: {args.trace}")
+    if registry is not None:
+        _write_or_print(args.metrics, registry.render())
     print(f"repro: {run.repro(program)}")
     return 3 if run.violations else 0
 
@@ -291,7 +372,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--distgc", action="store_true",
                          help="enable lease-based distributed GC on every "
                               "node and check the reclamation invariants")
+    p_chaos.add_argument("--trace", metavar="PATH", default=None,
+                         help="enable full causal tracing and write the "
+                              "Chrome-trace-event JSON (- for stdout)")
+    p_chaos.add_argument("--metrics", metavar="PATH", default=None,
+                         help="write the Prometheus-style metrics "
+                              "exposition (- for stdout)")
     p_chaos.set_defaults(func=_cmd_chaos)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run once with causal tracing; export Perfetto-loadable JSON")
+    p_trace.add_argument("program",
+                         help="a .tycosh session script or a .dityco program")
+    p_trace.add_argument("--out", default="trace.json", metavar="PATH",
+                         help="trace output file (- for stdout; "
+                              "default: trace.json)")
+    p_trace.add_argument("--nodes", default="n1,n2",
+                         help="comma-separated node IPs (default: n1,n2)")
+    p_trace.add_argument("--max-time", type=float, default=5.0,
+                         help="virtual-time bound (default: 5.0)")
+    p_trace.add_argument("--distgc", action="store_true",
+                         help="enable lease-based distributed GC")
+    p_trace.add_argument("--metrics", metavar="PATH", default=None,
+                         help="also write the Prometheus-style metrics "
+                              "exposition (- for stdout)")
+    p_trace.set_defaults(func=_cmd_trace)
+
+    p_tcheck = sub.add_parser(
+        "trace-check",
+        help="validate a trace file against docs/trace_schema.json")
+    p_tcheck.add_argument("trace", help="a trace JSON file")
+    p_tcheck.set_defaults(func=_cmd_trace_check)
 
     p_shell = sub.add_parser("shell", help="interactive TyCOsh")
     p_shell.add_argument("--nodes", default="n1,n2")

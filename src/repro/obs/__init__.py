@@ -1,0 +1,50 @@
+"""Unified observability layer (docs/OBSERVABILITY.md).
+
+Every layer of the runtime -- VM reductions, network reductions, the
+code cache, the distributed GC, the transports and the chaos harness
+-- publishes structured events into one :class:`~repro.obs.bus.EventBus`
+owned by the world.  The bus is a no-op unless a sink subscribes, so
+the default (unobserved) system pays a single ``if`` per would-be
+event and produces byte-identical wire traffic.
+
+Sinks shipped here:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` -- counter / gauge /
+  histogram instruments with Prometheus-style text exposition;
+* :class:`~repro.obs.chrome.TraceCollector` -- records everything for
+  Chrome-trace-event JSON export (``repro trace``, Perfetto-loadable);
+* :class:`~repro.obs.flight.FlightRecorder` -- a bounded per-node ring
+  of recent events, dumped when an invariant breaks or a node crashes;
+* :class:`~repro.vm.trace.NetTracer` -- the legacy bounded network
+  log, now a thin sink over the same bus.
+
+Because all timestamps come from the world's (virtual) clock and all
+ids from deterministic counters, a given chaos seed yields a
+byte-identical trace file on every run.
+"""
+
+from .bus import EventBus
+from .chrome import TraceCollector, chrome_trace, chrome_trace_json
+from .events import CATEGORY_OF, KNOWN_KINDS, ObsEvent, category_of
+from .flight import FlightRecorder
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, world_metrics
+from .schema import load_trace_schema, validate_trace
+
+__all__ = [
+    "EventBus",
+    "ObsEvent",
+    "CATEGORY_OF",
+    "KNOWN_KINDS",
+    "category_of",
+    "TraceCollector",
+    "chrome_trace",
+    "chrome_trace_json",
+    "FlightRecorder",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "world_metrics",
+    "load_trace_schema",
+    "validate_trace",
+]

@@ -1,0 +1,103 @@
+"""The structured event bus every layer publishes into.
+
+One :class:`EventBus` per world.  Publishing is a method call on the
+producer side (``world.trace`` / ``node.trace`` / ``site._trace`` are
+thin shims over :meth:`EventBus.emit`), and the producers guard the
+call with a cheap truthiness check so the *disabled* path is a single
+attribute load -- the observability acceptance bar is <= 3% overhead
+on the E1/E9 benchmarks with no sink attached.
+
+Two activation levels:
+
+* **active** -- at least one sink subscribed; events are recorded.
+  This is the level the chaos harness always runs at (its
+  :class:`~repro.vm.trace.NetTracer` is a sink), and it changes
+  nothing on the wire.
+* **tracing** -- full causal tracing: span ids are allocated and
+  carried in packets (one extra wire tag, docs/WIRE.md), and the VM
+  publishes per-reduction events.  Opt-in (``repro trace`` /
+  ``repro chaos --trace``) because the span field perturbs wire sizes
+  and therefore simulated packet timings.
+
+Determinism: sequence numbers and span ids come from plain counters,
+timestamps from the world clock (virtual under simulation), so a
+given ``(program, seed, config)`` produces the identical event stream
+on every run -- the golden-trace test pins this byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol
+
+from .events import ObsEvent
+
+
+class EventSink(Protocol):
+    """What a subscriber must provide."""
+
+    def on_event(self, event: ObsEvent) -> None:
+        """Receive one published event."""
+
+
+class EventBus:
+    """Publish/subscribe hub for :class:`~repro.obs.events.ObsEvent`."""
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self.clock: Callable[[], float] = clock or (lambda: 0.0)
+        self._sinks: list[EventSink] = []
+        self._seq = 0
+        self._next_span = 0
+        #: Full-tracing level: span propagation + VM reduction events.
+        #: Producers read this directly (site span allocation, node
+        #: VM-hook installation); flipping it after nodes were added is
+        #: honoured for spans but VM hooks are installed at add time.
+        self.tracing = False
+
+    # -- subscription --------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """Any sink attached?  Producers use this as their fast-path
+        guard; when False, :meth:`emit` must not be called."""
+        return bool(self._sinks)
+
+    def subscribe(self, sink: EventSink) -> None:
+        if sink not in self._sinks:
+            self._sinks.append(sink)
+
+    def unsubscribe(self, sink: EventSink) -> None:
+        if sink in self._sinks:
+            self._sinks.remove(sink)
+
+    # -- publishing ----------------------------------------------------------
+
+    def emit(self, kind: str, src: str = "", dst: str = "", size: int = 0,
+             note: str = "", span: int = 0, node: str = "",
+             time: Optional[float] = None) -> None:
+        """Publish one event to every sink (in subscription order)."""
+        self._seq += 1
+        event = ObsEvent(seq=self._seq,
+                         time=self.clock() if time is None else time,
+                         kind=kind, node=node, src=src, dst=dst,
+                         size=size, span=span, note=note)
+        for sink in self._sinks:
+            sink.on_event(event)
+
+    def __len__(self) -> int:
+        """Total events ever published."""
+        return self._seq
+
+    # -- causal spans --------------------------------------------------------
+
+    def new_span(self) -> int:
+        """Allocate a fresh causal span id (deterministic counter).
+        Returns 0 when tracing is off: span 0 means "no span" and is
+        what keeps untraced wire traffic byte-identical."""
+        if not self.tracing:
+            return 0
+        self._next_span += 1
+        return self._next_span
+
+    @property
+    def spans_allocated(self) -> int:
+        return self._next_span

@@ -1,0 +1,101 @@
+"""Chrome-trace-event JSON export (Perfetto-loadable).
+
+:class:`TraceCollector` is the record-everything sink; the exporters
+turn its event list into the Trace Event Format that ``chrome://
+tracing`` and https://ui.perfetto.dev consume:
+
+* one **instant** event (``ph: "i"``) per :class:`ObsEvent`, with the
+  emitting node as the process and the emitting site as the thread
+  (``process_name`` / ``thread_name`` metadata rows name them);
+* **flow** events (``ph: "s"`` / ``"t"`` / ``"f"``) stitched through
+  every event that carries a causal span id, so a cross-site chain --
+  local send, SHIPM, remote COMM, FETCH -- renders as one arrowed
+  trace tree.
+
+Determinism: timestamps are the world's virtual clock scaled to
+microseconds, pids/tids are assigned in first-appearance order, and
+:func:`chrome_trace_json` serialises with sorted keys and fixed
+separators -- so a given chaos seed yields a byte-identical file,
+which the golden-trace test pins.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .events import ObsEvent, category_of
+
+
+class TraceCollector:
+    """Bus sink that simply remembers every event, in order."""
+
+    def __init__(self) -> None:
+        self.events: list[ObsEvent] = []
+
+    def on_event(self, event: ObsEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def _round_us(time_s: float) -> float:
+    """Virtual seconds -> trace microseconds, with sub-ns noise cut so
+    float formatting stays stable across platforms."""
+    return round(time_s * 1e6, 3)
+
+
+def chrome_trace(events: list[ObsEvent]) -> dict:
+    """Build the Trace Event Format document for ``events``."""
+    trace_events: list[dict] = []
+    pids: dict[str, int] = {}
+    tids: dict[tuple[int, str], int] = {}
+
+    def pid_of(node: str) -> int:
+        label = node or "world"
+        pid = pids.get(label)
+        if pid is None:
+            pid = pids[label] = len(pids) + 1
+            trace_events.append({"ph": "M", "name": "process_name",
+                                 "pid": pid, "tid": 0,
+                                 "args": {"name": label}})
+        return pid
+
+    def tid_of(pid: int, site: str) -> int:
+        label = site or "-"
+        tid = tids.get((pid, label))
+        if tid is None:
+            tid = tids[(pid, label)] = len(tids) + 1
+            trace_events.append({"ph": "M", "name": "thread_name",
+                                 "pid": pid, "tid": tid,
+                                 "args": {"name": label}})
+        return tid
+
+    for ev in events:
+        pid = pid_of(ev.node)
+        tid = tid_of(pid, ev.src)
+        ts = _round_us(ev.time)
+        trace_events.append({
+            "ph": "i", "s": "t",
+            "name": ev.kind, "cat": category_of(ev.kind),
+            "ts": ts, "pid": pid, "tid": tid,
+            "args": {"seq": ev.seq, "src": ev.src, "dst": ev.dst,
+                     "size": ev.size, "span": ev.span, "note": ev.note},
+        })
+        if ev.span:
+            # Stitch the causal chain: the send opens the flow, every
+            # intermediate hop is a step, the final deliver/consume
+            # also steps -- a span has no single well-defined end, so
+            # steps (which bind both ways) keep the arrows connected.
+            phase = "s" if ev.kind == "send" else "t"
+            trace_events.append({
+                "ph": phase, "name": f"span-{ev.span}", "cat": "flow",
+                "id": ev.span, "ts": ts, "pid": pid, "tid": tid,
+            })
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_json(events: list[ObsEvent]) -> str:
+    """Serialise deterministically (sorted keys, fixed separators)."""
+    return json.dumps(chrome_trace(events), sort_keys=True,
+                      separators=(",", ":")) + "\n"

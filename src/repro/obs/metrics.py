@@ -1,0 +1,365 @@
+"""Metrics registry: counters, gauges, histograms, text exposition.
+
+A small Prometheus-flavoured instrument set for the runtime.  The
+registry is deliberately boring: instruments are created idempotently
+by name, label sets are bounded per metric (``max_series`` -- a
+misbehaving label like a heap id cannot blow up memory; increments
+past the cap are counted in ``repro_metrics_dropped_series_total``
+instead of silently vanishing), and :meth:`MetricsRegistry.render`
+emits the deterministic text exposition format scrapers expect::
+
+    # HELP repro_events_total Observability events by kind.
+    # TYPE repro_events_total counter
+    repro_events_total{kind="deliver"} 42
+
+The registry doubles as an event-bus sink: subscribed to a world's
+:class:`~repro.obs.bus.EventBus` it derives per-kind event counters
+and a transport byte-size histogram.  :func:`world_metrics` samples
+the gauge-shaped state of a world (heap sizes, run-queue depths,
+queue lengths) at call time -- gauges are snapshots, not streams.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .events import ObsEvent, category_of
+
+
+class MetricsError(Exception):
+    """Inconsistent re-registration or bad label usage."""
+
+
+#: Default histogram buckets: byte-ish powers of four, suiting both
+#: packet sizes and event counts.  ``inf`` is implicit (+Inf bucket).
+DEFAULT_BUCKETS = (16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0)
+
+
+class Counter:
+    """Monotone counter (one labelled series)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricsError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """Set-to-current-value instrument (one labelled series)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Cumulative-bucket histogram (one labelled series)."""
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.buckets = tuple(sorted(buckets))
+        self.counts = [0] * len(self.buckets)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+
+    def bucket_values(self) -> list[tuple[float, int]]:
+        """Cumulative ``(le, count)`` pairs, +Inf last."""
+        out = [(bound, self.counts[i]) for i, bound in enumerate(self.buckets)]
+        out.append((float("inf"), self.count))
+        return out
+
+
+_INSTRUMENTS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class _Family:
+    """One named metric: type, help, label names, bounded series."""
+
+    __slots__ = ("name", "kind", "help", "label_names", "series",
+                 "max_series", "dropped", "buckets")
+
+    def __init__(self, name: str, kind: str, help: str,
+                 label_names: tuple[str, ...], max_series: int,
+                 buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.label_names = label_names
+        self.series: dict[tuple[str, ...], object] = {}
+        self.max_series = max_series
+        self.dropped = 0
+        self.buckets = buckets
+
+    def child(self, label_values: tuple[str, ...]):
+        found = self.series.get(label_values)
+        if found is not None:
+            return found
+        if len(self.series) >= self.max_series:
+            self.dropped += 1
+            return None
+        if self.kind == "histogram":
+            made = Histogram(self.buckets)
+        else:
+            made = _INSTRUMENTS[self.kind]()
+        self.series[label_values] = made
+        return made
+
+
+def _render_labels(names: tuple[str, ...], values: tuple[str, ...],
+                   extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = list(zip(names, values)) + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape(v)}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _escape(value: str) -> str:
+    return (str(value).replace("\\", r"\\").replace('"', r'\"')
+            .replace("\n", r"\n"))
+
+
+def _render_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class MetricsRegistry:
+    """Instrument factory, event-bus sink and text renderer."""
+
+    def __init__(self, max_series: int = 64) -> None:
+        self.max_series = max_series
+        self._families: dict[str, _Family] = {}
+
+    # -- instrument factories ------------------------------------------------
+
+    def _family(self, name: str, kind: str, help: str,
+                labels: Iterable[str],
+                buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> _Family:
+        label_names = tuple(labels)
+        family = self._families.get(name)
+        if family is not None:
+            if family.kind != kind or family.label_names != label_names:
+                raise MetricsError(
+                    f"metric {name!r} re-registered as {kind} with labels "
+                    f"{label_names}, was {family.kind} {family.label_names}")
+            return family
+        family = _Family(name, kind, help, label_names, self.max_series,
+                         buckets)
+        self._families[name] = family
+        return family
+
+    def counter(self, name: str, help: str = "",
+                labels: Iterable[str] = ()) -> "_Handle":
+        return _Handle(self._family(name, "counter", help, labels))
+
+    def gauge(self, name: str, help: str = "",
+              labels: Iterable[str] = ()) -> "_Handle":
+        return _Handle(self._family(name, "gauge", help, labels))
+
+    def histogram(self, name: str, help: str = "",
+                  labels: Iterable[str] = (),
+                  buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> "_Handle":
+        return _Handle(self._family(name, "histogram", help, labels,
+                                    buckets=buckets))
+
+    # -- event-bus sink ------------------------------------------------------
+
+    def on_event(self, event: ObsEvent) -> None:
+        """Derive per-kind/category counters (and a transport size
+        histogram) from the event stream."""
+        self.counter("repro_events_total",
+                     "Observability events by kind.",
+                     ("cat", "kind")).labels(
+                         category_of(event.kind), event.kind).inc()
+        if event.kind in ("send", "deliver", "batch"):
+            self.histogram("repro_transport_frame_bytes",
+                           "Transport buffer sizes by kind.",
+                           ("kind",)).labels(event.kind).observe(event.size)
+
+    # -- exposition ----------------------------------------------------------
+
+    def dropped_series(self) -> int:
+        return sum(f.dropped for f in self._families.values())
+
+    def render(self) -> str:
+        """Prometheus text exposition (sorted, deterministic)."""
+        lines: list[str] = []
+        dropped = self.dropped_series()
+        for name in sorted(self._families):
+            family = self._families[name]
+            if family.help:
+                lines.append(f"# HELP {name} {family.help}")
+            lines.append(f"# TYPE {name} {family.kind}")
+            for values in sorted(family.series):
+                inst = family.series[values]
+                if family.kind == "histogram":
+                    assert isinstance(inst, Histogram)
+                    for le, count in inst.bucket_values():
+                        labels = _render_labels(
+                            family.label_names, values,
+                            extra=(("le", _render_value(le)),))
+                        lines.append(f"{name}_bucket{labels} {count}")
+                    labels = _render_labels(family.label_names, values)
+                    lines.append(
+                        f"{name}_sum{labels} {_render_value(inst.sum)}")
+                    lines.append(f"{name}_count{labels} {inst.count}")
+                else:
+                    labels = _render_labels(family.label_names, values)
+                    lines.append(
+                        f"{name}{labels} {_render_value(inst.value)}")
+        lines.append("# HELP repro_metrics_dropped_series_total Label sets "
+                     "rejected by the per-metric cardinality cap.")
+        lines.append("# TYPE repro_metrics_dropped_series_total counter")
+        lines.append(f"repro_metrics_dropped_series_total {dropped}")
+        return "\n".join(lines) + "\n"
+
+
+class _Handle:
+    """A named metric bound to its family; ``labels(...)`` selects the
+    series (capped), no-label metrics use the instrument directly."""
+
+    __slots__ = ("_family",)
+
+    def __init__(self, family: _Family) -> None:
+        self._family = family
+
+    def labels(self, *values) -> object:
+        if len(values) != len(self._family.label_names):
+            raise MetricsError(
+                f"metric {self._family.name!r} takes labels "
+                f"{self._family.label_names}, got {values!r}")
+        child = self._family.child(tuple(str(v) for v in values))
+        return child if child is not None else _NOOP
+
+    # Label-less convenience: operate on the single unlabelled series.
+
+    def _solo(self):
+        if self._family.label_names:
+            raise MetricsError(
+                f"metric {self._family.name!r} requires labels "
+                f"{self._family.label_names}")
+        return self._family.child(())
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._solo().inc(amount)
+
+    def set(self, value: float) -> None:
+        self._solo().set(value)
+
+    def observe(self, value: float) -> None:
+        self._solo().observe(value)
+
+
+class _Noop:
+    """Series beyond the cardinality cap land here."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NOOP = _Noop()
+
+
+def world_metrics(world, registry: Optional[MetricsRegistry] = None
+                  ) -> MetricsRegistry:
+    """Sample the gauge-shaped state of ``world`` into ``registry``.
+
+    Covers the whole stack: transport totals, per-node daemon traffic,
+    per-site VM counters (instructions, COMM/INST reductions,
+    run-queue depth), heap stats, code-cache hits/misses and distgc
+    lease state.  Safe to call repeatedly -- gauges are overwritten,
+    lifetime counters are set to the live values.
+    """
+    reg = registry if registry is not None else MetricsRegistry()
+    g = reg.gauge
+    g("repro_transport_packets_total",
+      "Packets handed to the transport.").set(world.stats.packets)
+    g("repro_transport_bytes_total",
+      "Bytes handed to the transport.").set(world.stats.bytes)
+    g("repro_transport_max_in_flight",
+      "Peak packets simultaneously in flight.").set(
+          world.stats.max_in_flight)
+    node_g = {
+        "repro_node_remote_sends_total": lambda n: n.tycod.stats.remote_sends,
+        "repro_node_remote_receives_total":
+            lambda n: n.tycod.stats.remote_receives,
+        "repro_node_bytes_sent_total": lambda n: n.tycod.stats.bytes_sent,
+        "repro_node_local_deliveries_total":
+            lambda n: n.tycod.stats.local_deliveries,
+    }
+    for name, getter in node_g.items():
+        handle = g(name, "Per-node TyCOd traffic.", ("node",))
+        for ip in sorted(world.nodes):
+            handle.labels(ip).set(getter(world.nodes[ip]))
+    site_g = {
+        "repro_vm_instructions_total": lambda s: s.vm.stats.instructions,
+        "repro_vm_comm_reductions_total":
+            lambda s: s.vm.stats.comm_reductions,
+        "repro_vm_inst_reductions_total":
+            lambda s: s.vm.stats.inst_reductions,
+        "repro_vm_runqueue_depth": lambda s: len(s.vm.runqueue),
+        "repro_vm_runqueue_max_depth": lambda s: s.vm.runqueue.max_depth,
+        "repro_heap_live": lambda s: s.vm.heap.stats().live,
+        "repro_heap_allocated_total": lambda s: s.vm.heap.stats().allocated,
+        "repro_heap_reclaimed_total": lambda s: s.vm.heap.stats().reclaimed,
+        "repro_cache_hits_total": lambda s: s.stats.code_cache_hits,
+        "repro_cache_misses_total": lambda s: s.stats.code_cache_misses,
+        "repro_site_packets_sent_total": lambda s: s.stats.packets_sent,
+        "repro_site_packets_received_total":
+            lambda s: s.stats.packets_received,
+    }
+    sites = [(ip, site)
+             for ip in sorted(world.nodes)
+             for site in world.nodes[ip].sites.values()]
+    for name, getter in site_g.items():
+        handle = g(name, "Per-site VM / cache state.", ("node", "site"))
+        for ip, site in sites:
+            handle.labels(ip, site.site_name).set(getter(site))
+    lease_handle = g("repro_gc_leased_keys",
+                     "Live lease keys per distgc site.", ("node", "site"))
+    sweep_handle = g("repro_gc_sweeps_total",
+                     "Distgc sweeps per site.", ("node", "site"))
+    for ip, site in sites:
+        if site.distgc is None:
+            continue
+        lease_handle.labels(ip, site.site_name).set(len(site.distgc.leases))
+        sweep_handle.labels(ip, site.site_name).set(site.distgc.stats.sweeps)
+    return reg

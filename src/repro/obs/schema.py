@@ -1,0 +1,83 @@
+"""Trace-file validation against docs/trace_schema.json.
+
+The container has no ``jsonschema`` package, so this is a small
+hand-rolled checker covering the subset the trace schema actually
+uses: ``type``, ``required``, ``properties``, ``additionalProperties``
+(boolean form), ``items`` and ``enum``.  On top of the structural
+schema, :func:`validate_trace` pins the event taxonomy: every instant
+event's ``name`` must be a kind from
+:data:`~repro.obs.events.KNOWN_KINDS` -- extending the taxonomy means
+touching both tables, which is the point.
+
+Used by ``repro trace-check`` and the CI ``trace-validate`` job.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .events import KNOWN_KINDS
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _check_type(value, expected: str) -> bool:
+    if expected == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if expected == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    return isinstance(value, _TYPES[expected])
+
+
+def _validate(value, schema: dict, path: str, errors: list[str]) -> None:
+    expected = schema.get("type")
+    if expected is not None and not _check_type(value, expected):
+        errors.append(f"{path}: expected {expected}, "
+                      f"got {type(value).__name__}")
+        return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", ()):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        props = schema.get("properties", {})
+        for key, sub in props.items():
+            if key in value:
+                _validate(value[key], sub, f"{path}.{key}", errors)
+        if schema.get("additionalProperties") is False:
+            for key in value:
+                if key not in props:
+                    errors.append(f"{path}: unexpected key {key!r}")
+    elif isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            _validate(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def load_trace_schema() -> dict:
+    """The schema shipped at docs/trace_schema.json."""
+    root = Path(__file__).resolve().parents[3]
+    return json.loads((root / "docs" / "trace_schema.json").read_text())
+
+
+def validate_trace(doc, schema: dict | None = None) -> list[str]:
+    """Validate a parsed trace document; returns error strings
+    (empty list = valid)."""
+    if schema is None:
+        schema = load_trace_schema()
+    errors: list[str] = []
+    _validate(doc, schema, "$", errors)
+    if errors:
+        return errors
+    for i, ev in enumerate(doc.get("traceEvents", [])):
+        if ev.get("ph") == "i" and ev.get("name") not in KNOWN_KINDS:
+            errors.append(f"$.traceEvents[{i}]: unknown event kind "
+                          f"{ev.get('name')!r}")
+    return errors

@@ -85,6 +85,9 @@ class Node:
         self._send = send
         self._wakeup: Optional[Callable[[], None]] = None
         self._trace_hook: Optional[Callable] = None
+        #: The world's observability bus (repro.obs), set by add_node
+        #: via :meth:`attach_obs`.  None for a standalone node.
+        self.obs = None
         self._switches_seen = 0
 
     # -- wiring ---------------------------------------------------------------
@@ -141,16 +144,29 @@ class Node:
         if self._wakeup is not None:
             self._wakeup()
 
+    def attach_obs(self, bus) -> None:
+        """Connect the node (and every site, existing and future) to
+        the world's :class:`~repro.obs.bus.EventBus`."""
+        self.obs = bus
+        for site in self.sites.values():
+            site.attach_obs(bus)
+
     def set_trace(self, hook: Optional[Callable]) -> None:
-        """Install the world's network-event trace hook; forwarded to
-        every site (existing and future)."""
+        """Legacy trace hook ``(kind, src, dst, size, note)``;
+        forwarded to every site.  Superseded by :meth:`attach_obs` --
+        the hook is only consulted when no bus is attached."""
         self._trace_hook = hook
         for site in self.sites.values():
             site.trace = hook
 
     def trace(self, kind: str, src: str = "", dst: str = "",
               size: int = 0, note: str = "") -> None:
-        if self._trace_hook is not None:
+        """Thin shim over :meth:`EventBus.emit` (legacy signature)."""
+        if self.obs is not None:
+            if self.obs.active:
+                self.obs.emit(kind, src=src, dst=dst, size=size,
+                              note=note, node=self.ip)
+        elif self._trace_hook is not None:
             self._trace_hook(kind, src, dst, size, note)
 
     # -- site pool ----------------------------------------------------------------
@@ -169,6 +185,8 @@ class Node:
         self.sites_by_name[site_name] = site
         site.on_work = self.on_work_available
         site.trace = self._trace_hook
+        if self.obs is not None:
+            site.attach_obs(self.obs)
         self.nameservice.subscribe(self._on_ns_update)
         site.boot()
         self.on_work_available()

@@ -166,8 +166,20 @@ class Site:
         # events (user input) make this site runnable again.
         self.on_work: Optional[callable] = None
         # Set by the owning node: network-event trace hook
-        # (kind, src, dst, size, note) -> None.
+        # (kind, src, dst, size, note) -> None.  Legacy -- superseded
+        # by the event bus below, consulted only when no bus is set.
         self.trace: Optional[callable] = None
+        #: The world's observability bus (repro.obs), set by the node
+        #: via :meth:`attach_obs`.
+        self.obs = None
+        #: Causal span of the packet currently being delivered; packets
+        #: created while processing it inherit the span, which is what
+        #: threads a cross-site chain (SHIPM -> FETCH -> ...) into one
+        #: trace tree.  0 = no span / tracing off.
+        self._span_ctx = 0
+        # Last (allocated, reclaimed, run-queue depth) published as a
+        # "heap" event; only changes are emitted.
+        self._vm_state_seen = (0, 0, 0)
 
     # -- life-cycle ----------------------------------------------------------
 
@@ -184,16 +196,48 @@ class Site:
             self.vm.has_stalled() or bool(self._pending_fetch)
             or bool(self._pending_code))
 
+    def attach_obs(self, bus) -> None:
+        """Connect this site (and its VM) to the world's event bus."""
+        self.obs = bus
+        self.vm.obs = bus
+        self.vm.obs_node = self.ip
+        self.vm.obs_site = self.site_name
+
     def _trace(self, kind: str, dst: str = "", size: int = 0,
                note: str = "") -> None:
-        if self.trace is not None:
+        """Publish one site-level event (shim over ``EventBus.emit``)."""
+        if self.obs is not None:
+            if self.obs.active:
+                self.obs.emit(kind, src=self.site_name, dst=dst, size=size,
+                              note=note, node=self.ip, span=self._span_ctx)
+        elif self.trace is not None:
             self.trace(kind, self.site_name, dst, size, note)
+
+    def _obs_span(self) -> int:
+        """Span for an outgoing packet: inherit the chain being
+        processed, or open a fresh one.  0 unless tracing is on."""
+        if self.obs is None or not self.obs.tracing:
+            return 0
+        return self._span_ctx or self.obs.new_span()
+
+    def _emit_vm_state(self) -> None:
+        hs = self.vm.heap.stats()
+        depth = len(self.vm.runqueue)
+        state = (hs.allocated, hs.reclaimed, depth)
+        if state == self._vm_state_seen:
+            return
+        self._vm_state_seen = state
+        self._trace("heap", size=hs.live,
+                    note=f"alloc={hs.allocated} reclaimed={hs.reclaimed} "
+                         f"rq={depth}")
 
     def step(self, budget: int) -> int:
         """Drain the incoming queue, then run the VM for ``budget``."""
         self.pump_incoming()
         executed = self.vm.step(budget)
         self._flush_gc_claims()
+        if self.obs is not None and self.obs.tracing:
+            self._emit_vm_state()
         return executed
 
     def pump_incoming(self) -> int:
@@ -201,6 +245,7 @@ class Site:
         count = 0
         while self.incoming:
             packet = self.incoming.popleft()
+            self._span_ctx = packet.span
             try:
                 self._deliver(packet)
             except ReclaimedRefError as exc:
@@ -209,6 +254,8 @@ class Site:
                 if self.distgc is not None:
                     self.distgc.stats.late_drops += 1
                 self._trace("gc-late", packet.src_ip, note=str(exc))
+            finally:
+                self._span_ctx = 0
             count += 1
         self._flush_gc_claims()
         return count
@@ -525,6 +572,7 @@ class Site:
         payload = (target.heap_id, label,
                    tuple(self.marshal_value(a, dest) for a in args))
         self._send(KIND_MESSAGE, target, payload)
+        self._trace("shipm", target.ip, size=len(args), note=label)
 
     def _digest_of(self, kind: str, item_id: int) -> bytes:
         """Content digest of one of our own program items (serving
@@ -552,6 +600,7 @@ class Site:
         payload = (token, target.heap_id, positions, digests,
                    tuple(self.marshal_value(v, dest) for v in env))
         self._send(KIND_OBJECT, target, payload)
+        self._trace("shipo", target.ip, size=len(block_ids))
 
     def fetch_instance(self, cref: RemoteClassRef, args: tuple) -> None:
         """INSTOF on a remote class: FETCH protocol with caching."""
@@ -573,8 +622,10 @@ class Site:
             src_ip=self.ip, src_site_id=self.site_id,
             dest_ip=cref.ip, dest_site_id=cref.site_id,
             payload=(cref.class_id,),
+            span=self._obs_span(),
         ))
         self.stats.packets_sent += 1
+        self._trace("fetch-req", cref.ip, note=f"class {cref.class_id}")
 
     def stall(self, thread) -> None:  # pragma: no cover - via ImportPending
         self.vm.stalled.append(thread)
@@ -585,6 +636,7 @@ class Site:
             src_ip=self.ip, src_site_id=self.site_id,
             dest_ip=target.ip, dest_site_id=target.site_id,
             payload=payload,
+            span=self._obs_span(),
         ))
         self.stats.packets_sent += 1
 
@@ -652,6 +704,7 @@ class Site:
             src_ip=self.ip, src_site_id=self.site_id,
             dest_ip=owner[0], dest_site_id=owner[1],
             payload=(tuple(keys),),
+            span=self._obs_span(),
         ))
         self.stats.packets_sent += 1
         if self.on_work is not None:
@@ -750,8 +803,12 @@ class Site:
                 continue
             if renew:
                 self.distgc.renew(key, holder, now)
+                self._trace("lease-renew", packet.src_ip,
+                            note=f"{kind}{ident}")
             else:
                 self.distgc.grant(key, holder, now)
+                self._trace("lease-claim", packet.src_ip,
+                            note=f"{kind}{ident}")
 
     def _on_ref_drop(self, packet: Packet) -> None:
         if self.distgc is None:
@@ -761,6 +818,7 @@ class Site:
         (entries,) = packet.payload
         for kind, ident in entries:
             self.distgc.drop((kind, ident), holder, now)
+            self._trace("lease-drop", packet.src_ip, note=f"{kind}{ident}")
 
     def _check_target(self, heap_id: int) -> None:
         if heap_id in self._gc_tombstones:
@@ -800,8 +858,10 @@ class Site:
             dest_ip=packet.src_ip, dest_site_id=packet.src_site_id,
             payload=(class_id, root_digest, classref.index, captured,
                      classref.hint),
+            span=self._obs_span(),
         ))
         self.stats.packets_sent += 1
+        self._trace("fetch-serve", packet.src_ip, note=f"class {class_id}")
 
     # -- the offer / need / reply protocol (docs/WIRE.md) ---------------------
 
@@ -817,8 +877,10 @@ class Site:
             src_ip=self.ip, src_site_id=self.site_id,
             dest_ip=src_ip, dest_site_id=src_site_id,
             payload=(token_kind, token_val, digests),
+            span=self._obs_span(),
         ))
         self.stats.packets_sent += 1
+        self._trace("code-need", src_ip, size=len(digests))
 
     def _park_offer(self, packet: Packet, token_kind: str, token_val,
                     needed: tuple[bytes, ...]) -> None:
@@ -916,6 +978,7 @@ class Site:
             src_ip=self.ip, src_site_id=self.site_id,
             dest_ip=packet.src_ip, dest_site_id=packet.src_site_id,
             payload=(token_kind, token_val, bundle, manifest),
+            span=self._obs_span(),
         ))
         self.stats.packets_sent += 1
 
@@ -1072,5 +1135,6 @@ class Site:
                 src_ip=self.ip, src_site_id=self.site_id,
                 dest_ip=ip, dest_site_id=sid,
                 payload=(class_id,),
+                span=self._obs_span(),
             ))
             self.stats.packets_sent += 1

@@ -60,6 +60,11 @@ _T_MANIFEST = 0x12
 #: value, so the first byte of a buffer tells the receiver whether it
 #: holds one packet or a batch (see :func:`is_frame`).
 _T_FRAME = 0x13
+#: A packet carrying a causal span id (repro.obs, docs/OBSERVABILITY.md).
+#: Only emitted when tracing allocated a span (span != 0): span-less
+#: packets keep the ``_T_PACKET`` layout, so untraced wire traffic is
+#: byte-identical to the pre-observability system.
+_T_PACKET2 = 0x14
 
 _OP_TO_CODE = {op: i for i, op in enumerate(Op)}
 _CODE_TO_OP = {i: op for i, op in enumerate(Op)}
@@ -192,13 +197,15 @@ def _encode_into(out: bytearray, v: Any) -> None:
         _encode_into(out, v.object_digests)
         _encode_into(out, v.group_digests)
     elif isinstance(v, Packet):
-        out.append(_T_PACKET)
+        out.append(_T_PACKET2 if v.span else _T_PACKET)
         _encode_into(out, v.kind)
         _encode_into(out, v.src_ip)
         _write_varint(out, v.src_site_id)
         _encode_into(out, v.dest_ip)
         _write_varint(out, v.dest_site_id)
         _encode_into(out, v.payload)
+        if v.span:
+            _write_varint(out, v.span)
     else:
         raise WireError(f"cannot encode {type(v).__name__}: {v!r}")
 
@@ -334,16 +341,21 @@ def _decode_at(buf: bytes, pos: int) -> tuple[Any, int]:
                 raise WireError("manifest digests must be byte strings")
         return BundleManifest(block_digests=bd, object_digests=od,
                               group_digests=gd), pos
-    if tag == _T_PACKET:
+    if tag in (_T_PACKET, _T_PACKET2):
         kind, pos = _decode_at(buf, pos)
         src_ip, pos = _decode_at(buf, pos)
         src_site_id, pos = _read_varint(buf, pos)
         dest_ip, pos = _decode_at(buf, pos)
         dest_site_id, pos = _read_varint(buf, pos)
         payload, pos = _decode_at(buf, pos)
+        span = 0
+        if tag == _T_PACKET2:
+            span, pos = _read_varint(buf, pos)
+            if span == 0:
+                raise WireError("spanned packet with span 0")
         return Packet(kind=kind, src_ip=src_ip, src_site_id=src_site_id,
                       dest_ip=dest_ip, dest_site_id=dest_site_id,
-                      payload=payload), pos
+                      payload=payload, span=span), pos
     raise WireError(f"unknown tag byte 0x{tag:02x}")
 
 
@@ -387,6 +399,10 @@ class Packet:
     dest_ip: str
     dest_site_id: int
     payload: Any
+    #: Causal span id (repro.obs).  0 = untraced; a non-zero span rides
+    #: the wire under the ``_T_PACKET2`` tag so the receiving site can
+    #: continue the cross-site trace chain.
+    span: int = 0
 
     def wire_size(self) -> int:
         """Byte size this packet has on the wire."""

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional
 
+from repro.obs import FlightRecorder, TraceCollector, chrome_trace_json
 from repro.runtime.network import DiTyCONetwork
 from repro.runtime.termination import run_with_termination_detection
 from repro.vm.values import value_repr
@@ -56,6 +57,12 @@ class ChaosRun:
     stalled_sites: tuple[str, ...]
     violations: list[str] = field(default_factory=list)
     distgc: bool = False
+    #: Flight-recorder dump (repro.obs): filled automatically when an
+    #: invariant broke or a node crashed during the run, "" otherwise.
+    flight_dump: str = ""
+    #: Chrome-trace-event JSON of the whole run; "" unless the run was
+    #: made with ``tracing=True``.
+    trace_json: str = ""
 
     def canonical_outputs(self) -> dict[str, tuple]:
         """Per-site output *multisets* (order-insensitive): the
@@ -119,7 +126,9 @@ def run_scenario(scenario: Scenario, seed: int = 0,
                  config: ChaosConfig | None = None,
                  max_time: float = DEFAULT_MAX_TIME,
                  check_termination: bool = False,
-                 monitor: bool = False) -> ChaosRun:
+                 monitor: bool = False,
+                 tracing: bool = False,
+                 metrics=None) -> ChaosRun:
     """Run ``scenario`` once under ``(seed, config)`` and check the
     per-run invariants.
 
@@ -127,9 +136,28 @@ def run_scenario(scenario: Scenario, seed: int = 0,
     crashes trigger name-service reconfiguration, whose integrity is
     then checked); ``check_termination`` interleaves Safra's detector
     with execution and flags early announcements.
+
+    A flight recorder rides along on every run; its dump lands in
+    ``ChaosRun.flight_dump`` when an invariant breaks or a node
+    crashes.  ``tracing=True`` additionally turns on full causal
+    tracing (span ids on the wire, per-reduction VM events) and fills
+    ``ChaosRun.trace_json`` with the Chrome-trace-event export --
+    deterministic, so the same ``(seed, config)`` yields the same
+    bytes.  ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`)
+    is subscribed as a sink and topped up with the end-of-run gauge
+    snapshot.
     """
     config = config or ChaosConfig()
     world = ChaosWorld(seed=seed, config=config)
+    recorder = FlightRecorder()
+    world.obs.subscribe(recorder)
+    if metrics is not None:
+        world.obs.subscribe(metrics)
+    collector = None
+    if tracing:
+        world.obs.tracing = True
+        collector = TraceCollector()
+        world.obs.subscribe(collector)
     net = DiTyCONetwork(world=world)
     scenario(net)
     hb = None
@@ -176,7 +204,7 @@ def run_scenario(scenario: Scenario, seed: int = 0,
         violations += inv.check_export_liveness(net)
     # Mutating probe last: it may complete stalled work.
     violations += inv.check_no_dangling_imports(net)
-    return ChaosRun(
+    run = ChaosRun(
         seed=seed,
         config=config,
         outputs=outputs,
@@ -193,6 +221,18 @@ def run_scenario(scenario: Scenario, seed: int = 0,
         violations=violations,
         distgc=inv.has_distgc(net),
     )
+    if violations or world.crashed_ever:
+        reason = ("invariant violation: " + "; ".join(violations)
+                  if violations
+                  else "node crash: " + ", ".join(sorted(world.crashed_ever)))
+        run.flight_dump = recorder.dump(reason, repro=run.repro())
+    if collector is not None:
+        run.trace_json = chrome_trace_json(collector.events)
+    if metrics is not None:
+        from repro.obs import world_metrics
+
+        world_metrics(world, metrics)
+    return run
 
 
 def explore(scenario: Scenario, seeds: Iterable[int],

@@ -21,6 +21,8 @@ from dataclasses import dataclass
 
 from typing import TYPE_CHECKING, Optional
 
+from repro.obs import EventBus
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.node import Node
     from repro.vm.trace import NetTracer
@@ -41,15 +43,33 @@ class World(ABC):
     def __init__(self) -> None:
         self.nodes: dict[str, "Node"] = {}
         self.stats = TransportStats()
-        # Optional network event log (repro.vm.trace.NetTracer); the
-        # chaos testkit installs one to capture fault schedules.
-        self.tracer: Optional["NetTracer"] = None
+        # The unified observability bus (repro.obs): every layer of
+        # every attached node publishes into it.  A no-op unless a
+        # sink subscribes.
+        self.obs = EventBus(clock=lambda: self.time)
+        self._tracer: Optional["NetTracer"] = None
+
+    @property
+    def tracer(self) -> Optional["NetTracer"]:
+        """The legacy bounded network log.  Assigning one (the chaos
+        testkit does, ``world.tracer = NetTracer()``) subscribes it to
+        :attr:`obs`; it sees exactly the events it always did, plus
+        whatever the other layers now publish."""
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer: Optional["NetTracer"]) -> None:
+        if self._tracer is not None:
+            self.obs.unsubscribe(self._tracer)
+        self._tracer = tracer
+        if tracer is not None:
+            self.obs.subscribe(tracer)
 
     def trace(self, kind: str, src: str = "", dst: str = "",
               size: int = 0, note: str = "") -> None:
-        """Record a network event if a tracer is attached."""
-        if self.tracer is not None:
-            self.tracer.record(self.time, kind, src, dst, size, note)
+        """Record a network event (shim over :meth:`EventBus.emit`)."""
+        if self.obs.active:
+            self.obs.emit(kind, src=src, dst=dst, size=size, note=note)
 
     @abstractmethod
     def add_node(self, node: "Node") -> None:

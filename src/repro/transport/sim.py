@@ -79,7 +79,7 @@ class SimWorld(World):
         self.nodes[node.ip] = node
         node.attach_transport(self._send, wakeup=lambda: self._wake(node.ip),
                               clock=lambda: self._clock)
-        node.set_trace(self.trace)
+        node.attach_obs(self.obs)
 
     def _wake(self, ip: str) -> None:
         if ip not in self._scheduled:
@@ -103,6 +103,7 @@ class SimWorld(World):
             raise LookupError(f"no node at {dst_ip}")
         self.stats.packets += 1
         self.stats.bytes += size
+        self.trace("send", src_ip, dst_ip, size)
         copies = self._admit_packet(src_ip, dst_ip, data)
         for _ in range(copies):
             delay = self._delivery_delay(src_ip, dst_ip, size)

@@ -69,7 +69,7 @@ class ThreadedWorld(World):
         node.attach_transport(self._send,
                               wakeup=lambda ip=node.ip: self._wake(ip),
                               clock=_time.monotonic)
-        node.set_trace(self.trace)
+        node.attach_obs(self.obs)
 
     def _wake(self, ip: str) -> None:
         ev = self._wake_events.get(ip)

@@ -114,6 +114,13 @@ class TycoVM:
         self.output: list = []       # the site I/O port (console lines)
         self.externals: dict[str, Channel] = {}
         self.tracer = None           # optional repro.vm.trace.Tracer
+        # Observability (repro.obs): the world's event bus plus the
+        # node/site labels to stamp on events.  Per-reduction "comm" /
+        # "inst" events are published only at the full-tracing level
+        # (bus.tracing), so the default path pays one None check.
+        self.obs = None
+        self.obs_node = ""
+        self.obs_site = ""
         self._booted = False
 
     # -- set-up --------------------------------------------------------------
@@ -394,6 +401,9 @@ class TycoVM:
                 f"{self.name}: method {label!r} expects {block.nparams} "
                 f"argument(s), got {len(args)}")
         self.stats.comm_reductions += 1
+        if self.obs is not None and self.obs.tracing:
+            self.obs.emit("comm", src=self.obs_site, size=len(args),
+                          note=label, node=self.obs_node)
         self.spawn(block_id, env, args)
 
     def _instof(self, cref, args: tuple) -> None:
@@ -405,6 +415,9 @@ class TycoVM:
             raise VMRuntimeError(
                 f"{self.name}: instantiation of non-class {cref!r}")
         self.stats.inst_reductions += 1
+        if self.obs is not None and self.obs.tracing:
+            self.obs.emit("inst", src=self.obs_site, size=len(args),
+                          node=self.obs_node)
         self.spawn(cref.block_id, cref.env, args)
 
     def _gc_roots(self, extra_roots: list | None = None) -> list:

@@ -100,6 +100,12 @@ class NetEvent:
 class NetTracer:
     """Bounded network event log (attach with ``world.tracer = NetTracer()``).
 
+    Since the unified observability layer (:mod:`repro.obs`) landed,
+    this is an :class:`~repro.obs.bus.EventSink`: assigning it to
+    ``world.tracer`` subscribes it to the world's event bus, and
+    :meth:`on_event` feeds :meth:`record`.  The bounded ring plus the
+    per-kind counters and fault formatting are unchanged.
+
     ``FAULT_KINDS`` events are the injected perturbations; everything
     else is ordinary traffic.  The fault subsequence is the minimized
     repro dump: together with the seed and config it pins the schedule.
@@ -122,6 +128,9 @@ class NetTracer:
         self.capacity = capacity
         self.events: deque[NetEvent] = deque(maxlen=capacity)
         self._seq = 0
+        #: Events the bounded ring evicted (oldest-first); they are
+        #: gone from :attr:`events` but counted, never silent.
+        self.dropped = 0
         #: kind -> occurrence count, unbounded (survives ring eviction).
         self.counters: dict[str, int] = {}
 
@@ -129,8 +138,15 @@ class NetTracer:
                size: int = 0, note: str = "") -> None:
         self._seq += 1
         self.counters[kind] = self.counters.get(kind, 0) + 1
+        if len(self.events) == self.capacity:
+            self.dropped += 1
         self.events.append(NetEvent(seq=self._seq, time=time, kind=kind,
                                     src=src, dst=dst, size=size, note=note))
+
+    def on_event(self, event) -> None:
+        """Event-bus sink adapter (:class:`repro.obs.bus.EventSink`)."""
+        self.record(event.time, event.kind, event.src, event.dst,
+                    event.size, event.note)
 
     def count(self, kind: str) -> int:
         return self.counters.get(kind, 0)
@@ -145,7 +161,11 @@ class NetTracer:
         return "\n".join(str(e) for e in events)
 
     def format_faults(self) -> str:
-        return "\n".join(str(e) for e in self.faults())
+        lines = [str(e) for e in self.faults()]
+        if self.dropped:
+            lines.append(f"[{self.dropped} event(s) evicted from the "
+                         f"bounded log; fault list may be incomplete]")
+        return "\n".join(lines)
 
     def __len__(self) -> int:
         return self._seq

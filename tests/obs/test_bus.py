@@ -1,0 +1,163 @@
+"""EventBus behaviour and the legacy-tracer shims riding on it.
+
+Satellite of the unified observability layer: ``world.trace``,
+``node.trace`` and ``site._trace`` are thin shims over one
+:class:`~repro.obs.bus.EventBus`, and the old ``world.tracer``
+assignment subscribes the :class:`~repro.vm.trace.NetTracer` as an
+ordinary sink.
+"""
+
+from repro.obs import EventBus
+from repro.obs.events import ObsEvent, category_of
+from repro.runtime.network import DiTyCONetwork
+from repro.transport.sim import SimWorld
+from repro.vm.trace import NetTracer
+
+
+class _Sink:
+    def __init__(self):
+        self.events = []
+
+    def on_event(self, event):
+        self.events.append(event)
+
+
+class TestEventBus:
+    def test_inactive_without_sinks(self):
+        bus = EventBus()
+        assert not bus.active
+        assert len(bus) == 0
+
+    def test_emit_fans_out_with_sequence_and_clock(self):
+        now = [1.5]
+        bus = EventBus(clock=lambda: now[0])
+        a, b = _Sink(), _Sink()
+        bus.subscribe(a)
+        bus.subscribe(b)
+        assert bus.active
+        bus.emit("send", src="n1", dst="n2", size=7)
+        now[0] = 2.5
+        bus.emit("deliver", src="n1", dst="n2", size=7)
+        assert [e.seq for e in a.events] == [1, 2]
+        assert [e.time for e in a.events] == [1.5, 2.5]
+        assert a.events == b.events
+        assert len(bus) == 2
+
+    def test_subscribe_is_idempotent(self):
+        bus = EventBus()
+        sink = _Sink()
+        bus.subscribe(sink)
+        bus.subscribe(sink)
+        bus.emit("send")
+        assert len(sink.events) == 1
+        bus.unsubscribe(sink)
+        assert not bus.active
+
+    def test_spans_only_allocated_when_tracing(self):
+        bus = EventBus()
+        assert bus.new_span() == 0
+        assert bus.spans_allocated == 0
+        bus.tracing = True
+        assert bus.new_span() == 1
+        assert bus.new_span() == 2
+        assert bus.spans_allocated == 2
+
+    def test_category_taxonomy(self):
+        assert category_of("comm") == "vm"
+        assert category_of("shipm") == "net"
+        assert category_of("cache-hit") == "cache"
+        assert category_of("lease-claim") == "gc"
+        assert category_of("send") == "transport"
+        assert category_of("crash") == "chaos"
+        assert category_of("made-up-kind") == "other"
+
+    def test_event_str_includes_route_node_and_span(self):
+        ev = ObsEvent(seq=3, time=0.5, kind="shipm", node="n1",
+                      src="client", dst="n2", size=9, span=4, note="m")
+        text = str(ev)
+        assert "client->n2@n1" in text
+        assert "9B s4 m" in text
+
+
+class TestWorldShims:
+    def test_world_trace_is_noop_without_sinks(self):
+        world = SimWorld()
+        world.trace("send", "n1", "n2", 10)
+        assert len(world.obs) == 0
+
+    def test_world_trace_lands_on_bus(self):
+        world = SimWorld()
+        sink = _Sink()
+        world.obs.subscribe(sink)
+        world.trace("send", "n1", "n2", 10, note="x")
+        assert [(e.kind, e.src, e.dst, e.size) for e in sink.events] \
+            == [("send", "n1", "n2", 10)]
+
+    def test_tracer_property_subscribes_and_swaps(self):
+        world = SimWorld()
+        first = NetTracer()
+        world.tracer = first
+        world.trace("send", "n1", "n2", 10)
+        assert first.count("send") == 1
+        second = NetTracer()
+        world.tracer = second
+        world.trace("deliver", "n1", "n2", 10)
+        # The replaced tracer was unsubscribed, the new one sees events.
+        assert first.count("deliver") == 0
+        assert second.count("deliver") == 1
+
+    def test_all_layers_publish_into_one_bus(self):
+        """world.trace / node.trace / site._trace dedupe onto the bus:
+        one run, one sink, events from transport and network layers."""
+        world = SimWorld()
+        sink = _Sink()
+        world.obs.subscribe(sink)
+        net = DiTyCONetwork(world=world)
+        net.add_nodes(["n1", "n2"])
+        net.launch("n1", "server",
+                   "export def Applet(out) = out![6 * 7] in 0")
+        net.launch("n2", "client",
+                   "import Applet from server in "
+                   "new v (Applet[v] | v?(w) = print![w])")
+        net.run(5.0)
+        kinds = {e.kind for e in sink.events}
+        assert {"send", "deliver"} <= kinds            # transport (world)
+        assert {"fetch-req", "fetch-serve"} <= kinds   # network (site)
+        assert {"cache-miss", "code-install"} <= kinds  # cache layer
+        # Events from sites carry the emitting node's ip.
+        assert {e.node for e in sink.events if e.kind == "fetch-req"} \
+            == {"n2"}
+
+    def test_node_legacy_hook_still_works_without_bus(self):
+        from repro.runtime.nameservice import NameService
+        from repro.runtime.node import Node
+
+        node = Node("n9", NameService())
+        seen = []
+        node.set_trace(lambda kind, src, dst, size, note: seen.append(kind))
+        node.trace("cache-hit")
+        assert seen == ["cache-hit"]
+
+
+class TestNetTracerBoundedLog:
+    def test_eviction_is_counted(self):
+        tracer = NetTracer(capacity=3)
+        for i in range(5):
+            tracer.record(0.0, "send", "a", "b", i)
+        assert len(tracer.events) == 3
+        assert tracer.dropped == 2
+        assert tracer.count("send") == 5  # counters survive eviction
+
+    def test_format_faults_surfaces_eviction(self):
+        tracer = NetTracer(capacity=2)
+        tracer.record(0.0, "crash", "n1")
+        tracer.record(0.0, "send", "a", "b")
+        tracer.record(0.0, "deliver", "a", "b")  # evicts the crash
+        text = tracer.format_faults()
+        assert "1 event(s) evicted" in text
+        assert "fault list may be incomplete" in text
+
+    def test_format_faults_silent_when_nothing_evicted(self):
+        tracer = NetTracer()
+        tracer.record(0.0, "crash", "n1")
+        assert "evicted" not in tracer.format_faults()

@@ -1,0 +1,98 @@
+"""Span propagation on the wire, and the golden byte-identical trace.
+
+Two determinism contracts pinned here:
+
+* a span-less :class:`~repro.runtime.wire.Packet` encodes exactly as
+  it did before the observability layer existed (``_T_PACKET``), so
+  untraced traffic -- and therefore every simulated packet timing --
+  is unchanged;
+* with tracing on, one frozen chaos-corpus schedule
+  (``applet-crash-mid-fetch``: the client node crashes while the
+  CODE_REPLY is in flight, then restarts) produces a byte-identical
+  Chrome-trace export on every run, pinned against a committed golden
+  file.  Regenerate after an intentional trace change with::
+
+      PYTHONPATH=src python tests/obs/regen_golden.py
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.obs import validate_trace
+from repro.runtime.wire import (KIND_MESSAGE, Packet, WireError, decode,
+                                encode)
+from repro.runtime.wire import _T_PACKET, _T_PACKET2
+from repro.testkit import ChaosConfig, CrashEvent, run_scenario
+
+from tests.testkit.scenarios import applet
+
+GOLDEN = Path(__file__).parent / "golden" / "applet-crash-mid-fetch.trace.json"
+
+#: The frozen corpus schedule (tests/testkit/corpus.py
+#: ``applet-crash-mid-fetch``) re-run with tracing on.
+SEED = 7
+CONFIG = ChaosConfig(crashes=(CrashEvent("n2", at=3.2e-5, restart_at=1e-3),))
+
+
+def _pkt(span=0):
+    return Packet(kind=KIND_MESSAGE, src_ip="a", src_site_id=1,
+                  dest_ip="b", dest_site_id=2, payload=(1, "val", ()),
+                  span=span)
+
+
+class TestSpanOnTheWire:
+    def test_spanless_packet_keeps_legacy_tag(self):
+        buf = encode(_pkt())
+        assert buf[0] == _T_PACKET
+        assert decode(buf) == _pkt()
+
+    def test_spanless_encoding_is_byte_identical_to_pre_span_layout(self):
+        # The span field must be invisible when 0: same bytes as a
+        # packet built before the field existed (no trailing varint).
+        spanned = encode(_pkt(span=1))
+        plain = encode(_pkt())
+        assert spanned[0] == _T_PACKET2
+        assert len(spanned) == len(plain) + 1  # one extra span varint byte
+        assert spanned[1:-1] == plain[1:]
+
+    def test_span_round_trips(self):
+        for span in (1, 127, 128, 300000):
+            out = decode(encode(_pkt(span=span)))
+            assert out.span == span
+
+    def test_spanned_tag_with_zero_span_rejected(self):
+        buf = encode(_pkt(span=1))
+        forged = buf[:-1] + b"\x00"
+        with pytest.raises(WireError):
+            decode(forged)
+
+
+class TestGoldenTrace:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return run_scenario(applet, seed=SEED, config=CONFIG,
+                            tracing=True).trace_json
+
+    def test_same_seed_same_bytes(self, trace):
+        again = run_scenario(applet, seed=SEED, config=CONFIG,
+                             tracing=True).trace_json
+        assert trace == again
+
+    def test_matches_committed_golden(self, trace):
+        assert trace == GOLDEN.read_text(), (
+            "traced schedule drifted from the committed golden file; if "
+            "the change is intentional, regenerate with "
+            "PYTHONPATH=src python tests/obs/regen_golden.py")
+
+    def test_golden_validates_against_schema(self, trace):
+        import json
+
+        assert validate_trace(json.loads(trace)) == []
+
+    def test_trace_contains_the_causal_chain(self, trace):
+        # The cross-site FETCH chain carries spans, and the injected
+        # crash shows up as a world-level chaos event.
+        assert '"name":"span-1"' in trace
+        assert '"name":"crash"' in trace
+        assert '"name":"restart"' in trace
