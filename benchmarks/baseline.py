@@ -1,14 +1,24 @@
 """Benchmark baseline collector: a small, stable JSON metric set.
 
 ``collect_metrics()`` measures the E1/E2/E4/E9 numbers the roadmap
-tracks across PRs and returns a flat ``{metric: value}`` dict; each
-measurement is the median of ``repeats`` runs.  ``run_all.py --json``
-writes the dict to disk (``BENCH_<tag>.json``).
+tracks across PRs and returns a flat ``{metric: value}`` dict.
+``run_all.py --json`` writes the dict to disk (``BENCH_<tag>.json``).
+
+Noise control: every *wall-clock* metric does one untimed warmup run,
+then reports the median of ``repeats`` timed runs plus two companion
+keys -- ``<metric>_min`` (min-of-k, the least-noisy point estimate)
+and ``<metric>_spread_pct`` ((max-min)/median, so a JSON reader can
+tell a real regression from a noisy host).  Simulated-time and
+wire-byte metrics are deterministic and carry no companions.
+``repeats`` defaults from the ``REPRO_BENCH_REPEATS`` environment
+variable (5 if unset); ``only`` restricts collection to experiment
+groups (e.g. ``{"e1", "e2"}``) for quick local iteration.
 
 The collector is feature-gated so the *same file* runs against older
 checkouts: constructor keywords that do not exist yet (``batching``,
-``code_cache``) are silently dropped, which is how ``BENCH_seed.json``
-was produced from the pre-code-cache tree.
+``code_cache``, the VM's ``engine``/``fusion``) are silently dropped,
+which is how ``BENCH_seed.json`` was produced from the pre-code-cache
+tree.
 
 Metric glossary
 ---------------
@@ -40,6 +50,7 @@ from __future__ import annotations
 
 import inspect
 import json
+import os
 import statistics
 import time
 
@@ -61,18 +72,49 @@ def _supported_kwargs(**kwargs) -> dict:
     return {k: v for k, v in kwargs.items() if k in params}
 
 
+def _vm_kwargs(**kwargs) -> dict:
+    """Keep only the TycoVM kwargs this checkout supports (``engine``
+    and ``fusion`` arrived with the predecoded dispatch engine)."""
+    params = inspect.signature(TycoVM.__init__).parameters
+    return {k: v for k, v in kwargs.items() if k in params}
+
+
 def make_network(**kwargs) -> DiTyCONetwork:
     return DiTyCONetwork(**_supported_kwargs(**kwargs))
+
+
+def default_repeats() -> int:
+    """Timed-run count: REPRO_BENCH_REPEATS env or 5."""
+    return int(os.environ.get("REPRO_BENCH_REPEATS", "5"))
 
 
 def _median(fn, repeats: int):
     return statistics.median(fn() for _ in range(repeats))
 
 
-def _e1_counter_wall_us() -> float:
+def _timed_runs(fn, repeats: int, warmup: int = 1) -> list[float]:
+    """One untimed warmup (caches, allocator, branch predictors), then
+    ``repeats`` timed runs."""
+    for _ in range(warmup):
+        fn()
+    return [fn() for _ in range(repeats)]
+
+
+def _put_timing(metrics: dict, key: str, values: list[float],
+                ndigits: int = 1) -> None:
+    """Store median plus the min-of-k / spread companions for one
+    wall-clock metric."""
+    med = statistics.median(values)
+    metrics[key] = round(med, ndigits)
+    metrics[key + "_min"] = round(min(values), ndigits)
+    spread = ((max(values) - min(values)) / med * 100.0) if med else 0.0
+    metrics[key + "_spread_pct"] = round(spread, 1)
+
+
+def _e1_counter_wall_us(engine=None, fusion=None) -> float:
     program = compile_source(counter_loop(2000))
     start = time.perf_counter()
-    vm = TycoVM(program)
+    vm = TycoVM(program, **_vm_kwargs(engine=engine, fusion=fusion))
     vm.boot()
     vm.run(50_000_000)
     assert vm.is_idle()
@@ -83,6 +125,17 @@ def _one_hop_sim_us(placement: str, n: int) -> float:
     net = one_hop_network(placement, n_messages=n)
     elapsed = net.run()
     return elapsed * 1e6 / n
+
+
+def _one_hop_wall_us(placement: str, n: int) -> float:
+    """Real (host) time per message for the one-hop burst.  The
+    *simulated* metric above is pinned exactly across PRs -- it is a
+    pure function of instruction counts -- so real-time dispatch wins
+    show up here instead."""
+    net = one_hop_network(placement, n_messages=n)
+    start = time.perf_counter()
+    net.run()
+    return (time.perf_counter() - start) * 1e6 / n
 
 
 def refetch_network(code_cache: bool = True) -> DiTyCONetwork:
@@ -137,40 +190,65 @@ def _burst(batching: bool) -> tuple[int, int]:
     return net.world.stats.packets, net.world.stats.bytes
 
 
-def collect_metrics(repeats: int = 5) -> dict:
+#: Experiment groups ``collect_metrics(only=...)`` understands.
+GROUPS = ("e1", "e2", "e4", "e9", "e10")
+
+
+def collect_metrics(repeats: int | None = None,
+                    only: set[str] | None = None) -> dict:
+    if repeats is None:
+        repeats = default_repeats()
+    if only is not None:
+        unknown = set(only) - set(GROUPS)
+        if unknown:
+            raise ValueError(f"unknown benchmark groups: {sorted(unknown)} "
+                             f"(choose from {', '.join(GROUPS)})")
+
+    def want(group: str) -> bool:
+        return only is None or group in only
+
     metrics: dict[str, float | int] = {}
-    metrics["e1_counter_wall_us"] = round(
-        _median(_e1_counter_wall_us, repeats), 1)
-    metrics["e2_cross_node_sim_us"] = round(_median(
-        lambda: _one_hop_sim_us("cross-node", 16), repeats), 4)
-    metrics["e2_same_node_sim_us"] = round(_median(
-        lambda: _one_hop_sim_us("same-node", 16), repeats), 4)
-    metrics["e4_fetch_cold_bytes"] = int(_median(
-        lambda: _fetch_bytes(REFETCH_BODY, 1), repeats))
-    metrics["e4_fetch_warm_bytes"] = int(_median(
-        lambda: _fetch_bytes(REFETCH_BODY, 8), repeats))
-    refetch = [_refetch() for _ in range(repeats)]
-    metrics["e4_refetch_sim_us"] = round(
-        statistics.median(t for t, _ in refetch) * 1e6, 2)
-    metrics["e4_refetch_bytes"] = int(
-        statistics.median(b for _, b in refetch))
-    metrics["e4_ship_bytes"] = int(_median(
-        lambda: _ship_bytes(REFETCH_BODY, 8), repeats))
+    if want("e1"):
+        _put_timing(metrics, "e1_counter_wall_us",
+                    _timed_runs(_e1_counter_wall_us, repeats))
+    if want("e2"):
+        metrics["e2_cross_node_sim_us"] = round(_median(
+            lambda: _one_hop_sim_us("cross-node", 16), repeats), 4)
+        metrics["e2_same_node_sim_us"] = round(_median(
+            lambda: _one_hop_sim_us("same-node", 16), repeats), 4)
+        _put_timing(metrics, "e2_cross_node_wall_us", _timed_runs(
+            lambda: _one_hop_wall_us("cross-node", 16), repeats))
+        _put_timing(metrics, "e2_same_node_wall_us", _timed_runs(
+            lambda: _one_hop_wall_us("same-node", 16), repeats))
+    if want("e4"):
+        metrics["e4_fetch_cold_bytes"] = int(_median(
+            lambda: _fetch_bytes(REFETCH_BODY, 1), repeats))
+        metrics["e4_fetch_warm_bytes"] = int(_median(
+            lambda: _fetch_bytes(REFETCH_BODY, 8), repeats))
+        refetch = [_refetch() for _ in range(repeats)]
+        metrics["e4_refetch_sim_us"] = round(
+            statistics.median(t for t, _ in refetch) * 1e6, 2)
+        metrics["e4_refetch_bytes"] = int(
+            statistics.median(b for _, b in refetch))
+        metrics["e4_ship_bytes"] = int(_median(
+            lambda: _ship_bytes(REFETCH_BODY, 8), repeats))
 
-    from bench_e9_wire import class_packet, message_packet
+    if want("e9"):
+        from bench_e9_wire import class_packet, message_packet
 
-    metrics["e9_msg_wire_bytes"] = message_packet().wire_size()
-    metrics["e9_class_wire_bytes"] = class_packet(16).wire_size()
-    batched = [_burst(batching=True) for _ in range(repeats)]
-    unbatched = [_burst(batching=False) for _ in range(repeats)]
-    metrics["e9_burst_packets"] = int(
-        statistics.median(p for p, _ in batched))
-    metrics["e9_burst_bytes"] = int(
-        statistics.median(b for _, b in batched))
-    metrics["e9_burst_packets_nobatch"] = int(
-        statistics.median(p for p, _ in unbatched))
+        metrics["e9_msg_wire_bytes"] = message_packet().wire_size()
+        metrics["e9_class_wire_bytes"] = class_packet(16).wire_size()
+        batched = [_burst(batching=True) for _ in range(repeats)]
+        unbatched = [_burst(batching=False) for _ in range(repeats)]
+        metrics["e9_burst_packets"] = int(
+            statistics.median(p for p, _ in batched))
+        metrics["e9_burst_bytes"] = int(
+            statistics.median(b for _, b in batched))
+        metrics["e9_burst_packets_nobatch"] = int(
+            statistics.median(p for p, _ in unbatched))
 
-    if _supported_kwargs(distgc=True):  # pre-distgc trees skip these
+    # pre-distgc trees skip these
+    if want("e10") and _supported_kwargs(distgc=True):
         from bench_e10_distgc import run_churn
 
         cycles = 10_000  # one run per arm: the shape, not the timing
@@ -184,8 +262,9 @@ def collect_metrics(repeats: int = 5) -> dict:
     return metrics
 
 
-def write_json(path: str, repeats: int = 5) -> dict:
-    metrics = collect_metrics(repeats)
+def write_json(path: str, repeats: int | None = None,
+               only: set[str] | None = None) -> dict:
+    metrics = collect_metrics(repeats, only=only)
     with open(path, "w") as fh:
         json.dump(metrics, fh, indent=2, sort_keys=True)
         fh.write("\n")

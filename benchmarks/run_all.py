@@ -2,11 +2,15 @@
 
 Usage:  python benchmarks/run_all.py [e1 e4 ...]
         python benchmarks/run_all.py --json BENCH_pr2.json
+        python benchmarks/run_all.py --json BENCH.json --only e1,e2 --repeats 9
 
 Each ``bench_*`` module exposes ``report() -> list[dict]``; this script
 runs them all and prints aligned tables.  ``--json PATH`` instead
 writes the baseline metric set (see baseline.py) -- the per-PR
-regression record compared by test_baseline.py.
+regression record compared by test_baseline.py.  With ``--json``,
+``--only e1,e2`` restricts collection to those experiment groups and
+``--repeats N`` overrides the timed-run count (default: the
+``REPRO_BENCH_REPEATS`` environment variable, else 5).
 """
 
 import importlib
@@ -49,15 +53,31 @@ def print_table(rows: list[dict]) -> None:
 
 
 def main() -> None:
-    if sys.argv[1:2] == ["--json"]:
+    argv = sys.argv[1:]
+    if argv[:1] == ["--json"]:
         import baseline
 
-        out = sys.argv[2] if len(sys.argv) > 2 else "BENCH.json"
-        for key, value in sorted(baseline.write_json(out).items()):
+        out = "BENCH.json"
+        only = None
+        repeats = None
+        rest = argv[1:]
+        i = 0
+        while i < len(rest):
+            if rest[i] == "--only":
+                only = {g.strip().lower() for g in rest[i + 1].split(",")}
+                i += 2
+            elif rest[i] == "--repeats":
+                repeats = int(rest[i + 1])
+                i += 2
+            else:
+                out = rest[i]
+                i += 1
+        for key, value in sorted(
+                baseline.write_json(out, repeats, only=only).items()):
             print(f"{key}: {value}")
         print(f"wrote {out}")
         return
-    wanted = [w.lower() for w in sys.argv[1:]] or list(EXPERIMENTS)
+    wanted = [w.lower() for w in argv] or list(EXPERIMENTS)
     for key in wanted:
         module_name, title = EXPERIMENTS[key]
         print(f"\n== {key.upper()}: {title} ==")

@@ -16,7 +16,12 @@ from pathlib import Path
 
 import pytest
 
-from baseline import _burst, refetch_network
+from baseline import (
+    _burst,
+    _e1_counter_wall_us,
+    _timed_runs,
+    refetch_network,
+)
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -45,6 +50,18 @@ class TestLiveRatios:
         assert without_cache >= 5 * with_cache, (
             f"code cache saved only {without_cache / with_cache:.1f}x "
             f"({without_cache} -> {with_cache} bytes)")
+
+    def test_predecoded_engine_beats_reference_engine(self):
+        """The fast engine must out-run the instrumented reference loop
+        on the E1 recursion.  Min-of-3 per arm; the live record shows
+        ~8x, the 1.2x bar only guards against the fast path silently
+        falling back to the slow loop."""
+        fast = min(_timed_runs(
+            lambda: _e1_counter_wall_us(engine="fast"), repeats=3))
+        slow = min(_timed_runs(
+            lambda: _e1_counter_wall_us(engine="slow"), repeats=3))
+        assert fast * 1.2 <= slow, (
+            f"fast engine {fast:.0f}us vs reference {slow:.0f}us")
 
     def test_batching_reduces_burst_packets(self):
         packets_batched, bytes_batched = _burst(batching=True)
@@ -102,6 +119,30 @@ class TestCommittedBaselines:
                       "e9_burst_packets", "e9_burst_bytes",
                       "e9_burst_packets_nobatch", "e9_msg_wire_bytes"):
             assert pr4[exact] == pr3[exact], exact
+
+    def test_pr5_dispatch_engine_speeds_up_e1(self):
+        """The predecoded dispatch PR's headline: the E1 instantiation
+        recursion runs in at most 0.55x the pr4 wall time (the record
+        shows ~8x; the gate leaves room for a slower CI host)."""
+        pr4 = _load_baseline("BENCH_pr4.json")
+        pr5 = _load_baseline("BENCH_pr5.json")
+        assert pr5["e1_counter_wall_us"] <= \
+            0.55 * pr4["e1_counter_wall_us"]
+
+    def test_pr5_preserves_simulated_schedules_exactly(self):
+        """Fusion charges original instruction widths, so every
+        simulated-time and wire metric -- pure functions of instruction
+        and byte counts -- must be *equal* to pr4, not merely close.
+        Real-time wins show up in the new ``e2_*_wall_us`` keys
+        instead (docs/PERF.md)."""
+        pr4 = _load_baseline("BENCH_pr4.json")
+        pr5 = _load_baseline("BENCH_pr5.json")
+        for exact in ("e2_cross_node_sim_us", "e2_same_node_sim_us",
+                      "e4_fetch_cold_bytes", "e4_refetch_bytes",
+                      "e4_refetch_sim_us", "e9_burst_packets",
+                      "e9_burst_bytes", "e9_burst_packets_nobatch",
+                      "e9_msg_wire_bytes"):
+            assert pr5[exact] == pr4[exact], exact
 
     def test_seed_records_the_uncached_world(self):
         """Guard against accidentally regenerating BENCH_seed.json on a

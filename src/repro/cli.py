@@ -12,6 +12,7 @@
     python -m repro chaos --explore 20 SESSION    sweep seeds, check invariants
     python -m repro trace --out t.json SESSION    causal trace (Perfetto JSON)
     python -m repro trace-check t.json            validate a trace file
+    python -m repro bench --only e1,e2            baseline benchmark metrics
 
 The single-program form plays the role of launching one site through
 TyCOsh on a fresh node; the ``net`` form drives a whole simulated
@@ -286,6 +287,40 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 3 if run.violations else 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    # The collectors live in benchmarks/ (not the installed package):
+    # locate the directory relative to this repo checkout and import
+    # from there, mirroring `python benchmarks/run_all.py --json`.
+    bench_dir = Path(__file__).resolve().parents[2] / "benchmarks"
+    if not (bench_dir / "baseline.py").is_file():
+        print(f"benchmarks directory not found at {bench_dir} "
+              "(the bench subcommand needs a repo checkout)",
+              file=sys.stderr)
+        return 2
+    sys.path.insert(0, str(bench_dir))
+    try:
+        import baseline
+    finally:
+        sys.path.remove(str(bench_dir))
+
+    only = None
+    if args.only:
+        only = {g.strip().lower() for g in args.only.split(",") if g.strip()}
+    try:
+        if args.json:
+            metrics = baseline.write_json(args.json, args.repeats, only=only)
+        else:
+            metrics = baseline.collect_metrics(args.repeats, only=only)
+    except ValueError as exc:  # unknown --only group
+        print(str(exc), file=sys.stderr)
+        return 2
+    for key, value in sorted(metrics.items()):
+        print(f"{key}: {value}")
+    if args.json:
+        print(f"wrote {args.json}", file=sys.stderr)
+    return 0
+
+
 def _cmd_shell(args: argparse.Namespace) -> int:  # pragma: no cover
     from repro.runtime import DiTyCONetwork
     from repro.runtime.shell import repl
@@ -404,6 +439,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate a trace file against docs/trace_schema.json")
     p_tcheck.add_argument("trace", help="a trace JSON file")
     p_tcheck.set_defaults(func=_cmd_trace_check)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="collect the baseline benchmark metric set (see docs/PERF.md)")
+    p_bench.add_argument("--only", default=None, metavar="GROUPS",
+                         help="comma-separated experiment groups, "
+                              "e.g. e1,e2 (default: all)")
+    p_bench.add_argument("--repeats", type=int, default=None, metavar="N",
+                         help="timed runs per metric (default: "
+                              "REPRO_BENCH_REPEATS env or 5)")
+    p_bench.add_argument("--json", default=None, metavar="PATH",
+                         help="also write the metrics to PATH as JSON")
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_shell = sub.add_parser("shell", help="interactive TyCOsh")
     p_shell.add_argument("--nodes", default="n1,n2")

@@ -77,6 +77,12 @@ class Instr:
         return f"{self.op.name.lower()} {', '.join(map(repr, self.args))}"
 
 
+#: Interned zero-operand instructions (HALT, the operators, POP): every
+#: block ends in HALT and expression code is operator-dense, so sharing
+#: one frozen instance per opcode trims compile-time allocation.
+NOARG_INSTRS: dict[Op, Instr] = {op: Instr(op) for op in Op}
+
+
 @dataclass(slots=True)
 class CodeBlock:
     """One byte-code block: a method body, fork branch, or class clause.
@@ -135,6 +141,13 @@ class Program:
     externals: list[str] = field(default_factory=list)
     main: int = 0
     source_name: str = "<program>"
+    #: Predecoded-handler cache (repro.vm.dispatch), keyed by block id.
+    #: Handlers are VM-independent closures, so every VM running this
+    #: program area shares one decode.  Entries self-invalidate by
+    #: instruction-tuple identity when a block is replaced (peephole)
+    #: and new ids decode lazily after a ``link_bundle`` append.
+    decoded_cache: dict = field(default_factory=dict, repr=False,
+                                compare=False)
 
     # -- construction helpers (used by codegen and the linker) -----------
 

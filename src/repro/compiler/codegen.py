@@ -49,7 +49,15 @@ from repro.core.terms import (
     flatten_par,
 )
 
-from .assembly import ClassGroup, CodeBlock, Instr, ObjectCode, Op, Program
+from .assembly import (
+    NOARG_INSTRS,
+    ClassGroup,
+    CodeBlock,
+    Instr,
+    ObjectCode,
+    Op,
+    Program,
+)
 
 
 class CompileError(Exception):
@@ -82,7 +90,13 @@ class _Ctx:
         return slot
 
     def emit(self, op: Op, *args) -> None:
-        self.instrs.append(Instr(op, tuple(args)))
+        # No-arg instructions (HALT, the operators) are interned: one
+        # Instr per opcode program-wide keeps blocks small and makes
+        # equality checks on relinked code cheap.
+        if args:
+            self.instrs.append(Instr(op, tuple(args)))
+        else:
+            self.instrs.append(NOARG_INSTRS[op])
 
     def frame_size(self) -> int:
         return max(self.high_water, self.nfree + self.nparams)

@@ -251,10 +251,14 @@ def link_bundle(program: Program, bundle: CodeBundle,
     group_map = build_map(len(bundle.groups), reuse_groups,
                           len(program.groups), "group")
 
+    # Linked code goes through the Program helpers: ids stay append-only
+    # (never renumbered in place), which is what lets the predecoded
+    # dispatch cache (repro.vm.dispatch) keep existing entries across a
+    # relink and decode the new blocks lazily.
     for i, blk in enumerate(bundle.blocks):
         if i in reuse_blocks:
             continue
-        program.blocks.append(CodeBlock(
+        program.add_block(CodeBlock(
             instrs=tuple(_remap_instr(ins, block_map, object_map, group_map)
                          for ins in blk.instrs),
             nfree=blk.nfree,
@@ -265,14 +269,14 @@ def link_bundle(program: Program, bundle: CodeBundle,
     for i, obj in enumerate(bundle.objects):
         if i in reuse_objects:
             continue
-        program.objects.append(ObjectCode(
+        program.add_object(ObjectCode(
             methods={l: block_map[b] for l, b in obj.methods.items()},
             name=obj.name,
         ))
     for i, grp in enumerate(bundle.groups):
         if i in reuse_groups:
             continue
-        program.groups.append(ClassGroup(
+        program.add_group(ClassGroup(
             clauses=tuple((h, block_map[b]) for h, b in grp.clauses),
             nfree=grp.nfree,
             name=grp.name,

@@ -60,7 +60,9 @@ class DiTyCONetwork:
                  batching: bool = True,
                  typecheck: bool = False,
                  distgc: bool = False,
-                 gc_config=None) -> None:
+                 gc_config=None,
+                 engine=None,
+                 fusion=None) -> None:
         if world is None:
             world = SimWorld(cluster) if cluster else SimWorld()
         elif cluster is not None:
@@ -74,6 +76,11 @@ class DiTyCONetwork:
         self.typecheck = typecheck
         self.distgc = distgc
         self.gc_config = gc_config
+        #: VM dispatch knobs for every site (None = env defaults; see
+        #: docs/PERF.md): ``engine`` picks "fast"/"slow" dispatch,
+        #: ``fusion`` toggles superinstructions.
+        self.engine = engine
+        self.fusion = fusion
 
     # -- topology -------------------------------------------------------------
 
@@ -86,7 +93,9 @@ class DiTyCONetwork:
                     batching=self.batching,
                     typecheck=self.typecheck,
                     distgc=self.distgc,
-                    gc_config=self.gc_config)
+                    gc_config=self.gc_config,
+                    engine=self.engine,
+                    fusion=self.fusion)
         self.world.add_node(node)
         return node
 

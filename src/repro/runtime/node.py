@@ -54,7 +54,9 @@ class Node:
                  batch_bytes: int = 4096,
                  typecheck: bool = False,
                  distgc: bool = False,
-                 gc_config: Optional[GcConfig] = None) -> None:
+                 gc_config: Optional[GcConfig] = None,
+                 engine: Optional[str] = None,
+                 fusion: Optional[bool] = None) -> None:
         self.ip = ip
         self.nameservice = nameservice
         self.sites: dict[int, Site] = {}
@@ -63,6 +65,11 @@ class Node:
         self.tycoi = TyCOi(self)
         self.fetch_cache = fetch_cache
         self.code_cache = code_cache
+        #: VM dispatch knobs for every site this node creates (None =
+        #: REPRO_VM_ENGINE / REPRO_VM_FUSION env defaults; see
+        #: repro.vm.dispatch and docs/PERF.md).
+        self.engine = engine
+        self.fusion = fusion
         #: Wire batching: buffers outgoing buffers per destination while
         #: a scheduling quantum runs and flushes them as one frame at
         #: the quantum boundary (or earlier, once ``batch_bytes`` is
@@ -180,7 +187,8 @@ class Node:
                     code_cache=self.code_cache,
                     name_signatures=name_signatures,
                     distgc=self.distgc, gc_config=self.gc_config,
-                    clock=self.now)
+                    clock=self.now,
+                    engine=self.engine, fusion=self.fusion)
         self.sites[site_id] = site
         self.sites_by_name[site_name] = site
         site.on_work = self.on_work_available

@@ -105,13 +105,16 @@ class Site:
                  name_signatures: Optional[dict] = None,
                  distgc: bool = False,
                  gc_config: Optional[GcConfig] = None,
-                 clock: Optional[Callable[[], float]] = None) -> None:
+                 clock: Optional[Callable[[], float]] = None,
+                 engine: Optional[str] = None,
+                 fusion: Optional[bool] = None) -> None:
         self.site_name = site_name
         self.site_id = site_id
         self.ip = ip
         self.nameservice = nameservice
         self.fetch_cache = fetch_cache
-        self.vm = TycoVM(program, port=self, name=site_name)
+        self.vm = TycoVM(program, port=self, name=site_name,
+                         engine=engine, fusion=fusion)
         self.stats = SiteStats()
         # Distributed GC (repro.runtime.distgc, docs/GC.md).  Off by
         # default: lease traffic perturbs packet schedules, so it is

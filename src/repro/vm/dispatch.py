@@ -1,0 +1,590 @@
+"""Predecoded threaded dispatch for the TyCO VM (docs/PERF.md).
+
+The instrumented interpreter in :mod:`repro.vm.machine` walks a 30-arm
+``if/elif`` chain per instruction and re-reads every operand tuple on
+every execution.  This module translates a
+:class:`~repro.compiler.assembly.CodeBlock` *once* into per-pc handler
+closures with the operands unpacked at decode time -- the standard
+predecoding cure for interpreter dispatch cost (cf. py-evm's opcode
+binding).  :meth:`TycoVM.step` runs these handlers in a bare loop
+whenever no tracer is attached and the observability bus is not
+tracing; otherwise it falls back to the original instrumented loop, so
+traced runs stay byte-identical.
+
+Two invariants the decoder must (and does) preserve:
+
+* **instruction accounting** -- a fused superinstruction *charges its
+  full width*, and every pc keeps a single-instruction ``head`` handler
+  the loop falls back to when the remaining slice budget is smaller
+  than the fusion width (or when a jump lands inside a fused
+  sequence).  Executed-instruction counts, slice boundaries and
+  context switches -- and therefore every simulated schedule -- are
+  bit-identical with fusion on, off, or with the instrumented loop.
+* **byte-code identity** -- fusion is a *plan* over the unchanged
+  instruction tuple (:func:`repro.compiler.peephole.plan_superinstructions`);
+  wire images and jump targets never change.
+
+Handler protocol: ``handler(vm, thread, frame, stack)`` with
+``thread.pc`` already advanced past the (fused) sequence; a truthy
+return ends the slice (HALT, import stall).
+"""
+
+from __future__ import annotations
+
+from repro.compiler.assembly import CodeBlock, Op, Program
+from repro.compiler.peephole import (
+    F_C_OP,
+    F_C_OP_JMPF,
+    F_C_STOREL,
+    F_C_TRMSG1,
+    F_L_LC_OP_INSTOF1,
+    F_L_OP,
+    F_L_OP_JMPF,
+    F_L_STOREL,
+    F_L_TRMSG0,
+    F_L_TRMSG1,
+    F_LC_OP,
+    F_LC_OP_JMPF,
+    F_LC_TRMSG1,
+    F_LL_OP,
+    F_LL_OP_JMPF,
+    F_LL_TRMSG1,
+    F_OP_JMPF,
+    plan_superinstructions,
+)
+
+from .machine import ImportPending, VMRuntimeError, _arith, _vm_equal
+from .values import ClassRef
+
+
+# -- fast binary operators ---------------------------------------------------
+#
+# Exact ``type() is`` checks: ``bool`` is excluded (type(True) is bool,
+# not int), so boolean operands fall through to ``_arith`` which raises
+# the section-7 dynamic error -- the fast path inherits the machine's
+# arithmetic-on-booleans rejection by construction.  Strings and error
+# cases take the same fallback, producing identical errors and results.
+
+def _fast_add(vm, a, b):
+    ta = type(a)
+    tb = type(b)
+    if (ta is int or ta is float) and (tb is int or tb is float):
+        return a + b
+    return _arith(vm, Op.ADD, a, b)
+
+
+def _fast_sub(vm, a, b):
+    ta = type(a)
+    tb = type(b)
+    if (ta is int or ta is float) and (tb is int or tb is float):
+        return a - b
+    return _arith(vm, Op.SUB, a, b)
+
+
+def _fast_mul(vm, a, b):
+    ta = type(a)
+    tb = type(b)
+    if (ta is int or ta is float) and (tb is int or tb is float):
+        return a * b
+    return _arith(vm, Op.MUL, a, b)
+
+
+def _fast_div(vm, a, b):
+    if type(a) is int and type(b) is int and b != 0:
+        return a // b
+    return _arith(vm, Op.DIV, a, b)
+
+
+def _fast_mod(vm, a, b):
+    if type(a) is int and type(b) is int and b != 0:
+        return a % b
+    return _arith(vm, Op.MOD, a, b)
+
+
+def _fast_lt(vm, a, b):
+    ta = type(a)
+    tb = type(b)
+    if (ta is int or ta is float) and (tb is int or tb is float):
+        return a < b
+    return _arith(vm, Op.LT, a, b)
+
+
+def _fast_le(vm, a, b):
+    ta = type(a)
+    tb = type(b)
+    if (ta is int or ta is float) and (tb is int or tb is float):
+        return a <= b
+    return _arith(vm, Op.LE, a, b)
+
+
+def _fast_gt(vm, a, b):
+    ta = type(a)
+    tb = type(b)
+    if (ta is int or ta is float) and (tb is int or tb is float):
+        return a > b
+    return _arith(vm, Op.GT, a, b)
+
+
+def _fast_ge(vm, a, b):
+    ta = type(a)
+    tb = type(b)
+    if (ta is int or ta is float) and (tb is int or tb is float):
+        return a >= b
+    return _arith(vm, Op.GE, a, b)
+
+
+def _fast_eq(vm, a, b):
+    if type(a) is int and type(b) is int:
+        return a == b
+    return _vm_equal(a, b)
+
+
+def _fast_ne(vm, a, b):
+    if type(a) is int and type(b) is int:
+        return a != b
+    return not _vm_equal(a, b)
+
+
+def _fast_band(vm, a, b):
+    if (a is True or a is False) and (b is True or b is False):
+        return a and b
+    return _arith(vm, Op.BAND, a, b)
+
+
+def _fast_bor(vm, a, b):
+    if (a is True or a is False) and (b is True or b is False):
+        return a or b
+    return _arith(vm, Op.BOR, a, b)
+
+
+FAST_BINOP = {
+    Op.ADD: _fast_add, Op.SUB: _fast_sub, Op.MUL: _fast_mul,
+    Op.DIV: _fast_div, Op.MOD: _fast_mod,
+    Op.LT: _fast_lt, Op.LE: _fast_le, Op.GT: _fast_gt, Op.GE: _fast_ge,
+    Op.EQ: _fast_eq, Op.NE: _fast_ne,
+    Op.BAND: _fast_band, Op.BOR: _fast_bor,
+}
+
+
+# -- decoded blocks ----------------------------------------------------------
+
+class DecodedBlock:
+    """The predecoded form of one code block.
+
+    ``heads[pc]`` is the single-instruction handler for ``pc``;
+    ``run[pc]``/``widths[pc]`` is the longest superinstruction starting
+    there (equal to ``heads[pc]``/1 where nothing fuses).  ``instrs``
+    keeps the source tuple's identity so the cache self-invalidates
+    when a block is replaced.
+    """
+
+    __slots__ = ("instrs", "size", "heads", "run", "widths", "ones")
+
+    def __init__(self, instrs, heads, run, widths):
+        self.instrs = instrs
+        self.size = len(instrs)
+        self.heads = heads
+        self.run = run
+        self.widths = widths
+        self.ones = [1] * len(instrs)
+
+
+def predecode(program: Program, block: CodeBlock) -> DecodedBlock:
+    """Translate ``block`` into pre-bound handlers (both the plain
+    per-instruction form and the fused superinstruction form)."""
+    instrs = block.instrs
+    heads = [_decode_one(program, ins) for ins in instrs]
+    run = list(heads)
+    widths = [1] * len(instrs)
+    for pc, entry in enumerate(plan_superinstructions(instrs)):
+        if entry is not None:
+            kind, width, payload = entry
+            run[pc] = _FUSED_FACTORIES[kind](payload)
+            widths[pc] = width
+    return DecodedBlock(instrs, heads, run, widths)
+
+
+# -- single-instruction handlers ---------------------------------------------
+
+def _halt(vm, t, f, st):
+    vm.current = None
+    return True
+
+
+def _decode_one(program: Program, ins):
+    """One handler closure for one instruction, operands pre-bound."""
+    op = ins.op
+
+    if op is Op.PUSHL:
+        slot = ins.args[0]
+
+        def h(vm, t, f, st, _s=slot):
+            st.append(f[_s])
+        return h
+
+    if op is Op.PUSHC:
+        const = ins.args[0]
+
+        def h(vm, t, f, st, _c=const):
+            st.append(_c)
+        return h
+
+    if op is Op.STOREL:
+        slot = ins.args[0]
+
+        def h(vm, t, f, st, _s=slot):
+            f[_s] = st.pop()
+        return h
+
+    if op is Op.POP:
+        def h(vm, t, f, st):
+            st.pop()
+        return h
+
+    if op is Op.TRMSG:
+        label, nargs = ins.args
+        if nargs == 1:
+            def h(vm, t, f, st, _l=label):
+                arg = st.pop()
+                vm._comm_fast1(st.pop(), _l, arg)
+            return h
+        if nargs == 0:
+            def h(vm, t, f, st, _l=label):
+                vm._trmsg(st.pop(), _l, ())
+            return h
+
+        def h(vm, t, f, st, _l=label, _n=nargs):
+            args = tuple(st[len(st) - _n:])
+            del st[len(st) - _n:]
+            vm._trmsg(st.pop(), _l, args)
+        return h
+
+    if op is Op.TROBJ:
+        obj_id, nfree = ins.args
+        methods = program.objects[obj_id].methods
+
+        def h(vm, t, f, st, _m=methods, _n=nfree):
+            env = tuple(st[len(st) - _n:])
+            del st[len(st) - _n:]
+            vm._trobj(st.pop(), _m, env)
+        return h
+
+    if op is Op.INSTOF:
+        (nargs,) = ins.args
+        if nargs == 1:
+            def h(vm, t, f, st):
+                arg = st.pop()
+                vm._inst_fast1(st.pop(), arg)
+            return h
+
+        def h(vm, t, f, st, _n=nargs):
+            args = tuple(st[len(st) - _n:])
+            del st[len(st) - _n:]
+            vm._instof(st.pop(), args)
+        return h
+
+    if op is Op.FORK:
+        block_id, nfree = ins.args
+
+        def h(vm, t, f, st, _b=block_id, _n=nfree):
+            env = tuple(st[len(st) - _n:])
+            del st[len(st) - _n:]
+            vm.spawn(_b, env, ())
+            vm.stats.forks += 1
+        return h
+
+    if op is Op.NEWCH:
+        slot = ins.args[0]
+
+        def h(vm, t, f, st, _s=slot):
+            f[_s] = vm.heap.new_channel()
+        return h
+
+    if op is Op.DEFGROUP:
+        group_id, nfree, first_slot = ins.args
+        clauses = program.groups[group_id].clauses
+
+        def h(vm, t, f, st, _c=clauses, _n=nfree, _g=group_id,
+              _f=first_slot):
+            env = list(st[len(st) - _n:])
+            del st[len(st) - _n:]
+            env.extend([None] * len(_c))
+            for index, (hint, block_id) in enumerate(_c):
+                cr = ClassRef(block_id, env, _g, index, hint=hint)
+                env[_n + index] = cr
+                f[_f + index] = cr
+        return h
+
+    if op is Op.JMP:
+        target = ins.args[0]
+
+        def h(vm, t, f, st, _t=target):
+            t.pc = _t
+        return h
+
+    if op is Op.JMPF:
+        target = ins.args[0]
+
+        def h(vm, t, f, st, _t=target):
+            cond = st.pop()
+            if cond is False:
+                t.pc = _t
+            elif cond is not True:
+                raise VMRuntimeError(
+                    f"{vm.name}: conditional on non-boolean {cond!r}")
+        return h
+
+    if op is Op.HALT:
+        return _halt
+
+    if op is Op.PRINT:
+        (nargs,) = ins.args
+
+        def h(vm, t, f, st, _n=nargs):
+            args = tuple(st[len(st) - _n:])
+            del st[len(st) - _n:]
+            vm.stats.prints += 1
+            vm.output.extend(args)
+        return h
+
+    fn = FAST_BINOP.get(op)
+    if fn is not None:
+        def h(vm, t, f, st, _fn=fn):
+            b = st.pop()
+            a = st.pop()
+            st.append(_fn(vm, a, b))
+        return h
+
+    if op is Op.BNOT:
+        def h(vm, t, f, st):
+            v = st.pop()
+            if v is True:
+                st.append(False)
+            elif v is False:
+                st.append(True)
+            else:
+                raise VMRuntimeError(f"{vm.name}: 'not' on {v!r}")
+        return h
+
+    if op is Op.NEG:
+        def h(vm, t, f, st):
+            v = st.pop()
+            if isinstance(v, bool) or not isinstance(v, (int, float)):
+                raise VMRuntimeError(f"{vm.name}: '-' on {v!r}")
+            st.append(-v)
+        return h
+
+    if op is Op.EXPORT:
+        slot, hint = ins.args
+
+        def h(vm, t, f, st, _s=slot, _h=hint):
+            vm._require_port().export_name(_h, f[_s])
+        return h
+
+    if op is Op.IMPORT:
+        hint, site, slot = ins.args
+
+        def h(vm, t, f, st, _h=hint, _site=site, _s=slot):
+            try:
+                f[_s] = vm._require_port().import_name(_h, _site)
+            except ImportPending:
+                vm._stall(t)
+                return True
+        return h
+
+    if op is Op.EXPORTCLASS:
+        group_id, slot, hint = ins.args
+
+        def h(vm, t, f, st, _s=slot, _h=hint):
+            vm._require_port().export_class(_h, f[_s])
+        return h
+
+    if op is Op.IMPORTCLASS:
+        hint, site, slot = ins.args
+
+        def h(vm, t, f, st, _h=hint, _site=site, _s=slot):
+            try:
+                f[_s] = vm._require_port().import_class(_h, _site)
+            except ImportPending:
+                vm._stall(t)
+                return True
+        return h
+
+    def h(vm, t, f, st, _op=op):  # pragma: no cover - exhaustive enum
+        raise VMRuntimeError(f"{vm.name}: unknown opcode {_op}")
+    return h
+
+
+# -- superinstruction handlers -----------------------------------------------
+
+def _f_ll_op(payload):
+    a, b, op = payload
+    fn = FAST_BINOP[op]
+
+    def h(vm, t, f, st, _a=a, _b=b, _fn=fn):
+        st.append(_fn(vm, f[_a], f[_b]))
+    return h
+
+
+def _f_lc_op(payload):
+    a, c, op = payload
+    fn = FAST_BINOP[op]
+
+    def h(vm, t, f, st, _a=a, _c=c, _fn=fn):
+        st.append(_fn(vm, f[_a], _c))
+    return h
+
+
+def _f_l_op(payload):
+    b, op = payload
+    fn = FAST_BINOP[op]
+
+    def h(vm, t, f, st, _b=b, _fn=fn):
+        st[-1] = _fn(vm, st[-1], f[_b])
+    return h
+
+
+def _f_c_op(payload):
+    c, op = payload
+    fn = FAST_BINOP[op]
+
+    def h(vm, t, f, st, _c=c, _fn=fn):
+        st[-1] = _fn(vm, st[-1], _c)
+    return h
+
+
+def _f_ll_op_jmpf(payload):
+    a, b, op, target = payload
+    fn = FAST_BINOP[op]
+
+    def h(vm, t, f, st, _a=a, _b=b, _fn=fn, _t=target):
+        if not _fn(vm, f[_a], f[_b]):
+            t.pc = _t
+    return h
+
+
+def _f_lc_op_jmpf(payload):
+    a, c, op, target = payload
+    fn = FAST_BINOP[op]
+
+    def h(vm, t, f, st, _a=a, _c=c, _fn=fn, _t=target):
+        if not _fn(vm, f[_a], _c):
+            t.pc = _t
+    return h
+
+
+def _f_l_op_jmpf(payload):
+    b, op, target = payload
+    fn = FAST_BINOP[op]
+
+    def h(vm, t, f, st, _b=b, _fn=fn, _t=target):
+        if not _fn(vm, st.pop(), f[_b]):
+            t.pc = _t
+    return h
+
+
+def _f_c_op_jmpf(payload):
+    c, op, target = payload
+    fn = FAST_BINOP[op]
+
+    def h(vm, t, f, st, _c=c, _fn=fn, _t=target):
+        if not _fn(vm, st.pop(), _c):
+            t.pc = _t
+    return h
+
+
+def _f_op_jmpf(payload):
+    op, target = payload
+    fn = FAST_BINOP[op]
+
+    def h(vm, t, f, st, _fn=fn, _t=target):
+        b = st.pop()
+        if not _fn(vm, st.pop(), b):
+            t.pc = _t
+    return h
+
+
+def _f_l_storel(payload):
+    s, d = payload
+
+    def h(vm, t, f, st, _s=s, _d=d):
+        f[_d] = f[_s]
+    return h
+
+
+def _f_c_storel(payload):
+    c, d = payload
+
+    def h(vm, t, f, st, _c=c, _d=d):
+        f[_d] = _c
+    return h
+
+
+def _f_l_trmsg0(payload):
+    s, label = payload
+
+    def h(vm, t, f, st, _s=s, _l=label):
+        vm._trmsg(f[_s], _l, ())
+    return h
+
+
+def _f_l_trmsg1(payload):
+    s, label = payload
+
+    def h(vm, t, f, st, _s=s, _l=label):
+        vm._comm_fast1(st.pop(), _l, f[_s])
+    return h
+
+
+def _f_c_trmsg1(payload):
+    c, label = payload
+
+    def h(vm, t, f, st, _c=c, _l=label):
+        vm._comm_fast1(st.pop(), _l, _c)
+    return h
+
+
+def _f_ll_trmsg1(payload):
+    tgt, a, label = payload
+
+    def h(vm, t, f, st, _t=tgt, _a=a, _l=label):
+        vm._comm_fast1(f[_t], _l, f[_a])
+    return h
+
+
+def _f_lc_trmsg1(payload):
+    tgt, c, label = payload
+
+    def h(vm, t, f, st, _t=tgt, _c=c, _l=label):
+        vm._comm_fast1(f[_t], _l, _c)
+    return h
+
+
+def _f_l_lc_op_instof1(payload):
+    k, a, c, op = payload
+    fn = FAST_BINOP[op]
+
+    def h(vm, t, f, st, _k=k, _a=a, _c=c, _fn=fn):
+        vm._inst_fast1(f[_k], _fn(vm, f[_a], _c))
+    return h
+
+
+_FUSED_FACTORIES = {
+    F_LL_OP: _f_ll_op,
+    F_LC_OP: _f_lc_op,
+    F_L_OP: _f_l_op,
+    F_C_OP: _f_c_op,
+    F_LL_OP_JMPF: _f_ll_op_jmpf,
+    F_LC_OP_JMPF: _f_lc_op_jmpf,
+    F_L_OP_JMPF: _f_l_op_jmpf,
+    F_C_OP_JMPF: _f_c_op_jmpf,
+    F_OP_JMPF: _f_op_jmpf,
+    F_L_STOREL: _f_l_storel,
+    F_C_STOREL: _f_c_storel,
+    F_L_TRMSG0: _f_l_trmsg0,
+    F_L_TRMSG1: _f_l_trmsg1,
+    F_C_TRMSG1: _f_c_trmsg1,
+    F_LL_TRMSG1: _f_ll_trmsg1,
+    F_LC_TRMSG1: _f_lc_trmsg1,
+    F_L_LC_OP_INSTOF1: _f_l_lc_op_instof1,
+}

@@ -32,16 +32,35 @@ class HeapStats:
 class Heap:
     """Channel allocator and table for one site."""
 
+    #: Bound on the channel free-list: enough to absorb RPC-style churn
+    #: (allocate reply channel, use once, collect) without pinning an
+    #: unbounded object pool after a burst.
+    MAX_FREE = 64
+
     def __init__(self) -> None:
         self._next_id = 1
         self._channels: dict[int, Channel] = {}
         self._stats = HeapStats()
+        self._free: list[Channel] = []
 
     def new_channel(self, hint: str = "chan",
                     builtin: Optional[Callable] = None) -> Channel:
-        """Allocate a fresh channel (optionally with a builtin handler)."""
-        ch = Channel(self._next_id, hint=hint, builtin=builtin)
-        self._channels[ch.heap_id] = ch
+        """Allocate a fresh channel (optionally with a builtin handler).
+
+        Churned channels reclaimed by :meth:`collect` are recycled from
+        a bounded free-list, but *accounting is unchanged*: a recycled
+        channel gets a fresh monotonic heap id and counts as an
+        allocation, so export tables, network references and the
+        observability "heap" gauges are byte-identical with or without
+        recycling.
+        """
+        heap_id = self._next_id
+        if builtin is None and self._free:
+            ch = self._free.pop()
+            ch.recycle(heap_id, hint)
+        else:
+            ch = Channel(heap_id, hint=hint, builtin=builtin)
+        self._channels[heap_id] = ch
         self._next_id += 1
         self._stats.allocated += 1
         return ch
@@ -136,8 +155,11 @@ class Heap:
         reachable = self.trace(all_roots, remote_refs=remote_refs)
         keep = reachable | pinned_ids
         dead = [hid for hid in self._channels if hid not in keep]
+        free = self._free
         for hid in dead:
-            del self._channels[hid]
+            ch = self._channels.pop(hid)
+            if ch.builtin is None and len(free) < self.MAX_FREE:
+                free.append(ch)
         self._stats.reclaimed += len(dead)
         self._stats.collections += 1
         return len(dead)

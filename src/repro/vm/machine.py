@@ -16,6 +16,7 @@ sites and account simulated time per instruction (experiments E1-E3).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Optional, Protocol
 
@@ -102,10 +103,28 @@ class TycoVM:
     """One extended TyCO virtual machine."""
 
     def __init__(self, program: Program, port: RemotePort | None = None,
-                 name: str = "vm") -> None:
+                 name: str = "vm", engine: str | None = None,
+                 fusion: bool | None = None) -> None:
         self.program = program
         self.port = port
         self.name = name
+        # Execution engine (docs/PERF.md): "fast" runs predecoded
+        # handler closures whenever nothing is tracing; "slow" forces
+        # the original instrumented loop (used by the differential
+        # suite).  ``fusion`` toggles superinstructions within the fast
+        # engine.  Both default from the environment so whole networks
+        # (and chaos scenarios) can be flipped without plumbing.
+        if engine is None:
+            engine = os.environ.get("REPRO_VM_ENGINE", "fast")
+        if engine not in ("fast", "slow"):
+            raise ValueError(f"unknown VM engine {engine!r}")
+        if fusion is None:
+            fusion = os.environ.get("REPRO_VM_FUSION", "1").lower() \
+                not in ("0", "false", "off")
+        self.engine = engine
+        self.fusion = bool(fusion)
+        from .dispatch import predecode  # deferred: dispatch imports us
+        self._predecode = predecode
         self.heap = Heap()
         self.runqueue = RunQueue()
         self.stats = VMStats()
@@ -172,8 +191,10 @@ class TycoVM:
             raise VMRuntimeError(
                 f"{self.name}: block {block.name!r} expects "
                 f"{block.nfree} captured value(s), got {len(env)}")
-        frame = list(env) + list(args)
-        frame.extend([None] * (block.frame_size - len(frame)))
+        frame = [*env, *args]
+        pad = block.frame_size - len(frame)
+        if pad:
+            frame.extend([None] * pad)
         thread = Thread(block_id=block_id, frame=frame)
         self.runqueue.push(thread)
         self.stats.threads_spawned += 1
@@ -200,15 +221,76 @@ class TycoVM:
         return total
 
     def step(self, budget: int = 1) -> int:
-        """Execute up to ``budget`` instructions; returns the number run."""
+        """Execute up to ``budget`` instructions; returns the number run.
+
+        The engine is chosen per call: the bare predecoded loop when no
+        tracer is attached and the observability bus is not tracing,
+        the original instrumented loop otherwise.  Both engines charge
+        instructions identically, so schedules never depend on the
+        choice -- only wall-clock time does.
+        """
         executed = 0
+        if self.tracer is None and self.engine == "fast" \
+                and (self.obs is None or not self.obs.tracing):
+            run_slice = self._run_slice_fast
+        else:
+            run_slice = self._run_slice
+        runqueue = self.runqueue
         while executed < budget:
             if self.current is None:
-                if not self.runqueue:
+                if not runqueue:
                     break
-                self.current = self.runqueue.pop()
-            executed += self._run_slice(self.current, budget - executed)
+                self.current = runqueue.pop()
+            executed += run_slice(self.current, budget - executed)
         self.stats.instructions += executed
+        return executed
+
+    def _run_slice_fast(self, thread: Thread, budget: int) -> int:
+        """Run ``thread`` on predecoded handlers (repro.vm.dispatch).
+
+        Decoded blocks are cached on the *program* (shared by every VM
+        executing it) and invalidated by instruction-tuple identity, so
+        a ``link_bundle`` relink or a peephole rewrite re-decodes
+        transparently.  A fused handler charges its full width; when
+        the remaining budget is smaller, the per-instruction ``head``
+        handler runs instead -- slice boundaries and instruction counts
+        are exactly those of the instrumented loop.
+        """
+        program = self.program
+        bid = thread.block_id
+        block = program.blocks[bid]
+        cache = program.decoded_cache
+        dec = cache.get(bid)
+        if dec is None or dec.instrs is not block.instrs:
+            dec = self._predecode(program, block)
+            cache[bid] = dec
+        if self.fusion:
+            run = dec.run
+            widths = dec.widths
+        else:
+            run = dec.heads
+            widths = dec.ones
+        heads = dec.heads
+        size = dec.size
+        frame = thread.frame
+        stack = thread.stack
+        executed = 0
+        while executed < budget:
+            pc = thread.pc
+            if pc >= size:
+                self.current = None
+                return executed
+            w = widths[pc]
+            if executed + w <= budget:
+                thread.pc = pc + w
+                executed += w
+                if run[pc](self, thread, frame, stack):
+                    return executed
+            else:
+                thread.pc = pc + 1
+                executed += 1
+                if heads[pc](self, thread, frame, stack):
+                    return executed
         return executed
 
     def _run_slice(self, thread: Thread, budget: int) -> int:
@@ -366,13 +448,69 @@ class TycoVM:
             target.builtin(label, args)
             return
         # Scan the object queue for the first suite offering the label.
-        for i, (methods, env) in enumerate(target.objects):
-            if label in methods:
-                del target.objects[i]
-                self._fire(methods[label], env, args, label)
-                return
+        entry = target.match_object(label)
+        if entry is not None:
+            self._fire(entry[0][label], entry[1], args, label)
+            return
         target.messages.append((label, args))
         self.stats.messages_queued += 1
+
+    def _comm_fast1(self, target, label: str, arg) -> None:
+        """TRMSG fast path for the dominant single-argument send: a
+        ready message is handed straight to a waiting method -- no args
+        tuple, no intermediate stack slicing -- and the method frame is
+        built in place.  Arity/env mismatches delegate to
+        :meth:`_fire` so the dynamic errors (and the counter updates
+        preceding them) are exactly those of the generic path.  Only
+        reachable from the untraced fast loop, so skipping the
+        per-reduction "comm" event matches the generic path's
+        tracing-off behaviour."""
+        if target.__class__ is Channel:
+            if target.builtin is None:
+                entry = target.match_object(label)
+                if entry is not None:
+                    env = entry[1]
+                    block_id = entry[0][label]
+                    block = self.program.blocks[block_id]
+                    if block.nparams != 1 or len(env) != block.nfree:
+                        self._fire(block_id, env, (arg,), label)
+                        return
+                    self.stats.comm_reductions += 1
+                    frame = [*env, arg]
+                    pad = block.frame_size - len(frame)
+                    if pad:
+                        frame.extend([None] * pad)
+                    self.runqueue.push(Thread(block_id=block_id, frame=frame))
+                    self.stats.threads_spawned += 1
+                    return
+                target.messages.append((label, (arg,)))
+                self.stats.messages_queued += 1
+                return
+            target.builtin(label, (arg,))
+            return
+        self._trmsg(target, label, (arg,))
+
+    def _inst_fast1(self, cref, arg) -> None:
+        """INSTOF fast path for single-argument instantiation (the E1
+        recursion shape): inline the frame build and spawn.  Mismatches
+        delegate to :meth:`spawn` / :meth:`_instof` for the exact
+        generic errors and counter ordering."""
+        if cref.__class__ is ClassRef:
+            self.stats.inst_reductions += 1
+            block_id = cref.block_id
+            block = self.program.blocks[block_id]
+            env = cref.env
+            if block.nparams != 1 or len(env) != block.nfree:
+                self.spawn(block_id, env, (arg,))
+                return
+            frame = [*env, arg]
+            pad = block.frame_size - len(frame)
+            if pad:
+                frame.extend([None] * pad)
+            self.runqueue.push(Thread(block_id=block_id, frame=frame))
+            self.stats.threads_spawned += 1
+            return
+        self._instof(cref, (arg,))
 
     def _trobj(self, target, methods: dict[str, int], env: tuple) -> None:
         if isinstance(target, NetRef):
@@ -385,11 +523,11 @@ class TycoVM:
         if target.builtin is not None:
             raise VMRuntimeError(
                 f"{self.name}: object at builtin channel {target.hint!r}")
-        for i, (label, args) in enumerate(target.messages):
-            if label in methods:
-                del target.messages[i]
-                self._fire(methods[label], env, args, label)
-                return
+        entry = target.match_message(methods)
+        if entry is not None:
+            label, args = entry
+            self._fire(methods[label], env, args, label)
+            return
         target.objects.append((methods, env))
         self.stats.objects_queued += 1
 
@@ -423,7 +561,7 @@ class TycoVM:
     def _gc_roots(self, extra_roots: list | None = None) -> list:
         """Every value a thread or external binding can still reach."""
         roots: list = list(extra_roots or ())
-        for thread in list(self.runqueue._queue):
+        for thread in self.runqueue.threads():
             roots.append(thread.frame)
             roots.append(thread.stack)
         if self.current is not None:

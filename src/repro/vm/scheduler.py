@@ -29,6 +29,8 @@ class Thread:
 class RunQueue:
     """FIFO scheduler with context-switch accounting."""
 
+    __slots__ = ("_queue", "context_switches", "max_depth")
+
     def __init__(self) -> None:
         self._queue: deque[Thread] = deque()
         self.context_switches = 0
@@ -42,6 +44,10 @@ class RunQueue:
     def pop(self) -> Thread:
         self.context_switches += 1
         return self._queue.popleft()
+
+    def threads(self) -> tuple[Thread, ...]:
+        """Snapshot of the queued threads (GC root enumeration)."""
+        return tuple(self._queue)
 
     def __len__(self) -> int:
         return len(self._queue)

@@ -67,6 +67,36 @@ class Channel:
     def is_idle(self) -> bool:
         return not self.messages and not self.objects
 
+    def match_object(self, label: str):
+        """Remove and return the first waiting ``(methods, env)`` suite
+        offering ``label``, or None.  The one COMM scan, shared by the
+        generic ``_trmsg`` and the fast path so matching order is
+        defined in exactly one place."""
+        objects = self.objects
+        for i, entry in enumerate(objects):
+            if label in entry[0]:
+                del objects[i]
+                return entry
+        return None
+
+    def match_message(self, methods: dict):
+        """Remove and return the first waiting ``(label, args)`` message
+        one of ``methods`` accepts, or None (the TROBJ-side scan)."""
+        messages = self.messages
+        for i, entry in enumerate(messages):
+            if entry[0] in methods:
+                del messages[i]
+                return entry
+        return None
+
+    def recycle(self, heap_id: int, hint: str) -> None:
+        """Reset for reuse from the heap free-list under a fresh id."""
+        self.heap_id = heap_id
+        self.hint = hint
+        self.messages.clear()
+        self.objects.clear()
+        self.builtin = None
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<chan {self.hint}#{self.heap_id}>"
 

@@ -1,0 +1,97 @@
+"""Differential harness: fusion/fast dispatch vs the reference engine.
+
+The predecoded dispatch engine (docs/PERF.md) promises *observational
+identity*: for any program and any schedule, running with
+superinstruction fusion on, fusion off, or the original instrumented
+loop produces the same outputs, the same VMStats -- ``instructions``
+exactly, so every simulated schedule is untouched -- and the same
+final heap.  This file checks that promise end to end:
+
+* every example ``.dityco`` program, single-VM;
+* every frozen chaos-corpus schedule, whole-network, by flipping the
+  ``REPRO_VM_ENGINE`` / ``REPRO_VM_FUSION`` environment defaults and
+  comparing the full :class:`~repro.testkit.explore.ChaosRun` record
+  (including ``elapsed``, which is virtual time -- a pure function of
+  instruction counts).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.testkit import run_scenario
+from repro.vm import TycoVM
+
+from tests.testkit.corpus import CORPUS
+from tests.testkit.scenarios import SCENARIOS
+
+pytestmark = pytest.mark.slow
+
+PROGRAMS = Path(__file__).resolve().parents[2] / "examples" / "programs"
+DITYCO = sorted(PROGRAMS.glob("*.dityco"))
+
+#: (engine, fusion) arms compared against the ("slow", False) reference.
+ARMS = [("fast", True), ("fast", False)]
+
+
+def _run_vm(source, name, engine, fusion):
+    vm = TycoVM(compile_source(source, source_name=name), name="diff",
+                engine=engine, fusion=fusion)
+    vm.boot()
+    vm.run(10_000_000)
+    assert vm.is_idle(), f"{name} did not quiesce under {engine}/{fusion}"
+    s = vm.stats
+    return {
+        "output": list(vm.output),
+        "instructions": s.instructions,
+        "reductions": s.reductions,
+        "comm_reductions": s.comm_reductions,
+        "inst_reductions": s.inst_reductions,
+        "threads_spawned": s.threads_spawned,
+        "messages_queued": s.messages_queued,
+        "objects_queued": s.objects_queued,
+        "final_heap": len(vm.heap),
+    }
+
+
+@pytest.mark.parametrize("path", DITYCO, ids=lambda p: p.stem)
+def test_example_programs_identical_across_engines(path):
+    source = path.read_text()
+    ref = _run_vm(source, path.name, "slow", False)
+    for engine, fusion in ARMS:
+        assert _run_vm(source, path.name, engine, fusion) == ref
+
+
+def _chaos_record(run):
+    """Everything a ChaosRun observes, minus the free-form dumps."""
+    return {
+        "outputs": run.outputs,
+        "quiescent": run.quiescent,
+        "elapsed": run.elapsed,
+        "packets": run.packets,
+        "deliveries": run.deliveries,
+        "chaos_dropped": run.chaos_dropped,
+        "chaos_duplicated": run.chaos_duplicated,
+        "chaos_delayed": run.chaos_delayed,
+        "crash_dropped": run.crash_dropped,
+        "fault_log": run.fault_log,
+        "stalled_sites": run.stalled_sites,
+        "violations": run.violations,
+    }
+
+
+@pytest.mark.parametrize("entry", CORPUS, ids=lambda e: e.name)
+def test_corpus_schedules_identical_across_engines(entry, monkeypatch):
+    def arm(engine, fusion):
+        monkeypatch.setenv("REPRO_VM_ENGINE", engine)
+        monkeypatch.setenv("REPRO_VM_FUSION", "1" if fusion else "0")
+        return _chaos_record(run_scenario(
+            SCENARIOS[entry.scenario], entry.seed, entry.config))
+
+    ref = arm("slow", False)
+    for engine, fusion in ARMS:
+        got = arm(engine, fusion)
+        assert got == ref, (
+            f"{entry.name}: {engine}/fusion={fusion} diverged from the "
+            f"reference engine")

