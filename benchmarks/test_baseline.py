@@ -144,6 +144,22 @@ class TestCommittedBaselines:
                       "e9_msg_wire_bytes"):
             assert pr5[exact] == pr4[exact], exact
 
+    def test_pr6_socket_transport_leaves_sim_untouched(self):
+        """The TCP transport is a new substrate beside the simulator,
+        not a change to it: every simulated-time and wire metric must
+        be *equal* to pr5, and the E1 hot path (which never touches a
+        transport) must not regress >10%."""
+        pr5 = _load_baseline("BENCH_pr5.json")
+        pr6 = _load_baseline("BENCH_pr6.json")
+        for exact in ("e2_cross_node_sim_us", "e2_same_node_sim_us",
+                      "e4_fetch_cold_bytes", "e4_refetch_bytes",
+                      "e4_refetch_sim_us", "e9_burst_packets",
+                      "e9_burst_bytes", "e9_burst_packets_nobatch",
+                      "e9_msg_wire_bytes"):
+            assert pr6[exact] == pr5[exact], exact
+        assert pr6["e1_counter_wall_us"] <= \
+            pr5["e1_counter_wall_us"] * 1.10
+
     def test_seed_records_the_uncached_world(self):
         """Guard against accidentally regenerating BENCH_seed.json on a
         post-cache tree: the seed must show refetch bytes scaling with

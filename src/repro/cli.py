@@ -321,6 +321,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_daemon(args: argparse.Namespace) -> int:
+    from repro.runtime.cluster import daemon_main
+
+    return daemon_main(args)
+
+
 def _cmd_shell(args: argparse.Namespace) -> int:  # pragma: no cover
     from repro.runtime import DiTyCONetwork
     from repro.runtime.shell import repl
@@ -452,6 +458,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--json", default=None, metavar="PATH",
                          help="also write the metrics to PATH as JSON")
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_daemon = sub.add_parser(
+        "daemon",
+        help="run one DiTyCO node as an OS process (the paper's TyCOd); "
+             "see docs/TRANSPORT.md")
+    p_daemon.add_argument("--ip", required=True,
+                          help="this node's logical IP (its name in the "
+                               "static topology)")
+    p_daemon.add_argument("--host", default="127.0.0.1",
+                          help="interface to bind (default: 127.0.0.1)")
+    p_daemon.add_argument("--ns", default=None, metavar="HOST:PORT",
+                          help="name service location (required unless "
+                               "--serve-ns)")
+    p_daemon.add_argument("--serve-ns", action="store_true",
+                          help="host the cluster's name service in this "
+                               "daemon")
+    p_daemon.add_argument("--ns-port", type=int, default=0,
+                          help="name service port when --serve-ns "
+                               "(default: ephemeral)")
+    p_daemon.add_argument("--control-port", type=int, default=0,
+                          help="control protocol port (default: ephemeral; "
+                               "printed on the READY line)")
+    p_daemon.add_argument("--quantum", type=int, default=512,
+                          help="instructions per scheduling quantum "
+                               "(default: 512)")
+    p_daemon.set_defaults(func=_cmd_daemon)
 
     p_shell = sub.add_parser("shell", help="interactive TyCOsh")
     p_shell.add_argument("--nodes", default="n1,n2")

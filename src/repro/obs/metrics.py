@@ -362,4 +362,37 @@ def world_metrics(world, registry: Optional[MetricsRegistry] = None
             continue
         lease_handle.labels(ip, site.site_name).set(len(site.distgc.leases))
         sweep_handle.labels(ip, site.site_name).set(site.distgc.stats.sweeps)
+    # Socket-transport connection stats (repro.transport.socket): only
+    # rendered when the world actually ran over TCP, so simulator
+    # expositions are unchanged.
+    if world.stats.handshakes or world.stats.resets \
+            or world.stats.throttled or world.stats.backpressure_waits:
+        socket_g = {
+            "repro_socket_handshakes_total":
+                ("Connection handshakes completed.",
+                 world.stats.handshakes),
+            "repro_socket_handshake_failures_total":
+                ("Handshakes rejected (version/magic).",
+                 world.stats.handshake_failures),
+            "repro_socket_reconnects_total":
+                ("Links re-established after a drop.",
+                 world.stats.reconnects),
+            "repro_socket_resets_total":
+                ("Unclean connection drops observed.",
+                 world.stats.resets),
+            "repro_socket_throttled_total":
+                ("Sends delayed by the token bucket.",
+                 world.stats.throttled),
+            "repro_socket_throttle_wait_seconds_total":
+                ("Cumulative token-bucket wait time.",
+                 world.stats.throttle_wait_s),
+            "repro_socket_backpressure_waits_total":
+                ("Sends that blocked on a full outbound queue.",
+                 world.stats.backpressure_waits),
+            "repro_socket_queue_peak":
+                ("Peak per-link outbound queue depth.",
+                 world.stats.queue_peak),
+        }
+        for name, (help_text, value) in socket_g.items():
+            g(name, help_text).set(value)
     return reg

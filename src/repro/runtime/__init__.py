@@ -6,8 +6,10 @@ future-work features (termination detection, failure detection,
 dynamic checking of remote interactions).
 """
 
+from .cluster import DaemonWorld, ProcessCluster
 from .daemon import DaemonStats, TyCOd, TyCOi
 from .distgc import DistGC, GcConfig, GcScheduler, GcStats
+from .nsnet import NameServiceClient, NameServiceServer
 from .nameservice import (
     NameService,
     NameServiceError,

@@ -84,6 +84,14 @@ class GcConfig:
     def effective_grace_s(self) -> float:
         return self.lease_s if self.grace_s is None else self.grace_s
 
+    @classmethod
+    def wall_clock(cls) -> "GcConfig":
+        """Defaults for wall-clock transports (threaded/socket): the
+        sim-scale terms above are shorter than a GIL scheduling hiccup,
+        so a live holder's lease could expire between two of its node's
+        quanta.  Seconds-scale terms keep the same ratios."""
+        return cls(lease_s=2.0, renew_s=0.5, sweep_s=0.25)
+
 
 @dataclass(slots=True)
 class GcStats:
@@ -294,6 +302,11 @@ class GcScheduler:
     """
 
     def __init__(self, world: "SimWorld", period: float | None = None) -> None:
+        if getattr(world, "wall_clock", False) or \
+                not hasattr(world, "schedule_at"):
+            raise TypeError(
+                "GcScheduler needs a virtual-clock SimWorld; wall-clock "
+                "worlds wake nodes themselves (threads run in real time)")
         self.world = world
         self.period = period if period is not None else GcConfig().sweep_s
         self.ticks = 0

@@ -43,6 +43,15 @@ class HeartbeatMonitor:
                  period: float = 1e-3, timeout: float = 3.5e-3) -> None:
         if timeout <= period:
             raise ValueError("timeout must exceed the heartbeat period")
+        if getattr(world, "wall_clock", False) or \
+                not hasattr(world, "schedule_at"):
+            # The detector pre-schedules ticks on the virtual clock;
+            # silently accepting a wall-clock world would install
+            # millisecond deadlines against time.monotonic() and
+            # suspect every node on the first scheduling hiccup.
+            raise TypeError(
+                "HeartbeatMonitor needs a virtual-clock SimWorld; "
+                f"{type(world).__name__} runs on the wall clock")
         self.world = world
         self.nameservice = nameservice
         self.period = period

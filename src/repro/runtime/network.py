@@ -86,6 +86,15 @@ class DiTyCONetwork:
 
     def add_node(self, ip: str) -> Node:
         """Create one node at a (static) IP address."""
+        gc_config = self.gc_config
+        if self.distgc and gc_config is None and \
+                getattr(self.world, "wall_clock", False):
+            # The GcConfig defaults are simulated-microsecond scale;
+            # on a wall-clock transport they would expire live leases
+            # between scheduling quanta (see GcConfig.wall_clock).
+            from .distgc import GcConfig
+
+            gc_config = GcConfig.wall_clock()
         node = Node(ip, self.nameservice,
                     local_fast_path=self.local_fast_path,
                     fetch_cache=self.fetch_cache,
@@ -93,7 +102,7 @@ class DiTyCONetwork:
                     batching=self.batching,
                     typecheck=self.typecheck,
                     distgc=self.distgc,
-                    gc_config=self.gc_config,
+                    gc_config=gc_config,
                     engine=self.engine,
                     fusion=self.fusion)
         self.world.add_node(node)

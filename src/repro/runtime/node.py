@@ -16,11 +16,12 @@ method (the paper's process/thread architecture).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.compiler.assembly import Program
+
+from repro.transport.clock import monotime
 
 from .daemon import TyCOd, TyCOi
 from .distgc import GcConfig
@@ -88,7 +89,7 @@ class Node:
         self.gc_config = gc_config
         self._gc_sweep_s = (gc_config or GcConfig()).sweep_s
         self._next_sweep = 0.0
-        self._clock: Callable[[], float] = time.monotonic
+        self._clock: Callable[[], float] = monotime
         self._send = send
         self._wakeup: Optional[Callable[[], None]] = None
         self._trace_hook: Optional[Callable] = None
@@ -261,6 +262,36 @@ class Node:
         for site in list(self.sites.values()):
             site.on_peer_suspected(ip)
         self.on_work_available()
+
+    def on_link_reset(self, peer_ip: str) -> None:
+        """The transport lost (and re-established) the connection to
+        ``peer_ip``: any record in flight on that link may be gone, in
+        either direction.  Treat it like the peer crash-restarting from
+        this node's point of view: re-drive every in-flight code
+        request, exactly as :meth:`on_restart` does after a real crash.
+
+        Only sites with *pending* protocol state re-drive -- a site
+        with nothing outstanding has nothing to recover (plain lost
+        messages stay lost, matching the simulator's crash-drop
+        semantics), and re-driving is idempotent anyway: a duplicated
+        FETCH_REPLY finds no pending entry and installed code is
+        content-addressed.
+        """
+        for site in list(self.sites.values()):
+            if site._pending_code or site._pending_fetch:
+                site.on_restart()
+        self.on_work_available()
+
+    def code_generation(self) -> int:
+        """Sum of the per-site code-cache generations: a cheap scalar
+        that only moves when some site invalidated in-flight cache
+        state.  Carried in the socket transport's handshake so peers
+        can observe that a reconnecting node re-drove its requests."""
+        total = 0
+        for site in self.sites.values():
+            if site.codecache is not None:
+                total += site.codecache.generation
+        return total
 
     def on_restart(self) -> None:
         """The world restarted this node after a crash: let every site

@@ -24,12 +24,12 @@ and provides everything the extension list in section 5 requires:
 
 from __future__ import annotations
 
-import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.compiler.assembly import Program
+from repro.transport.clock import monotime
 from repro.compiler.linker import extract_bundle
 from repro.vm.machine import ImportPending, TycoVM, VMRuntimeError
 from repro.vm.values import (
@@ -121,7 +121,7 @@ class Site:
         # opt-in like ``typecheck``.  ``clock`` supplies the time base
         # leases live on (the world's virtual clock under simulation).
         self.distgc: Optional[DistGC] = DistGC(gc_config) if distgc else None
-        self.clock: Callable[[], float] = clock or time.monotonic
+        self.clock: Callable[[], float] = clock or monotime
         # hint -> id currently registered with the name service; the
         # registration itself pins the id (an importer may claim at any
         # time), so these survive every sweep until unexported.

@@ -28,6 +28,7 @@ docs/TESTING.md for the promotion workflow).
 
 from .chaos import ChaosConfig, ChaosWorld, CrashEvent
 from .explore import ChaosRun, ExplorationReport, explore, run_scenario
+from .proxy import ChaosProxy, LinkReset
 from .invariants import (
     check_export_liveness,
     check_message_accounting,

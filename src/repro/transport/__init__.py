@@ -7,6 +7,7 @@ reproduces the process/thread deployment architecture.
 """
 
 from .base import TransportStats, World
+from .clock import monotime
 from .links import (
     FAST_ETHERNET,
     LOOPBACK,
@@ -17,6 +18,7 @@ from .links import (
     myrinet_cluster,
 )
 from .sim import SimWorld
+from .socket import SocketEndpoint, SocketWorld, StreamDecoder, TokenBucket
 from .threaded import ThreadedWorld
 
 __all__ = [name for name in dir() if not name.startswith("_")]

@@ -30,15 +30,37 @@ if TYPE_CHECKING:  # pragma: no cover
 
 @dataclass(slots=True)
 class TransportStats:
-    """Traffic accounting common to both worlds."""
+    """Traffic accounting common to every world.
+
+    The first three fields are meaningful everywhere; the remainder
+    are only driven by the socket transport (handshakes, reconnects,
+    token-bucket throttling, bounded-queue backpressure) and stay at
+    their zero defaults under the simulated and threaded worlds -- so
+    existing consumers and renders are unaffected.
+    """
 
     packets: int = 0
     bytes: int = 0
     max_in_flight: int = 0
+    # -- socket transport only (repro.transport.socket) --
+    handshakes: int = 0            # connections fully handshaken
+    handshake_failures: int = 0    # rejected (version/magic mismatch)
+    reconnects: int = 0            # re-established links (attempt >= 2)
+    resets: int = 0                # unclean connection drops observed
+    throttled: int = 0             # records delayed by the token bucket
+    throttle_wait_s: float = 0.0   # total seconds spent throttled
+    backpressure_waits: int = 0    # sends that blocked on a full queue
+    queue_peak: int = 0            # max records queued on any one link
 
 
 class World(ABC):
     """Owns nodes; delivers buffers; runs the network to quiescence."""
+
+    #: True for transports whose :attr:`time` is the process monotonic
+    #: clock (threaded, socket); False for the virtual-clock simulator.
+    #: Wall-clock-sensitive layers (distgc lease terms, failure
+    #: detectors) branch on this instead of isinstance checks.
+    wall_clock: bool = False
 
     def __init__(self) -> None:
         self.nodes: dict[str, "Node"] = {}
@@ -91,3 +113,8 @@ class World(ABC):
 
     def is_quiescent(self) -> bool:
         return all(n.is_quiescent() for n in self.nodes.values())
+
+    def is_failed(self, ip: str) -> bool:
+        """Is the node at ``ip`` currently crashed?  Worlds without
+        failure injection never have failed nodes."""
+        return False

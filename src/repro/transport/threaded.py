@@ -30,10 +30,13 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.node import Node
 
 from .base import World
+from .clock import monotime
 
 
 class ThreadedWorld(World):
     """One thread per node, real queues, wall-clock time."""
+
+    wall_clock = True
 
     def __init__(self, quantum: int = 512, idle_wait_s: float = 0.0005) -> None:
         super().__init__()
@@ -54,7 +57,7 @@ class ThreadedWorld(World):
 
     @property
     def time(self) -> float:
-        return _time.monotonic()
+        return monotime()
 
     def add_node(self, node: "Node") -> None:
         if self._started:
@@ -68,7 +71,7 @@ class ThreadedWorld(World):
         self._busy[node.ip] = True
         node.attach_transport(self._send,
                               wakeup=lambda ip=node.ip: self._wake(ip),
-                              clock=_time.monotonic)
+                              clock=monotime)
         node.attach_obs(self.obs)
 
     def _wake(self, ip: str) -> None:
@@ -153,15 +156,15 @@ class ThreadedWorld(World):
         if ``max_time`` elapses first.
         """
         self.start()
-        deadline = None if max_time is None else _time.monotonic() + max_time
-        start = _time.monotonic()
+        deadline = None if max_time is None else monotime() + max_time
+        start = monotime()
         while True:
             quiet1, gens1 = self._snapshot()
             if quiet1:
                 _time.sleep(self.idle_wait_s)
                 quiet2, gens2 = self._snapshot()
                 if quiet2 and gens1 == gens2:
-                    return _time.monotonic() - start
-            if deadline is not None and _time.monotonic() > deadline:
+                    return monotime() - start
+            if deadline is not None and monotime() > deadline:
                 raise TimeoutError("network did not reach quiescence")
             _time.sleep(self.idle_wait_s)

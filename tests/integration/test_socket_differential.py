@@ -1,0 +1,151 @@
+"""Cross-world differential testing: the same program must reach the
+same final observable state on the deterministic simulator
+(:class:`SimWorld`), the in-process threaded transport
+(:class:`ThreadedWorld`), and real TCP (:class:`SocketWorld`).
+
+Two tiers of strictness:
+
+* **Phased example programs** -- each phase is launched only after the
+  previous one reached quiescence, so imports resolve on their first
+  execution (no import-stall retries, which re-execute the IMPORT
+  instruction and would make counts timing-dependent).  These compare
+  *everything*: printed outputs, name-service export tables, heap
+  export pins, and per-site VMStats instruction counts.
+
+* **Unphased corpus scenarios** (echo/pump/applet from the chaos
+  corpus, fault-free) -- concurrent launches race their imports, so
+  instruction counts legitimately differ; outputs and export tables
+  must still agree exactly.
+"""
+
+import pytest
+
+from repro.runtime import DiTyCONetwork
+from repro.transport import SocketWorld, ThreadedWorld
+
+from ..testkit.scenarios import SCENARIOS
+
+WORLDS = ["sim", "threaded", "socket"]
+
+#: name -> list of phases; a phase is [(ip, site_name, source), ...].
+#: Sources follow the paper's examples: service calls (code shipping)
+#: and applet instantiation (code fetching).
+PROGRAMS = {
+    "ping": [
+        [("n1", "server", "export new svc svc?(r) = r![7]")],
+        [("n2", "client",
+          "import svc from server in new a (svc![a] | a?(w) = print![w])")],
+    ],
+    "fetch-twice": [
+        [("n1", "server", "export def Applet(out) = out![6 * 7] in 0")],
+        [("n2", "client",
+          "import Applet from server in "
+          "(new v (Applet[v] | v?(w) = print![w]) "
+          "| new u (Applet[u] | u?(x) = print![x]))")],
+    ],
+    "pump-two-clients": [
+        [("hub", "server", """
+          export new svc
+          def Pump(self) = self?{ call(reply, tag) = (reply![tag] | Pump[self]) }
+          in Pump[svc]
+          """)],
+        [("c0", "client0",
+          "import svc from server in new a (svc!call[a, 10] | a?(v) = print![v])"),
+         ("c1", "client1",
+          "import svc from server in new a (svc!call[a, 11] | a?(v) = print![v])")],
+    ],
+    "relay-chain": [
+        [("n3", "store", "export new cell cell?(r) = r![99]")],
+        [("n2", "mid", """
+          import cell from store in
+          export new relay relay?(out) = new a (cell![a] | a?(v) = out![v])
+          """)],
+        [("n1", "edge",
+          "import relay from mid in new b (relay![b] | b?(w) = print![w])")],
+    ],
+}
+
+
+def _make_world(kind):
+    if kind == "sim":
+        return None                     # DiTyCONetwork's default SimWorld
+    if kind == "threaded":
+        return ThreadedWorld()
+    return SocketWorld()
+
+
+def _observe(net, counts=True):
+    """The cross-world comparable digest of a finished network."""
+    world = net.world
+    sites = [site for node in world.nodes.values()
+             for site in node.sites.values()]
+    snap = net.nameservice.snapshot()
+    obs = {
+        "outputs": {s.site_name: tuple(s.output) for s in sites},
+        "ns_sites": sorted(snap["sites"]),
+        "ns_names": sorted(snap["names"]),
+        "ns_classes": sorted(snap["classes"]),
+        "heap_exports": {s.site_name: sorted(s.exported_ids) for s in sites},
+    }
+    if counts:
+        obs["instructions"] = {s.site_name: s.vm.stats.instructions
+                               for s in sites}
+    return obs
+
+
+def run_phased(kind, phases, max_time=30.0):
+    world = _make_world(kind)
+    net = DiTyCONetwork(world=world)
+    for phase in phases:
+        for ip, _name, _src in phase:
+            if ip not in net.world.nodes:
+                net.add_node(ip)
+    try:
+        for phase in phases:
+            for ip, name, src in phase:
+                net.launch(ip, name, src)
+            net.run(max_time=None if kind == "sim" else max_time)
+        assert net.is_quiescent()
+        return _observe(net)
+    finally:
+        if kind == "socket":
+            net.world.shutdown()
+
+
+def run_scenario_everywhere(kind, scenario, max_time=30.0):
+    world = _make_world(kind)
+    net = DiTyCONetwork(world=world)
+    try:
+        SCENARIOS[scenario](net)
+        net.run(max_time=None if kind == "sim" else max_time)
+        assert net.is_quiescent()
+        return _observe(net, counts=False)
+    finally:
+        if kind == "socket":
+            net.world.shutdown()
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS), ids=str)
+def test_phased_programs_agree_across_worlds(name):
+    phases = PROGRAMS[name]
+    reference = run_phased("sim", phases)
+    for kind in WORLDS[1:]:
+        assert run_phased(kind, phases) == reference, (
+            f"{name}: {kind} world diverged from the simulator")
+
+
+@pytest.mark.parametrize("scenario", ["echo", "pump", "applet"], ids=str)
+def test_corpus_scenarios_agree_across_worlds(scenario):
+    reference = run_scenario_everywhere("sim", scenario)
+    for kind in WORLDS[1:]:
+        assert run_scenario_everywhere(kind, scenario) == reference, (
+            f"{scenario}: {kind} world diverged from the simulator")
+
+
+def test_phased_ping_expected_answer():
+    """Anchor the digest itself: the comparison above would also pass
+    if every world were wrong in the same way."""
+    obs = run_phased("sim", PROGRAMS["ping"])
+    assert obs["outputs"]["client"] == (7,)
+    assert ("server", "svc") in obs["ns_names"]
+    assert obs["instructions"]["client"] > 0

@@ -14,7 +14,7 @@ here with a note saying *why* the schedule matters.
 
 from dataclasses import dataclass, field
 
-from repro.testkit import ChaosConfig, CrashEvent
+from repro.testkit import ChaosConfig, CrashEvent, LinkReset
 
 
 @dataclass(frozen=True)
@@ -160,5 +160,75 @@ CORPUS = [
         fault_kinds=(),
         note="A jitter window 100x the link latency scrambles delivery "
              "order completely; confluence holds for the race-free pump.",
+    ),
+]
+
+
+# -- the chaos-*proxy* corpus (docs/TRANSPORT.md, proxy mode) ---------------
+#
+# The same fault envelopes replayed against real TCP through the
+# ChaosProxy relay.  A proxy run draws each link's fault decisions
+# from ``Random(f"{seed}:{src}:{dst}")`` in per-link record order, so
+# the per-link fault sequence is pinned -- but wall-clock interleaving
+# across links is not, which is why these entries pin *invariants*
+# (and convergence where the protocol guarantees it) rather than the
+# simulator corpus's exact outputs.
+
+@dataclass(frozen=True)
+class ProxyCorpusEntry:
+    name: str
+    scenario: str                   # key into scenarios.SCENARIOS
+    seed: int
+    config: ChaosConfig
+    resets: tuple = ()              # testkit.proxy.LinkReset events
+    converges: dict | None = None   # site -> outputs, when guaranteed
+    note: str = ""
+
+
+def _sim_entry(name: str) -> CorpusEntry:
+    return next(e for e in CORPUS if e.name == name)
+
+
+def _replay(sim_name: str, note: str,
+            converges: dict | None = None) -> ProxyCorpusEntry:
+    """A proxy entry replaying a pinned simulator (scenario, seed,
+    config) triple over real sockets."""
+    sim = _sim_entry(sim_name)
+    return ProxyCorpusEntry(
+        name=f"proxy-{sim_name}", scenario=sim.scenario, seed=sim.seed,
+        config=sim.config, converges=converges, note=note)
+
+
+_PUMP_ANSWERS = {"client0": (0,), "client1": (1,), "client2": (2,),
+                 "client3": (3,), "server": ()}
+
+PROXY_CORPUS = [
+    _replay("echo-request-dropped",
+            note="Record loss on a real stream: either the request or "
+                 "the reply may vanish at the relay; whatever the "
+                 "schedule, no packet may vanish *unaccounted*."),
+    _replay("pump-dup-storm",
+            converges=_PUMP_ANSWERS,
+            note="Every data record forwarded twice over TCP: "
+                 "at-least-once delivery must preserve the race-free "
+                 "answer, exactly as in the simulator."),
+    _replay("pump-jitter-reorder",
+            converges=_PUMP_ANSWERS,
+            note="Relay-side jitter sleeps whole streams, preserving "
+                 "per-link FIFO while real concurrency reorders "
+                 "across links; confluence must hold."),
+    ProxyCorpusEntry(
+        name="applet-reset-mid-fetch",
+        scenario="applet", seed=13, config=ChaosConfig(),
+        resets=(LinkReset("n1", "n2", after=1),),
+        converges={"client": (42,), "server": ()},
+        note="The server->client connection is RST just as the first "
+             "reply record (the FETCH offer) goes through it -- the "
+             "record dies in flight.  The dialer reconnects with a "
+             "bumped attempt counter, the handshake tells the client "
+             "node the link was reset, the client re-drives its "
+             "pending FETCH (generation bump + fresh FETCH_REQUEST), "
+             "and the fetch re-converges to the same answer: the "
+             "socket analogue of applet-crash-mid-fetch.",
     ),
 ]
