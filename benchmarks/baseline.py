@@ -44,6 +44,12 @@ Metric glossary
 - ``e10_churn_final_heap_off`` -- same workload with distgc off; the
   conservative collector pins every exported id, so this grows
   linearly with the cycles.  Absent on pre-distgc trees.
+- ``e14_pubsub_*`` / ``e15_mapreduce_*`` / ``e16_agents_*`` -- macro
+  workload latency gates: ``_p50_us`` / ``_p99_us`` / ``_makespan_us``
+  / ``_sim_ops_per_s`` are exact simulated values (pure functions of
+  the workload spec; pinned bit-for-bit across PRs), ``_wall_ms`` is
+  host time to run the same simulation.  Absent on trees predating
+  ``repro.workloads``.
 """
 
 from __future__ import annotations
@@ -190,8 +196,40 @@ def _burst(batching: bool) -> tuple[int, int]:
     return net.world.stats.packets, net.world.stats.bytes
 
 
+def _macro_metrics(metrics: dict, group: str, bench_module: str,
+                   repeats: int) -> None:
+    """E14-E16: one deterministic sim run per macro workload (the
+    latency distribution is a pure function of the spec, so p50/p99
+    and the virtual makespan are pinned exactly across PRs) plus a
+    wall-clock timing of the same run for host-speed regressions.
+    Silently skipped on trees that predate ``repro.workloads``."""
+    import importlib
+
+    try:
+        importlib.import_module("repro.workloads")
+    except ImportError:
+        return
+    mod = importlib.import_module(bench_module)
+    rep = mod.run()
+    assert not rep.violations, f"{group}: {rep.violations}"
+    s = rep.summary()
+    prefix = f"{group}_{rep.spec.workload}"
+    metrics[f"{prefix}_ops"] = s["completed"]
+    metrics[f"{prefix}_p50_us"] = s["p50_us"]
+    metrics[f"{prefix}_p99_us"] = s["p99_us"]
+    metrics[f"{prefix}_makespan_us"] = s["makespan_us"]
+    metrics[f"{prefix}_sim_ops_per_s"] = s["throughput_ops_per_s"]
+
+    def timed() -> float:
+        start = time.perf_counter()
+        mod.run()
+        return (time.perf_counter() - start) * 1e3
+
+    _put_timing(metrics, f"{prefix}_wall_ms", _timed_runs(timed, repeats))
+
+
 #: Experiment groups ``collect_metrics(only=...)`` understands.
-GROUPS = ("e1", "e2", "e4", "e9", "e10")
+GROUPS = ("e1", "e2", "e4", "e9", "e10", "e14", "e15", "e16")
 
 
 def collect_metrics(repeats: int | None = None,
@@ -259,6 +297,13 @@ def collect_metrics(repeats: int | None = None,
         metrics["e10_churn_peak_heap_on"] = on["peak_heap"]
         metrics["e10_churn_reclaimed_on"] = on["reclaimed"]
         metrics["e10_churn_final_heap_off"] = off["final_heap"]
+
+    if want("e14"):
+        _macro_metrics(metrics, "e14", "bench_e14_pubsub", repeats)
+    if want("e15"):
+        _macro_metrics(metrics, "e15", "bench_e15_mapreduce", repeats)
+    if want("e16"):
+        _macro_metrics(metrics, "e16", "bench_e16_agents", repeats)
     return metrics
 
 

@@ -34,6 +34,9 @@ EXPERIMENTS = {
     "e12": ("bench_e12_termination", "termination-detection overhead"),
     "e13": ("bench_e13_failure", "failure detection and recovery"),
     "e10gc": ("bench_e10_distgc", "distributed GC churn"),
+    "e14": ("bench_e14_pubsub", "macro: pub/sub chat fabric"),
+    "e15": ("bench_e15_mapreduce", "macro: map-reduce code movement"),
+    "e16": ("bench_e16_agents", "macro: mobile-agent pipeline"),
 }
 
 
@@ -52,8 +55,16 @@ def print_table(rows: list[dict]) -> None:
                                 for k in keys))
 
 
-def main() -> None:
-    argv = sys.argv[1:]
+def _reject_unknown(names) -> None:
+    unknown = sorted(set(names) - set(EXPERIMENTS))
+    if unknown:
+        raise SystemExit(
+            f"unknown experiment(s): {', '.join(unknown)} "
+            f"(choose from {', '.join(sorted(EXPERIMENTS))})")
+
+
+def main(argv: list[str] | None = None) -> None:
+    argv = sys.argv[1:] if argv is None else argv
     if argv[:1] == ["--json"]:
         import baseline
 
@@ -72,12 +83,16 @@ def main() -> None:
             else:
                 out = rest[i]
                 i += 1
-        for key, value in sorted(
-                baseline.write_json(out, repeats, only=only).items()):
+        try:
+            metrics = baseline.write_json(out, repeats, only=only)
+        except ValueError as exc:          # unknown --only group
+            raise SystemExit(str(exc))
+        for key, value in sorted(metrics.items()):
             print(f"{key}: {value}")
         print(f"wrote {out}")
         return
     wanted = [w.lower() for w in argv] or list(EXPERIMENTS)
+    _reject_unknown(wanted)
     for key in wanted:
         module_name, title = EXPERIMENTS[key]
         print(f"\n== {key.upper()}: {title} ==")

@@ -160,6 +160,50 @@ class TestCommittedBaselines:
         assert pr6["e1_counter_wall_us"] <= \
             pr5["e1_counter_wall_us"] * 1.10
 
+    def test_pr7_macro_workloads_leave_existing_metrics_untouched(self):
+        """The macro-workload PR adds experiments beside E1-E13, not
+        changes to them: every simulated-time and wire metric must be
+        *equal* to pr6, and the E1 hot path must not regress >10%."""
+        pr6 = _load_baseline("BENCH_pr6.json")
+        pr7 = _load_baseline("BENCH_pr7.json")
+        for exact in ("e2_cross_node_sim_us", "e2_same_node_sim_us",
+                      "e4_fetch_cold_bytes", "e4_refetch_bytes",
+                      "e4_refetch_sim_us", "e9_burst_packets",
+                      "e9_burst_bytes", "e9_burst_packets_nobatch",
+                      "e9_msg_wire_bytes"):
+            assert pr7[exact] == pr6[exact], exact
+        assert pr7["e1_counter_wall_us"] <= \
+            pr6["e1_counter_wall_us"] * 1.10
+
+    def test_pr7_macro_latency_gates_are_sane(self):
+        """E14-E16 must report a full latency record: every operation
+        completed, percentiles ordered, makespan and throughput
+        positive."""
+        pr7 = _load_baseline("BENCH_pr7.json")
+        for prefix in ("e14_pubsub", "e15_mapreduce", "e16_agents"):
+            assert pr7[f"{prefix}_ops"] > 0, prefix
+            p50 = pr7[f"{prefix}_p50_us"]
+            p99 = pr7[f"{prefix}_p99_us"]
+            assert 0 < p50 <= p99, prefix
+            assert pr7[f"{prefix}_makespan_us"] >= p99, prefix
+            assert pr7[f"{prefix}_sim_ops_per_s"] > 0, prefix
+
+    def test_pr7_macro_sim_metrics_reproduce_exactly(self):
+        """Live determinism wall: re-run the macro workloads on this
+        checkout; the simulated latency percentiles, makespans and
+        throughputs must match the committed record bit-for-bit (they
+        are pure functions of the specs -- any drift means a schedule
+        change, which this gate forces the PR to own)."""
+        from baseline import collect_metrics
+
+        pr7 = _load_baseline("BENCH_pr7.json")
+        live = collect_metrics(repeats=1, only={"e14", "e15", "e16"})
+        assert live, "repro.workloads missing on this checkout"
+        for key, value in sorted(live.items()):
+            if "_wall_ms" in key:
+                continue                  # host-speed, not pinned
+            assert pr7[key] == value, key
+
     def test_seed_records_the_uncached_world(self):
         """Guard against accidentally regenerating BENCH_seed.json on a
         post-cache tree: the seed must show refetch bytes scaling with

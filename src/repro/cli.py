@@ -13,6 +13,7 @@
     python -m repro trace --out t.json SESSION    causal trace (Perfetto JSON)
     python -m repro trace-check t.json            validate a trace file
     python -m repro bench --only e1,e2            baseline benchmark metrics
+    python -m repro workload pubsub --ops 100     macro workload latency run
 
 The single-program form plays the role of launching one site through
 TyCOsh on a fresh node; the ``net`` form drives a whole simulated
@@ -321,6 +322,73 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_workload(args: argparse.Namespace) -> int:
+    """Run one macro workload (docs/WORKLOADS.md) and print latency."""
+    import dataclasses
+    import json
+    import time
+
+    from repro.workloads import WorkloadError, WorkloadSpec, run_workload
+
+    try:
+        if args.spec is not None:
+            if args.workload is not None:
+                print("pass a workload name or --spec, not both",
+                      file=sys.stderr)
+                return 2
+            spec = WorkloadSpec.from_json(Path(args.spec).read_text())
+        elif args.workload is not None:
+            spec = WorkloadSpec(args.workload)
+        else:
+            print("workload name or --spec required", file=sys.stderr)
+            return 2
+        overrides = {name: getattr(args, name)
+                     for name in ("seed", "ops", "rate_per_s", "nodes",
+                                  "topics", "subscribers", "workers",
+                                  "stages")
+                     if getattr(args, name) is not None}
+        if overrides:
+            spec = dataclasses.replace(spec, **overrides)
+    except (WorkloadError, OSError, json.JSONDecodeError) as exc:
+        print(f"bad workload spec: {exc}", file=sys.stderr)
+        return 2
+
+    start = time.perf_counter()
+    try:
+        report = run_workload(spec, world=args.world,
+                              max_time=args.max_time)
+    except WorkloadError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    host_ms = (time.perf_counter() - start) * 1e3
+    summary = report.summary()
+
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(f"workload {spec.workload} world={report.world} "
+              f"seed={spec.seed} ops={spec.ops}")
+        print(f"completed: {summary['completed']}/{summary['ops']}  "
+              f"makespan: {summary['makespan_us']}us  "
+              f"throughput: {summary['throughput_ops_per_s']} ops/s")
+        header = f"{'op':<10} {'count':>6} {'p50_us':>10} " \
+                 f"{'p90_us':>10} {'p99_us':>10} {'max_us':>10}"
+        print(header)
+        for op in sorted(summary["per_op"]):
+            row = summary["per_op"][op]
+            print(f"{op:<10} {row['count']:>6} {row['p50_us']:>10} "
+                  f"{row['p90_us']:>10} {row['p99_us']:>10} "
+                  f"{row['max_us']:>10}")
+    if args.metrics is not None:
+        _write_or_print(args.metrics, report.registry.render())
+    print(f"-- host time: {host_ms:.0f}ms", file=sys.stderr)
+    if report.violations:
+        for message in report.violations:
+            print(f"VIOLATION: {message}", file=sys.stderr)
+        return 3
+    return 0
+
+
 def _cmd_daemon(args: argparse.Namespace) -> int:
     from repro.runtime.cluster import daemon_main
 
@@ -458,6 +526,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--json", default=None, metavar="PATH",
                          help="also write the metrics to PATH as JSON")
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_wl = sub.add_parser(
+        "workload",
+        help="run a macro workload (pub/sub, map-reduce, agents) under "
+             "seeded open-loop traffic; see docs/WORKLOADS.md")
+    p_wl.add_argument("workload", nargs="?", default=None,
+                      choices=("pubsub", "mapreduce", "agents"),
+                      help="workload name (or use --spec)")
+    p_wl.add_argument("--spec", default=None, metavar="PATH",
+                      help="WorkloadSpec JSON file (canonical form, as "
+                           "written by WorkloadSpec.to_json)")
+    p_wl.add_argument("--world", default="sim",
+                      choices=("sim", "threaded", "socket"),
+                      help="substrate: deterministic simulator or a "
+                           "wall-clock transport (default: sim)")
+    p_wl.add_argument("--seed", type=int, default=None,
+                      help="traffic RNG seed (default: spec's)")
+    p_wl.add_argument("--ops", type=int, default=None,
+                      help="number of operations")
+    p_wl.add_argument("--rate", type=float, default=None, dest="rate_per_s",
+                      help="mean open-loop arrival rate, ops/s")
+    p_wl.add_argument("--nodes", type=int, default=None,
+                      help="node count")
+    p_wl.add_argument("--topics", type=int, default=None,
+                      help="pub/sub: topic hub count")
+    p_wl.add_argument("--subscribers", type=int, default=None,
+                      help="pub/sub: subscribers per topic")
+    p_wl.add_argument("--workers", type=int, default=None,
+                      help="map-reduce: worker pool size")
+    p_wl.add_argument("--stages", type=int, default=None,
+                      help="agents: pipeline length")
+    p_wl.add_argument("--max-time", type=float, default=None,
+                      help="wall-clock drain bound in seconds "
+                           "(default: 30; ignored on sim)")
+    p_wl.add_argument("--json", action="store_true",
+                      help="print the latency summary as JSON "
+                           "(deterministic on sim)")
+    p_wl.add_argument("--metrics", metavar="PATH", default=None,
+                      help="write the Prometheus-style metrics "
+                           "exposition (- for stdout)")
+    p_wl.set_defaults(func=_cmd_workload)
 
     p_daemon = sub.add_parser(
         "daemon",

@@ -21,6 +21,7 @@ queue lengths) at call time -- gauges are snapshots, not streams.
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, Optional
 
 from .events import ObsEvent, category_of
@@ -68,19 +69,33 @@ class Gauge:
 
 
 class Histogram:
-    """Cumulative-bucket histogram (one labelled series)."""
+    """Cumulative-bucket histogram (one labelled series).
 
-    __slots__ = ("buckets", "counts", "sum", "count")
+    Beyond the Prometheus-shaped bucket counters the instrument tracks
+    the exact ``min``/``max`` observed, which lets
+    :meth:`percentile` clamp its within-bucket interpolation to the
+    actually observed range -- a single sample (or any number of
+    duplicates of one value) reports that value exactly instead of a
+    bucket midpoint.
+    """
+
+    __slots__ = ("buckets", "counts", "sum", "count", "min", "max")
 
     def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
         self.buckets = tuple(sorted(buckets))
         self.counts = [0] * len(self.buckets)
         self.sum = 0.0
         self.count = 0
+        self.min = math.inf
+        self.max = -math.inf
 
     def observe(self, value: float) -> None:
         self.sum += value
         self.count += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
         for i, bound in enumerate(self.buckets):
             if value <= bound:
                 self.counts[i] += 1
@@ -90,6 +105,49 @@ class Histogram:
         out = [(bound, self.counts[i]) for i, bound in enumerate(self.buckets)]
         out.append((float("inf"), self.count))
         return out
+
+    def percentile(self, q: float) -> float | None:
+        """The ``q``-th percentile estimated from the buckets.
+
+        Nearest-rank over the cumulative bucket counts with linear
+        interpolation inside the chosen bucket, clamped to the exact
+        observed ``[min, max]`` range.  Deterministic -- a pure
+        function of the observation multiset -- so snapshots of the
+        same simulated run always agree.  Returns ``None`` on an empty
+        series; raises :class:`MetricsError` for ``q`` outside
+        ``[0, 100]``.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise MetricsError(f"percentile q must be in [0, 100], got {q}")
+        if self.count == 0:
+            return None
+        target = max(1, math.ceil(q / 100.0 * self.count))
+        prev_bound = 0.0
+        prev_cum = 0
+        for bound, cum in self.bucket_values():
+            if cum >= target:
+                in_bucket = cum - prev_cum
+                rank = target - prev_cum
+                lo = max(prev_bound, self.min)
+                hi = self.max if math.isinf(bound) else min(bound, self.max)
+                if hi <= lo or in_bucket == 0:
+                    value = hi
+                else:
+                    value = lo + (hi - lo) * (rank / in_bucket)
+                return min(max(value, self.min), self.max)
+            prev_bound = bound
+            prev_cum = cum
+        return self.max  # pragma: no cover - +Inf bucket always matches
+
+    def summary(self) -> dict:
+        """A snapshot dict: count/sum/min/max plus p50/p90/p99."""
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0, "min": None, "max": None,
+                    "p50": None, "p90": None, "p99": None}
+        return {"count": self.count, "sum": self.sum,
+                "min": self.min, "max": self.max,
+                "p50": self.percentile(50), "p90": self.percentile(90),
+                "p99": self.percentile(99)}
 
 
 _INSTRUMENTS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
@@ -293,6 +351,13 @@ class _Noop:
 
     def observe(self, value: float) -> None:
         pass
+
+    def percentile(self, q: float) -> None:
+        """Capped series have no data; mirror an empty histogram."""
+        return None
+
+    def summary(self) -> dict:
+        return Histogram().summary()
 
 
 _NOOP = _Noop()

@@ -1,0 +1,30 @@
+"""Macro workloads: applications that look like traffic.
+
+Three real DiTyCO applications -- the pub/sub chat fabric, map-reduce
+with FETCH code movement, and the mobile-agent pipeline -- plus the
+seeded open-loop generator that drives them and the runner that
+stopwatches every operation (docs/WORKLOADS.md).
+"""
+
+from .spec import (DEFAULT_MIX, WORKLOADS, Arrival, WorkloadError,
+                   WorkloadSpec, generate_trace, trace_digest, trace_json)
+from .runner import (APPS, LATENCY_BUCKETS, WORLD_KINDS, WorkloadReport,
+                     expected_outputs, install_scenario, run_workload)
+
+__all__ = [
+    "APPS",
+    "Arrival",
+    "DEFAULT_MIX",
+    "LATENCY_BUCKETS",
+    "WORKLOADS",
+    "WORLD_KINDS",
+    "WorkloadError",
+    "WorkloadReport",
+    "WorkloadSpec",
+    "expected_outputs",
+    "generate_trace",
+    "install_scenario",
+    "run_workload",
+    "trace_digest",
+    "trace_json",
+]

@@ -1,0 +1,67 @@
+"""E15 -- map-reduce over worker sites with FETCH code movement.
+
+The master node (``n0``) exports two things: the ``MapTask`` *class*
+-- which every task site FETCHes, so the map code moves to the data's
+node exactly as the paper's SETI example ships its ``Install/Go`` loop
+-- and the ``acc`` reducer object that folds partial results.  One
+generated ``map`` operation launches a task site on a seeded worker
+node; the task fetches the class, maps its chunk locally
+(``chunk * chunk``), sends the partial to the reducer, and reports
+completion to the collector once the reducer acknowledges the fold.
+
+The reducer's running total makes the end state checkable: after the
+traffic drains, a probe site reads ``acc`` and must see exactly
+``sum(chunk^2)`` over the whole trace -- every map operation folded
+exactly once, whatever the interleaving.
+"""
+
+from __future__ import annotations
+
+from .spec import Arrival, WorkloadSpec
+from .pubsub import COLLECTOR_SRC
+
+MASTER_SRC = """
+export def MapTask(x, r) = r![x * x]
+in export new acc
+def Red(self, total) =
+  self?{ add(v, k) = (k![total + v] | Red[self, total + v]),
+         read(r) = (r![total] | Red[self, total]) }
+in Red[acc, 0]
+"""
+
+PROBE_SITE = "probe"
+
+
+def setup_phases(spec: WorkloadSpec) -> list[list[tuple[str, str, str]]]:
+    return [[(spec.node_ip(0), "master", MASTER_SRC),
+             (spec.node_ip(0), "collector", COLLECTOR_SRC)]]
+
+
+def op_entry(spec: WorkloadSpec, arrival: Arrival) -> tuple[str, str, str]:
+    if arrival.op != "map":
+        raise ValueError(f"mapreduce cannot run op {arrival.op!r}")
+    src = f"""
+    import MapTask from master in
+    import acc from master in
+    import done from collector in
+    new r (MapTask[{arrival.key}, r]
+           | r?(v) = new k (acc!add[v, k] | k?(t) = done![{arrival.seq}]))
+    """
+    return spec.node_ip(arrival.node), f"op{arrival.seq}", src
+
+
+def post_phases(spec: WorkloadSpec,
+                trace: list[Arrival]) -> list[list[tuple[str, str, str]]]:
+    """After the traffic drains, read the reducer's final total."""
+    probe = ("import acc from master in "
+             "new r (acc!read[r] | r?(t) = print![t])")
+    return [[(spec.node_ip(min(1, spec.nodes - 1)), PROBE_SITE, probe)]]
+
+
+def expected_outputs(spec: WorkloadSpec,
+                     trace: list[Arrival]) -> dict[str, tuple]:
+    total = sum(a.key * a.key for a in trace)
+    return {
+        "collector": tuple(sorted(a.seq for a in trace)),
+        PROBE_SITE: (total,),
+    }

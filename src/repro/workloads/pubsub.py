@@ -1,0 +1,103 @@
+"""E14 -- the pub/sub chat fabric.
+
+``topics`` hub sites each fan every published value out to
+``subscribers`` subscriber sites; publisher client sites arrive
+open-loop, publish one value to a seeded topic and forward the hub's
+ack to the collector (the latency stopwatch).  ``ping`` operations hit
+the hub without fanning out, so the mix separates hub round-trip time
+from fan-out cost.
+
+Site map (all spread round-robin over the spec's nodes):
+
+==============  =========================================================
+``sub_t{t}_{j}``  subscriber ``j`` of topic ``t``; exports ``box_t{t}_{j}``
+``topic{t}``      the topic hub; imports its boxes, exports ``tch{t}``
+``collector``     the completion sink; exports ``done``
+``op{seq}``       one client site per generated operation
+==============  =========================================================
+
+Messages travel publisher -> hub -> {subscribers..., ack}, so one
+publish exercises remote sends, the name service (three imports per
+client site) and per-destination batching in a single operation.
+"""
+
+from __future__ import annotations
+
+from .spec import Arrival, WorkloadSpec
+
+COLLECTOR_SRC = ("export new done "
+                 "def Sink(c) = c?(v) = (print![v] | Sink[c]) in Sink[done]")
+
+
+def _subscriber_entry(spec: WorkloadSpec, topic: int,
+                      j: int) -> tuple[str, str, str]:
+    box = f"box_t{topic}_{j}"
+    site = f"sub_t{topic}_{j}"
+    ip = spec.node_ip(topic * spec.subscribers + j)
+    src = (f"export new {box} "
+           f"def Sub(c) = c?(v) = (print![v] | Sub[c]) in Sub[{box}]")
+    return ip, site, src
+
+
+def _hub_entry(spec: WorkloadSpec, topic: int) -> tuple[str, str, str]:
+    imports = []
+    fanout = []
+    for j in range(spec.subscribers):
+        box = f"box_t{topic}_{j}"
+        imports.append(f"import {box} from sub_t{topic}_{j} in")
+        fanout.append(f"{box}![v]")
+    body = " | ".join(fanout)
+    src = f"""
+    {' '.join(imports)}
+    export new tch{topic}
+    def Hub(c) = c?{{ pub(v, ack) = ({body} | ack![v] | Hub[c]),
+                      ping(ack) = (ack![0] | Hub[c]) }}
+    in Hub[tch{topic}]
+    """
+    return spec.node_ip(topic), f"topic{topic}", src
+
+
+def setup_phases(spec: WorkloadSpec) -> list[list[tuple[str, str, str]]]:
+    """The fabric, as launch phases (each phase runs to quiescence
+    before the next, so every import resolves on first execution)."""
+    subscribers = [_subscriber_entry(spec, t, j)
+                   for t in range(spec.topics)
+                   for j in range(spec.subscribers)]
+    subscribers.append((spec.node_ip(0), "collector", COLLECTOR_SRC))
+    hubs = [_hub_entry(spec, t) for t in range(spec.topics)]
+    return [subscribers, hubs]
+
+
+def op_entry(spec: WorkloadSpec, arrival: Arrival) -> tuple[str, str, str]:
+    """The client site for one generated operation."""
+    topic = arrival.key
+    if arrival.op == "publish":
+        action = (f"new a (tch{topic}!pub[{arrival.seq}, a] "
+                  f"| a?(v) = done![{arrival.seq}])")
+    elif arrival.op == "ping":
+        action = (f"new a (tch{topic}!ping[a] "
+                  f"| a?(v) = done![{arrival.seq}])")
+    else:
+        raise ValueError(f"pubsub cannot run op {arrival.op!r}")
+    src = (f"import tch{topic} from topic{topic} in "
+           f"import done from collector in {action}")
+    return spec.node_ip(arrival.node), f"op{arrival.seq}", src
+
+
+def post_phases(spec: WorkloadSpec,
+                trace: list[Arrival]) -> list[list[tuple[str, str, str]]]:
+    return []
+
+
+def expected_outputs(spec: WorkloadSpec,
+                     trace: list[Arrival]) -> dict[str, tuple]:
+    """Per-site expected output *multisets* on a fault-free run."""
+    expected: dict[str, tuple] = {
+        "collector": tuple(sorted(a.seq for a in trace)),
+    }
+    for t in range(spec.topics):
+        published = tuple(sorted(a.seq for a in trace
+                                 if a.op == "publish" and a.key == t))
+        for j in range(spec.subscribers):
+            expected[f"sub_t{t}_{j}"] = published
+    return expected

@@ -149,3 +149,53 @@ def test_phased_ping_expected_answer():
     assert obs["outputs"]["client"] == (7,)
     assert ("server", "svc") in obs["ns_names"]
     assert obs["instructions"]["client"] > 0
+
+
+# -- macro workload: the chat fabric across worlds ---------------------------
+#
+# The pub/sub fabric from repro.workloads as a phased program: setup
+# phases (subscribers+collector, then hubs) with quiescence barriers,
+# then every generated operation launched in one final concurrent
+# phase.  Imports still resolve on first execution (all names are
+# registered before the op phase), so per-site instruction counts are
+# comparable; completion *order* races on the wall-clock worlds, so
+# output tuples are compared as multisets.
+
+from repro.workloads import WorkloadSpec, generate_trace  # noqa: E402
+from repro.workloads.pubsub import (expected_outputs as _chat_expected,  # noqa: E402
+                                    op_entry, setup_phases)
+
+CHAT_SPEC = WorkloadSpec("pubsub", seed=3, ops=6, rate_per_s=2000.0,
+                         nodes=3, topics=2, subscribers=2)
+
+
+def chat_fabric_phases() -> list:
+    trace = generate_trace(CHAT_SPEC)
+    phases = list(setup_phases(CHAT_SPEC))
+    phases.append([op_entry(CHAT_SPEC, a) for a in trace])
+    return phases
+
+
+def _canonical(obs: dict) -> dict:
+    out = dict(obs)
+    out["outputs"] = {site: tuple(sorted(map(repr, values)))
+                      for site, values in obs["outputs"].items()}
+    return out
+
+
+def test_chat_fabric_agrees_across_worlds():
+    reference = _canonical(run_phased("sim", chat_fabric_phases()))
+    for kind in WORLDS[1:]:
+        observed = _canonical(run_phased(kind, chat_fabric_phases()))
+        assert observed == reference, (
+            f"chat-fabric: {kind} world diverged from the simulator")
+
+
+def test_chat_fabric_expected_answer():
+    """Anchor: the collector saw every op exactly once and each
+    subscriber exactly the publishes of its topic."""
+    obs = run_phased("sim", chat_fabric_phases())
+    want = _chat_expected(CHAT_SPEC, generate_trace(CHAT_SPEC))
+    for site, values in want.items():
+        assert tuple(sorted(obs["outputs"][site])) == values, site
+    assert all(count > 0 for count in obs["instructions"].values())

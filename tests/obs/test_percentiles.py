@@ -1,0 +1,137 @@
+"""Histogram percentile math (the PR7 latency-gate arithmetic).
+
+The workload latency gates in ``benchmarks/test_baseline.py`` trust
+``Histogram.percentile``; these tests pin its edge behaviour: empty
+series, single sample, duplicate values, interpolation monotonicity,
+and what happens past the per-metric cardinality cap.
+"""
+
+import math
+
+import pytest
+
+from repro.obs import Histogram, MetricsRegistry
+from repro.obs.metrics import MetricsError
+
+
+class TestPercentileEdgeCases:
+    def test_empty_series_returns_none(self):
+        h = Histogram()
+        assert h.percentile(50) is None
+        assert h.percentile(0) is None
+        assert h.percentile(100) is None
+
+    def test_empty_summary_is_all_none(self):
+        s = Histogram().summary()
+        assert s["count"] == 0
+        assert s["p50"] is None and s["p99"] is None
+        assert s["min"] is None and s["max"] is None
+
+    def test_single_sample_is_exact_at_every_q(self):
+        h = Histogram(buckets=(10.0, 100.0))
+        h.observe(42.0)
+        for q in (0, 1, 50, 99, 100):
+            assert h.percentile(q) == 42.0
+
+    def test_duplicates_collapse_to_the_value(self):
+        h = Histogram(buckets=(1.0, 8.0, 64.0))
+        for _ in range(1000):
+            h.observe(5.0)
+        for q in (0, 50, 99, 100):
+            assert h.percentile(q) == 5.0
+        assert h.min == 5.0 and h.max == 5.0
+
+    def test_out_of_range_q_raises(self):
+        h = Histogram()
+        h.observe(1.0)
+        with pytest.raises(MetricsError):
+            h.percentile(-0.1)
+        with pytest.raises(MetricsError):
+            h.percentile(100.1)
+
+    def test_value_beyond_last_bucket_lands_in_inf(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        h.observe(1e9)
+        assert h.percentile(50) == 1e9
+        assert h.percentile(99) == 1e9
+
+
+class TestPercentileShape:
+    def test_monotone_in_q(self):
+        h = Histogram(buckets=(4.0, 16.0, 64.0, 256.0))
+        for v in range(1, 201):
+            h.observe(float(v))
+        qs = (1, 10, 25, 50, 75, 90, 99, 100)
+        values = [h.percentile(q) for q in qs]
+        assert values == sorted(values)
+        assert values[0] >= h.min
+        assert values[-1] <= h.max
+
+    def test_uniform_spread_interpolates_reasonably(self):
+        h = Histogram(buckets=(25.0, 50.0, 75.0, 100.0))
+        for v in range(1, 101):
+            h.observe(float(v))
+        # Exact nearest-rank would give 50 and 99; bucket interpolation
+        # must land within the right bucket.
+        assert 25.0 < h.percentile(50) <= 50.0
+        assert 75.0 < h.percentile(99) <= 100.0
+
+    def test_bimodal_p50_and_p99_split_modes(self):
+        h = Histogram(buckets=(10.0, 1000.0, 10000.0))
+        for _ in range(98):
+            h.observe(5.0)
+        for _ in range(2):
+            h.observe(5000.0)
+        assert h.percentile(50) <= 10.0
+        assert h.percentile(99) > 1000.0
+
+    def test_summary_consistent_with_percentile(self):
+        h = Histogram()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 4
+        assert s["sum"] == 10.0
+        assert s["min"] == 1.0 and s["max"] == 4.0
+        assert s["p50"] == h.percentile(50)
+        assert s["p99"] == h.percentile(99)
+
+
+class TestCardinalityCapBehaviour:
+    def test_capped_series_observe_and_percentile_are_noop(self):
+        reg = MetricsRegistry(max_series=1)
+        handle = reg.histogram("wl_latency", "per-op latency", ("op",))
+        real = handle.labels("publish")
+        real.observe(3.0)
+        # Second label set exceeds the cap: observations must not
+        # crash, must not create a series, and percentile reports the
+        # empty-series answer.
+        capped = handle.labels("ping")
+        capped.observe(7.0)
+        assert capped.percentile(99) is None
+        assert capped.summary()["count"] == 0
+        assert real.percentile(50) == 3.0
+        assert reg.dropped_series() == 1
+        assert "repro_metrics_dropped_series_total 1" in reg.render()
+
+    def test_existing_series_survive_the_cap(self):
+        reg = MetricsRegistry(max_series=2)
+        handle = reg.histogram("wl", "", ("op",))
+        a = handle.labels("a")
+        b = handle.labels("b")
+        handle.labels("c").observe(9.0)   # dropped
+        a.observe(1.0)
+        b.observe(2.0)
+        assert handle.labels("a") is a    # cached, not re-capped
+        assert a.percentile(100) == 1.0
+        assert b.percentile(100) == 2.0
+        assert reg.dropped_series() == 1
+
+    def test_min_max_not_rendered(self):
+        """The exposition format is unchanged: min/max are snapshot-
+        only fields, not new exposition lines."""
+        reg = MetricsRegistry()
+        reg.histogram("h", "").observe(3.0)
+        text = reg.render()
+        assert "h_min" not in text and "h_max" not in text
+        assert "h_sum 3" in text

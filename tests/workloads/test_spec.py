@@ -1,0 +1,144 @@
+"""WorkloadSpec + trace generator: validation, determinism, round-trip.
+
+The generator's whole value is that a ``(spec, seed)`` pair *is* the
+traffic: these tests pin byte-identical traces across repeated calls,
+anchor one golden sha256 so cross-host/cross-version drift is loud,
+and property-test the canonical-JSON round trip with hypothesis.
+"""
+
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.workloads import (WORKLOADS, WorkloadError, WorkloadSpec,
+                             generate_trace, trace_digest, trace_json)
+
+#: Golden anchor: this digest is a function of nothing but the spec.
+#: If it moves, the schedule of every committed benchmark moved too.
+GOLDEN_SPEC = WorkloadSpec("pubsub", seed=42, ops=8, rate_per_s=10_000.0,
+                           nodes=3, topics=2, subscribers=2)
+GOLDEN_DIGEST = \
+    "c6f7126f3c342e915103c936c274d0bec512675acc294338c1f17e2e37698a7b"
+
+
+class TestValidation:
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(WorkloadError, match="unknown workload"):
+            WorkloadSpec("chatgpt")
+
+    @pytest.mark.parametrize("field,bad", [
+        ("ops", 0), ("nodes", -1), ("topics", 0), ("subscribers", 0),
+        ("workers", 0), ("stages", 0), ("ops", 2.5),
+    ])
+    def test_positive_int_fields_enforced(self, field, bad):
+        with pytest.raises(WorkloadError, match=field):
+            WorkloadSpec("pubsub", **{field: bad})
+
+    def test_rate_must_be_positive(self):
+        with pytest.raises(WorkloadError, match="rate_per_s"):
+            WorkloadSpec("pubsub", rate_per_s=0.0)
+
+    def test_mix_ops_must_belong_to_workload(self):
+        with pytest.raises(WorkloadError, match="not valid"):
+            WorkloadSpec("mapreduce", mix=(("publish", 1.0),))
+
+    def test_mix_weights_must_be_positive(self):
+        with pytest.raises(WorkloadError, match="must be > 0"):
+            WorkloadSpec("pubsub", mix=(("publish", 0.0),))
+
+    def test_duplicate_mix_ops_rejected(self):
+        with pytest.raises(WorkloadError, match="twice"):
+            WorkloadSpec("pubsub", mix=(("ping", 1.0), ("ping", 2.0)))
+
+    def test_unknown_json_field_rejected(self):
+        with pytest.raises(WorkloadError, match="unknown spec field"):
+            WorkloadSpec.from_dict({"workload": "pubsub", "color": "red"})
+
+
+class TestDeterminism:
+    def test_repeated_generation_is_byte_identical(self):
+        for workload in WORKLOADS:
+            spec = WorkloadSpec(workload, seed=7, ops=50)
+            assert trace_json(spec) == trace_json(spec)
+            assert generate_trace(spec) == generate_trace(spec)
+
+    def test_golden_digest_pinned(self):
+        assert trace_digest(GOLDEN_SPEC) == GOLDEN_DIGEST
+
+    def test_golden_first_arrivals(self):
+        first = generate_trace(GOLDEN_SPEC)[:2]
+        assert [(a.seq, a.at_us, a.op, a.node, a.key) for a in first] == \
+            [(0, 164, "publish", 2, 1), (1, 227, "publish", 2, 0)]
+
+    def test_different_seeds_differ(self):
+        a = trace_digest(WorkloadSpec("pubsub", seed=1))
+        b = trace_digest(WorkloadSpec("pubsub", seed=2))
+        assert a != b
+
+    def test_arrival_times_strictly_increase(self):
+        for workload in WORKLOADS:
+            trace = generate_trace(WorkloadSpec(workload, seed=3, ops=64))
+            times = [a.at_us for a in trace]
+            assert all(t1 > t0 for t0, t1 in zip(times, times[1:]))
+            assert [a.seq for a in trace] == list(range(64))
+
+    def test_ops_respect_the_mix(self):
+        spec = WorkloadSpec("pubsub", seed=5, ops=40, mix=(("ping", 1.0),))
+        assert {a.op for a in generate_trace(spec)} == {"ping"}
+
+    def test_map_tasks_avoid_the_master_node(self):
+        spec = WorkloadSpec("mapreduce", seed=6, ops=60, nodes=4, workers=2)
+        nodes = {a.node for a in generate_trace(spec)}
+        assert 0 not in nodes
+        assert nodes <= {1, 2}
+
+
+# -- hypothesis round trip ---------------------------------------------------
+
+def _spec_strategy():
+    def build(workload, seed, ops, rate, nodes, topics, subscribers,
+              workers, stages, mix_weights):
+        mix = None
+        if mix_weights:
+            allowed = WORKLOADS[workload]
+            mix = tuple((op, w) for op, w
+                        in zip(allowed, mix_weights[:len(allowed)]))
+        return WorkloadSpec(workload, seed=seed, ops=ops, rate_per_s=rate,
+                            nodes=nodes, topics=topics,
+                            subscribers=subscribers, workers=workers,
+                            stages=stages, mix=mix)
+
+    return st.builds(
+        build,
+        st.sampled_from(sorted(WORKLOADS)),
+        st.integers(min_value=-2**31, max_value=2**31),
+        st.integers(min_value=1, max_value=500),
+        st.floats(min_value=0.5, max_value=1e6, allow_nan=False),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=6),
+        st.one_of(st.none(), st.lists(
+            st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+            min_size=1, max_size=2)),
+    )
+
+
+class TestRoundTrip:
+    @given(spec=_spec_strategy())
+    @settings(max_examples=150, deadline=None)
+    def test_json_round_trip_is_identity(self, spec):
+        assert WorkloadSpec.from_json(spec.to_json()) == spec
+
+    @given(spec=_spec_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_round_tripped_spec_generates_the_same_trace(self, spec):
+        clone = WorkloadSpec.from_dict(spec.to_dict())
+        assert trace_digest(clone) == trace_digest(spec)
+
+    @given(spec=_spec_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_canonical_json_is_stable(self, spec):
+        # Serializing twice (and via a round trip) yields one byte form.
+        assert spec.to_json() == WorkloadSpec.from_json(spec.to_json()).to_json()
