@@ -50,6 +50,12 @@ Metric glossary
   the workload spec; pinned bit-for-bit across PRs), ``_wall_ms`` is
   host time to run the same simulation.  Absent on trees predating
   ``repro.workloads``.
+- ``e17_ckpt_bytes`` -- packed checkpoint blob for the quiesced E17
+  pump server.  ``e17_cold_migrate_bytes`` / ``e17_warm_migrate_bytes``
+  (and ``_sim_us``) -- wire bytes / virtual time for a cutover that
+  ships code+state vs one whose destination already holds the code;
+  the gap is ``e17_code_bytes_shipped``.  All simulator-exact; absent
+  on trees predating ``repro.mobility``.
 """
 
 from __future__ import annotations
@@ -228,8 +234,29 @@ def _macro_metrics(metrics: dict, group: str, bench_module: str,
     _put_timing(metrics, f"{prefix}_wall_ms", _timed_runs(timed, repeats))
 
 
+def _e17_metrics(metrics: dict) -> None:
+    """E17: live-migration cutover costs -- checkpoint blob size, wire
+    bytes and virtual time for a cold (code + state) and a warm
+    (state-only) cutover of the same site.  All simulator-exact.
+    Silently skipped on trees that predate ``repro.mobility``."""
+    import importlib
+
+    try:
+        importlib.import_module("repro.mobility")
+    except ImportError:
+        return
+    r = importlib.import_module("bench_e17_migration").run()
+    metrics["e17_ckpt_bytes"] = r["ckpt_bytes"]
+    metrics["e17_cold_migrate_bytes"] = r["cold_bytes"]
+    metrics["e17_cold_migrate_sim_us"] = r["cold_sim_us"]
+    metrics["e17_warm_migrate_bytes"] = r["warm_bytes"]
+    metrics["e17_warm_migrate_sim_us"] = r["warm_sim_us"]
+    metrics["e17_code_bytes_shipped"] = r["code_bytes"]
+    metrics["e17_state_bytes_shipped"] = r["state_bytes"]
+
+
 #: Experiment groups ``collect_metrics(only=...)`` understands.
-GROUPS = ("e1", "e2", "e4", "e9", "e10", "e14", "e15", "e16")
+GROUPS = ("e1", "e2", "e4", "e9", "e10", "e14", "e15", "e16", "e17")
 
 
 def collect_metrics(repeats: int | None = None,
@@ -304,6 +331,8 @@ def collect_metrics(repeats: int | None = None,
         _macro_metrics(metrics, "e15", "bench_e15_mapreduce", repeats)
     if want("e16"):
         _macro_metrics(metrics, "e16", "bench_e16_agents", repeats)
+    if want("e17"):
+        _e17_metrics(metrics)
     return metrics
 
 

@@ -204,6 +204,48 @@ class TestCommittedBaselines:
                 continue                  # host-speed, not pinned
             assert pr7[key] == value, key
 
+    def test_pr8_mobility_leaves_existing_metrics_untouched(self):
+        """Checkpointing and migration are new machinery beside the
+        simulator's scheduling, not a change to it: every simulated-
+        time and wire metric must be *equal* to pr7, and the E1 hot
+        path (which never touches a mobility manager) must not regress
+        >10%."""
+        pr7 = _load_baseline("BENCH_pr7.json")
+        pr8 = _load_baseline("BENCH_pr8.json")
+        for exact in ("e2_cross_node_sim_us", "e2_same_node_sim_us",
+                      "e4_fetch_cold_bytes", "e4_refetch_bytes",
+                      "e4_refetch_sim_us", "e9_burst_packets",
+                      "e9_burst_bytes", "e9_burst_packets_nobatch",
+                      "e9_msg_wire_bytes"):
+            assert pr8[exact] == pr7[exact], exact
+        assert pr8["e1_counter_wall_us"] <= \
+            pr7["e1_counter_wall_us"] * 1.10
+
+    def test_pr8_migration_record_is_sane(self):
+        """E17 must show the code-cache effect on whole sites: a warm
+        cutover ships no code, so its wire bill undercuts the cold one
+        by at least the CodeBundle."""
+        pr8 = _load_baseline("BENCH_pr8.json")
+        assert pr8["e17_ckpt_bytes"] > 0
+        assert pr8["e17_warm_migrate_bytes"] < pr8["e17_cold_migrate_bytes"]
+        assert (pr8["e17_cold_migrate_bytes"]
+                - pr8["e17_warm_migrate_bytes"]
+                >= pr8["e17_code_bytes_shipped"])
+
+    def test_pr8_migration_costs_reproduce_exactly(self):
+        """Live determinism wall: re-run E17 on this checkout; every
+        byte count and virtual time must match the committed record
+        bit-for-bit (they are pure functions of the program -- drift
+        means the checkpoint format or protocol changed, which this
+        gate forces the PR to own)."""
+        from baseline import collect_metrics
+
+        pr8 = _load_baseline("BENCH_pr8.json")
+        live = collect_metrics(repeats=1, only={"e17"})
+        assert live, "repro.mobility missing on this checkout"
+        for key, value in sorted(live.items()):
+            assert pr8[key] == value, key
+
     def test_seed_records_the_uncached_world(self):
         """Guard against accidentally regenerating BENCH_seed.json on a
         post-cache tree: the seed must show refetch bytes scaling with

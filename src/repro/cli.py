@@ -356,7 +356,9 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     start = time.perf_counter()
     try:
         report = run_workload(spec, world=args.world,
-                              max_time=args.max_time)
+                              max_time=args.max_time,
+                              balance=args.balance,
+                              balance_interval=args.balance_interval)
     except WorkloadError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -379,12 +381,21 @@ def _cmd_workload(args: argparse.Namespace) -> int:
             print(f"{op:<10} {row['count']:>6} {row['p50_us']:>10} "
                   f"{row['p90_us']:>10} {row['p99_us']:>10} "
                   f"{row['max_us']:>10}")
+    if args.balance and not args.json:
+        moves = report.balance_decisions or []
+        print(f"balance: {len(moves)} migration(s)")
+        for d in moves:
+            print(f"  tick {d.tick}: {d.site_name} "
+                  f"{d.src_ip} -> {d.dest_ip} "
+                  f"(load {d.src_load:.0f} vs {d.dest_load:.0f})")
     if args.metrics is not None:
         _write_or_print(args.metrics, report.registry.render())
     print(f"-- host time: {host_ms:.0f}ms", file=sys.stderr)
     if report.violations:
         for message in report.violations:
             print(f"VIOLATION: {message}", file=sys.stderr)
+        if report.flight_dump:
+            print(report.flight_dump, file=sys.stderr)
         return 3
     return 0
 
@@ -393,6 +404,61 @@ def _cmd_daemon(args: argparse.Namespace) -> int:
     from repro.runtime.cluster import daemon_main
 
     return daemon_main(args)
+
+
+def _cmd_migrate(args: argparse.Namespace) -> int:
+    """Order a live daemon (``repro daemon``) to migrate one site."""
+    from repro.runtime.cluster import control_call
+
+    host, _, port = args.control.rpartition(":")
+    if not host or not port.isdigit():
+        print(f"bad --control {args.control!r}: expected HOST:PORT",
+              file=sys.stderr)
+        return 2
+    try:
+        token = control_call((host, int(port)), "migrate",
+                             args.site, args.dest)
+    except (OSError, RuntimeError) as exc:
+        print(f"migrate failed: {exc}", file=sys.stderr)
+        return 1
+    print(f"migrating {args.site} -> {args.dest}: {token}")
+    return 0
+
+
+def _cmd_balance(args: argparse.Namespace) -> int:
+    """Run a session on the simulator with the load balancer on."""
+    from repro.mobility.balancer import LoadBalancer, ThresholdPolicy
+    from repro.runtime import DiTyCONetwork, TycoShell
+
+    path = Path(args.program)
+    text = path.read_text()
+    nodes = [ip.strip() for ip in args.nodes.split(",")]
+    net = DiTyCONetwork()
+    for ip in nodes:
+        net.add_node(ip)
+    policy = ThresholdPolicy(hot_load=args.hot_load,
+                             imbalance=args.imbalance,
+                             cooldown_ticks=args.cooldown,
+                             pinned=frozenset(
+                                 s for s in args.pin.split(",") if s))
+    balancer = LoadBalancer(net, policy)
+    balancer.install_sim(args.interval, args.until)
+    if path.suffix == ".tycosh":
+        TycoShell(net, write=print).execute_script(text)
+    else:
+        net.launch(nodes[0], "main", text)
+    net.run(args.max_time)
+    print(f"balance: {balancer.ticks} tick(s), "
+          f"{len(balancer.decisions)} migration(s)")
+    for d in balancer.decisions:
+        print(f"  tick {d.tick}: {d.site_name} {d.src_ip} -> {d.dest_ip} "
+              f"(load {d.src_load:.0f} vs {d.dest_load:.0f})")
+    print("placement:")
+    for ip in sorted(net.world.nodes):
+        names = sorted(s.site_name
+                       for s in net.world.nodes[ip].sites.values())
+        print(f"  {ip}: {', '.join(names) if names else '-'}")
+    return 0
 
 
 def _cmd_shell(args: argparse.Namespace) -> int:  # pragma: no cover
@@ -560,6 +626,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_wl.add_argument("--max-time", type=float, default=None,
                       help="wall-clock drain bound in seconds "
                            "(default: 30; ignored on sim)")
+    p_wl.add_argument("--balance", action="store_true",
+                      help="run the metrics-driven load balancer over "
+                           "the traffic window (docs/MIGRATION.md)")
+    p_wl.add_argument("--balance-interval", type=float, default=None,
+                      metavar="S",
+                      help="sim balancer sampling period in virtual "
+                           "seconds (default: traffic span / 8)")
     p_wl.add_argument("--json", action="store_true",
                       help="print the latency summary as JSON "
                            "(deterministic on sim)")
@@ -593,6 +666,49 @@ def build_parser() -> argparse.ArgumentParser:
                           help="instructions per scheduling quantum "
                                "(default: 512)")
     p_daemon.set_defaults(func=_cmd_daemon)
+
+    p_migrate = sub.add_parser(
+        "migrate",
+        help="live-migrate one site between the nodes of a running "
+             "daemon cluster (docs/MIGRATION.md)")
+    p_migrate.add_argument("site", help="site name at the source daemon")
+    p_migrate.add_argument("dest", help="destination node's logical IP")
+    p_migrate.add_argument("--control", required=True, metavar="HOST:PORT",
+                           help="the *source* daemon's control port "
+                                "(from its READY line)")
+    p_migrate.set_defaults(func=_cmd_migrate)
+
+    p_balance = sub.add_parser(
+        "balance",
+        help="run a session on the simulator with the load balancer "
+             "migrating hot sites (docs/MIGRATION.md)")
+    p_balance.add_argument("program",
+                           help="a .tycosh session script or a .dityco "
+                                "program")
+    p_balance.add_argument("--nodes", default="n1,n2",
+                           help="comma-separated node IPs (default: n1,n2)")
+    p_balance.add_argument("--interval", type=float, default=1e-4,
+                           metavar="S",
+                           help="sampling period in virtual seconds "
+                                "(default: 1e-4)")
+    p_balance.add_argument("--until", type=float, default=0.05, metavar="T",
+                           help="stop sampling at virtual time T "
+                                "(default: 0.05)")
+    p_balance.add_argument("--hot-load", type=float, default=512.0,
+                           help="policy: minimum hot-node load "
+                                "(default: 512)")
+    p_balance.add_argument("--imbalance", type=float, default=2.0,
+                           help="policy: hottest/coldest ratio trigger "
+                                "(default: 2.0)")
+    p_balance.add_argument("--cooldown", type=int, default=2,
+                           help="policy: ticks to sit out after a move "
+                                "(default: 2)")
+    p_balance.add_argument("--pin", default="",
+                           help="comma-separated site names the balancer "
+                                "must never move")
+    p_balance.add_argument("--max-time", type=float, default=5.0,
+                           help="virtual-time bound (default: 5.0)")
+    p_balance.set_defaults(func=_cmd_balance)
 
     p_shell = sub.add_parser("shell", help="interactive TyCOsh")
     p_shell.add_argument("--nodes", default="n1,n2")

@@ -1,0 +1,170 @@
+"""A metrics-driven load balancer over live migration.
+
+The balancer periodically samples per-site load (instruction deltas
+since the last sample plus current run-queue and mailbox depths --
+exactly the quantities the metrics registry exposes as
+``repro_vm_instructions_total`` and ``repro_vm_runqueue_depth``),
+aggregates them per node, and asks a policy whether to move a site.
+When the policy says yes, the hottest migratable site of the hottest
+node is live-migrated to the coldest node.
+
+The policy is pluggable; :class:`ThresholdPolicy` implements
+threshold + hysteresis: a node must be *absolutely* busy (``hot_load``)
+and *relatively* overloaded (``imbalance`` times the coldest node),
+and after any migration the balancer holds off for
+``cooldown_ticks`` samples so a decision can settle before the next
+one is made on post-move numbers.
+
+Every decision is emitted as a ``balance`` event on the node's
+observability bus, so the flight recorder shows what the balancer did
+right before any invariant violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True, slots=True)
+class NodeLoad:
+    """One node's sampled load: instruction delta + queue depths."""
+
+    ip: str
+    load: float
+    #: (load, site_name) per migratable site, hottest first.
+    sites: tuple[tuple[float, str], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class BalanceDecision:
+    """One migration the balancer ordered (or declined to order)."""
+
+    tick: int
+    site_name: str
+    src_ip: str
+    dest_ip: str
+    src_load: float
+    dest_load: float
+
+
+@dataclass(frozen=True, slots=True)
+class ThresholdPolicy:
+    """Threshold + hysteresis migration policy."""
+
+    #: Minimum load (instructions this sample + queue depths) before a
+    #: node counts as hot at all.
+    hot_load: float = 512.0
+    #: Hottest node must carry at least this many times the coldest
+    #: node's load (+1 smoothing so an idle cold node works).
+    imbalance: float = 2.0
+    #: Samples to sit out after a migration (hysteresis).
+    cooldown_ticks: int = 2
+    #: Site names the balancer must never move (e.g. a site whose
+    #: output is tapped by a collector).
+    pinned: frozenset = frozenset()
+
+    def decide(self, loads: list[NodeLoad], tick: int,
+               last_move_tick: int) -> Optional[BalanceDecision]:
+        """Pick a migration, or None.  ``loads`` must be sorted by ip
+        (determinism); ties break toward the lexically first node."""
+        if len(loads) < 2:
+            return None
+        if last_move_tick >= 0 and tick - last_move_tick <= self.cooldown_ticks:
+            return None
+        hottest = max(loads, key=lambda n: n.load)
+        coldest = min(loads, key=lambda n: n.load)
+        if hottest.ip == coldest.ip or hottest.load < self.hot_load:
+            return None
+        if hottest.load < self.imbalance * (coldest.load + 1.0):
+            return None
+        for site_load, site_name in hottest.sites:
+            if site_name in self.pinned:
+                continue
+            return BalanceDecision(tick=tick, site_name=site_name,
+                                   src_ip=hottest.ip, dest_ip=coldest.ip,
+                                   src_load=hottest.load,
+                                   dest_load=coldest.load)
+        return None
+
+
+class LoadBalancer:
+    """Samples a network's load and migrates hot sites.
+
+    Works on any world: call :meth:`tick` at whatever cadence the
+    world affords -- from a ``schedule_at`` loop under the simulator
+    (:meth:`install_sim`), or from the runner's stepping loop on
+    wall-clock worlds.
+    """
+
+    def __init__(self, net, policy: Optional[ThresholdPolicy] = None) -> None:
+        self.net = net
+        self.policy = policy or ThresholdPolicy()
+        self.decisions: list[BalanceDecision] = []
+        self.ticks = 0
+        self._last_move_tick = -1
+        #: site_name -> instruction total at the previous sample.
+        self._last_instructions: dict[str, int] = {}
+
+    # -- sampling ------------------------------------------------------------
+
+    def sample(self) -> list[NodeLoad]:
+        """Per-node load, sorted by ip.  A site's load is its
+        instruction delta since the last sample plus its run-queue and
+        mailbox depths (work done + work waiting)."""
+        loads = []
+        for ip in sorted(self.net.world.nodes):
+            node = self.net.world.nodes[ip]
+            site_loads = []
+            for site in node.sites.values():
+                total = site.vm.stats.instructions
+                delta = total - self._last_instructions.get(site.site_name, 0)
+                self._last_instructions[site.site_name] = total
+                site_loads.append((float(delta + len(site.vm.runqueue)
+                                         + len(site.incoming)
+                                         + len(site.outgoing)),
+                                   site.site_name))
+            site_loads.sort(key=lambda pair: (-pair[0], pair[1]))
+            loads.append(NodeLoad(ip=ip,
+                                  load=sum(l for l, _ in site_loads),
+                                  sites=tuple(site_loads)))
+        return loads
+
+    # -- the control loop body -----------------------------------------------
+
+    def tick(self) -> Optional[BalanceDecision]:
+        """One sample + policy evaluation; migrates when told to."""
+        self.ticks += 1
+        loads = self.sample()
+        decision = self.policy.decide(loads, self.ticks,
+                                      self._last_move_tick)
+        if decision is None:
+            return None
+        # A migration may already hold this site frozen, or the site
+        # may have exited since sampling; re-check before acting.
+        src_node = self.net.world.nodes.get(decision.src_ip)
+        if src_node is None or decision.site_name not in src_node.sites_by_name:
+            return None
+        self._last_move_tick = self.ticks
+        self.decisions.append(decision)
+        src_node.trace("balance", src=decision.src_ip, dst=decision.dest_ip,
+                       note=(f"{decision.site_name} load "
+                             f"{decision.src_load:.0f}->"
+                             f"{decision.dest_load:.0f}"))
+        self.net.migrate(decision.site_name, decision.dest_ip)
+        return decision
+
+    # -- drivers -------------------------------------------------------------
+
+    def install_sim(self, interval: float, until: float) -> None:
+        """Drive :meth:`tick` from the simulator's timer wheel every
+        ``interval`` virtual seconds until time ``until``."""
+        world = self.net.world
+
+        def fire() -> None:
+            self.tick()
+            nxt = world.time + interval
+            if nxt <= until:
+                world.schedule_at(nxt, fire)
+
+        world.schedule_at(world.time + interval, fire)

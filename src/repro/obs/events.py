@@ -20,6 +20,9 @@ cache      cache-hit, cache-miss, code-need, code-install
 gc         gc, lease-claim, lease-renew, lease-drop
 transport  send, deliver, batch, crash-drop
 chaos      drop, dup, delay, crash, restart
+mobility   migrate-out, migrate-ship, migrate-need, migrate-code,
+           migrate-in, migrate-ack, migrate-forward, migrate-retry,
+           migrate-fail, balance
 ========== ==========================================================
 
 Unknown kinds are allowed (category ``"other"``) so downstream layers
@@ -37,6 +40,7 @@ CACHE = "cache"
 GC = "gc"
 TRANSPORT = "transport"
 CHAOS = "chaos"
+MOBILITY = "mobility"
 OTHER = "other"
 
 #: kind -> category, the event taxonomy.
@@ -72,6 +76,17 @@ CATEGORY_OF: dict[str, str] = {
     "delay": CHAOS,
     "crash": CHAOS,
     "restart": CHAOS,
+    # Live migration and load balancing (repro.mobility).
+    "migrate-out": MOBILITY,
+    "migrate-ship": MOBILITY,
+    "migrate-need": MOBILITY,
+    "migrate-code": MOBILITY,
+    "migrate-in": MOBILITY,
+    "migrate-ack": MOBILITY,
+    "migrate-forward": MOBILITY,
+    "migrate-retry": MOBILITY,
+    "migrate-fail": MOBILITY,
+    "balance": MOBILITY,
 }
 
 #: Every kind the schema (docs/trace_schema.json) accepts.

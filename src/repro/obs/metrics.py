@@ -427,6 +427,50 @@ def world_metrics(world, registry: Optional[MetricsRegistry] = None
             continue
         lease_handle.labels(ip, site.site_name).set(len(site.distgc.leases))
         sweep_handle.labels(ip, site.site_name).set(site.distgc.stats.sweeps)
+    # Live-migration stats (repro.mobility): only rendered for nodes
+    # that created a migration manager, so migration-free expositions
+    # are unchanged.
+    movers = [(ip, world.nodes[ip].mobility) for ip in sorted(world.nodes)
+              if getattr(world.nodes[ip], "mobility", None) is not None]
+    if movers:
+        mig_g = {
+            "repro_migration_out_total":
+                ("Migrations initiated from this node.",
+                 lambda m: m.stats.migrations_out),
+            "repro_migration_in_total":
+                ("Migrations completed onto this node.",
+                 lambda m: m.stats.migrations_in),
+            "repro_migration_retries_total":
+                ("SHIP retransmits.", lambda m: m.stats.retries),
+            "repro_migration_failures_total":
+                ("Migrations abandoned (site stays frozen).",
+                 lambda m: m.stats.failures),
+            "repro_migration_forwards_total":
+                ("Residual packets forwarded via tombstones.",
+                 lambda m: m.stats.forwards),
+            "repro_migration_state_bytes_total":
+                ("Checkpoint state bytes shipped.",
+                 lambda m: m.stats.state_bytes_shipped),
+            "repro_migration_code_bytes_total":
+                ("Checkpoint code bytes shipped.",
+                 lambda m: m.stats.code_bytes_shipped),
+            "repro_migration_warm_restores_total":
+                ("Inbound restores served from the code library.",
+                 lambda m: m.stats.warm_restores),
+            "repro_migration_cold_restores_total":
+                ("Inbound restores that needed a code round-trip.",
+                 lambda m: m.stats.cold_restores),
+            "repro_migration_frozen_sites":
+                ("Sites currently frozen mid-migration.",
+                 lambda m: len(m.frozen)),
+            "repro_migration_tombstones":
+                ("Redirects installed at this node.",
+                 lambda m: len(m.tombstones)),
+        }
+        for name, (help_text, getter) in mig_g.items():
+            handle = g(name, help_text, ("node",))
+            for ip, manager in movers:
+                handle.labels(ip).set(getter(manager))
     # Socket-transport connection stats (repro.transport.socket): only
     # rendered when the world actually ran over TCP, so simulator
     # expositions are unchanged.

@@ -147,6 +147,15 @@ class _DaemonControl:
     def _rpc_launch(self, site_name, source):
         self.net.launch(self.ip, site_name, source)
 
+    def _rpc_migrate(self, site_name, dest_ip):
+        return self.net.migrate(site_name, dest_ip)
+
+    def _rpc_migration_stats(self):
+        node = self.world.nodes[self.ip]
+        if node.mobility is None:
+            return None
+        return node.mobility.stats.as_dict()
+
     def _rpc_status(self):
         return self.world.status()
 
@@ -312,6 +321,14 @@ class ProcessCluster:
 
     def launch(self, ip: str, site_name: str, source: str) -> None:
         control_call(self.control[ip], "launch", site_name, source)
+
+    def migrate(self, ip: str, site_name: str, dest_ip: str) -> str:
+        """Live-migrate ``site_name`` from the daemon at ``ip`` to the
+        daemon at ``dest_ip``; returns the migration token."""
+        return control_call(self.control[ip], "migrate", site_name, dest_ip)
+
+    def migration_stats(self, ip: str) -> Optional[dict]:
+        return control_call(self.control[ip], "migration_stats")
 
     def _poll(self) -> tuple[bool, tuple]:
         statuses = [control_call(self.control[ip], "status")

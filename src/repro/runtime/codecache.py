@@ -168,6 +168,21 @@ class CodeCache:
         """Copy of the digest table (for the integrity invariant)."""
         return dict(self._by_digest)
 
+    def in_flight_snapshot(self) -> dict[bytes, int]:
+        """Copy of the in-flight marks with their generations (for
+        site checkpointing, repro.mobility)."""
+        return dict(self._in_flight)
+
+    def restore_state(self, entries, in_flight: dict[bytes, int],
+                      generation: int) -> None:
+        """Refill from a checkpoint: digest rows, in-flight marks and
+        the generation counter.  Item ids are valid verbatim because a
+        checkpoint restore rebuilds the program area identically."""
+        for digest, kind, item_id in entries:
+            self.register(digest, kind, item_id)
+        self._in_flight.update(in_flight)
+        self.generation = generation
+
     # -- in-flight request coalescing ----------------------------------------
 
     def mark_in_flight(self, digest: bytes) -> None:

@@ -68,6 +68,12 @@ class TyCOd:
         if packet.dest_ip == self.node.ip:
             target = self.node.sites.get(packet.dest_site_id)
             if target is None:
+                # Mid-migration mail: the site may be frozen here
+                # (buffer as a residual) or tombstoned (forward to its
+                # new home).  See repro.mobility.migrate.
+                mobility = self.node.mobility
+                if mobility is not None and mobility.intercept(packet):
+                    return
                 raise LookupError(
                     f"node {self.node.ip}: no site {packet.dest_site_id}")
             if self.local_fast_path:
@@ -92,8 +98,16 @@ class TyCOd:
         packet = decode(data)
         self.stats.remote_receives += 1
         self.stats.bytes_received += len(data)
+        if packet.dest_site_id == 0 and packet.kind.startswith("mig_"):
+            # Node-level mobility control traffic (site ids start at
+            # 1, so id 0 is free for the migration manager).
+            self.node.ensure_mobility().enqueue_control(packet)
+            return
         target = self.node.sites.get(packet.dest_site_id)
         if target is None:
+            mobility = self.node.mobility
+            if mobility is not None and mobility.intercept(packet):
+                return
             raise LookupError(
                 f"node {self.node.ip}: no site {packet.dest_site_id} "
                 f"for incoming {packet.kind}")

@@ -172,6 +172,39 @@ class NameService:
 
     # -- reconfiguration ---------------------------------------------------------
 
+    def rebind_site(self, site_name: str, new_ip: str,
+                    site_id: Optional[int] = None) -> int:
+        """SiteTable update for live migration (repro.mobility): the
+        site keeps its SiteId but now lives at ``new_ip``.  Lookups
+        build references from the record at lookup time, so IdTable and
+        ClassTable rows need no touch -- every later ``lookup_name`` /
+        ``lookup_class`` immediately yields references to the new home.
+
+        ``site_id`` (required when the site has no record, e.g. a
+        crash-restart from a journal into a fresh name service) pins
+        the restored site to its checkpointed id; when a record exists
+        it must agree.  Returns the site id and notifies subscribers
+        (stalled imports may resolve against the new home)."""
+        with self._lock:
+            rec = self._sites.get(site_name)
+            if rec is None:
+                if site_id is None:
+                    raise UnknownSiteName(f"no site named {site_name!r}")
+                rec = SiteRecord(site_name, site_id, new_ip)
+                self._sites[site_name] = rec
+                if site_id >= self._next_site_id:
+                    self._next_site_id = site_id + 1
+                self.stats.site_registrations += 1
+            else:
+                if site_id is not None and site_id != rec.site_id:
+                    raise NameServiceError(
+                        f"site {site_name!r} has id {rec.site_id}, "
+                        f"rebind asked for {site_id}")
+                rec = SiteRecord(site_name, rec.site_id, new_ip)
+                self._sites[site_name] = rec
+        self._notify()
+        return rec.site_id
+
     def unregister_ip(self, ip: str) -> list[str]:
         """Remove every site registered from ``ip`` plus its exported
         names and classes; returns the removed site names.
@@ -279,6 +312,16 @@ class ReplicatedNameService(NameService):
             for rep in self._replicas.values():
                 rep._classes[(site_name, id_name)] = class_id
                 self.replica_writes += 1
+
+    def rebind_site(self, site_name: str, new_ip: str,
+                    site_id: Optional[int] = None) -> int:
+        sid = super().rebind_site(site_name, new_ip, site_id)
+        with self._lock:
+            for rep in self._replicas.values():
+                rep._sites[site_name] = self._sites[site_name]
+                rep._next_site_id = self._next_site_id
+                self.replica_writes += 1
+        return sid
 
     def unregister_ip(self, ip: str) -> list[str]:
         removed = super().unregister_ip(ip)

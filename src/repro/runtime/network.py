@@ -120,6 +120,46 @@ class DiTyCONetwork:
         """Submit a program to the node at ``ip`` (TyCOi path)."""
         return self.node(ip).tycoi.submit(site_name, program)
 
+    # -- live migration (repro.mobility) ------------------------------------------
+
+    def mobility(self, ip: str, config=None):
+        """The (create-on-demand) migration manager of the node at
+        ``ip``.  Under the simulator, SHIP retries ride the world's
+        timer wheel (:meth:`SimWorld.schedule_at`); wall-clock worlds
+        drive them from the node's own step loop instead."""
+        node = self.node(ip)
+        schedule = None
+        if getattr(self.world, "wall_clock", False):
+            if config is None and node.mobility is None:
+                from repro.mobility.migrate import MobilityConfig
+
+                config = MobilityConfig.wall_clock()
+        else:
+            schedule_at = getattr(self.world, "schedule_at", None)
+            if schedule_at is not None:
+                schedule = schedule_at
+        return node.ensure_mobility(config=config, schedule=schedule)
+
+    def migrate(self, site_name: str, dest_ip: str, config=None) -> str:
+        """Live-migrate the named site to the node at ``dest_ip``;
+        returns the migration token.  The source node is found by
+        name, the destination manager is pre-created so the cutover
+        needs no lazy construction mid-protocol."""
+        src_ip = None
+        for node in self.world.nodes.values():
+            if site_name in node.sites_by_name:
+                src_ip = node.ip
+                break
+        if src_ip is None:
+            raise KeyError(f"no site named {site_name!r}")
+        if dest_ip in self.world.nodes:
+            # In-process worlds: pre-create the destination manager so
+            # the cutover needs no lazy construction mid-protocol.  In
+            # a multi-process cluster the destination is another OS
+            # process; its TyCOd builds the manager on first MIG_SHIP.
+            self.mobility(dest_ip)
+        return self.mobility(src_ip).migrate_site(site_name, dest_ip)
+
     # -- execution -------------------------------------------------------------------
 
     def run(self, max_time: float | None = None) -> float:

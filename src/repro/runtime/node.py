@@ -97,6 +97,10 @@ class Node:
         #: via :meth:`attach_obs`.  None for a standalone node.
         self.obs = None
         self._switches_seen = 0
+        #: Live-migration manager (repro.mobility), created lazily by
+        #: :meth:`ensure_mobility` -- nodes that never migrate carry a
+        #: None and every pre-mobility schedule stays byte-identical.
+        self.mobility = None
 
     # -- wiring ---------------------------------------------------------------
 
@@ -201,6 +205,38 @@ class Node:
         self.on_work_available()
         return site
 
+    def ensure_mobility(self, config=None, schedule=None):
+        """Create (once) and return this node's migration manager."""
+        if self.mobility is None:
+            from repro.mobility.migrate import MobilityConfig, MobilityManager
+            from repro.transport.clock import monotime
+
+            if config is None and self._clock is monotime:
+                # Every wall-clock world attaches monotime as the node
+                # clock; the sim-scale retry interval would retransmit
+                # between scheduling quanta of a real link (the same
+                # scaling GcConfig.wall_clock applies).  Matters when
+                # the manager is first built by an incoming MIG_SHIP
+                # (daemon clusters) rather than DiTyCONetwork.mobility.
+                config = MobilityConfig.wall_clock()
+            self.mobility = MobilityManager(self, config=config,
+                                            schedule=schedule)
+        return self.mobility
+
+    def adopt_site(self, site: Site) -> Site:
+        """Wire an already-built site (a checkpoint restore) into the
+        pool: :meth:`create_site` minus registration and boot -- the
+        site keeps its checkpointed id and resumes mid-program."""
+        self.sites[site.site_id] = site
+        self.sites_by_name[site.site_name] = site
+        site.on_work = self.on_work_available
+        site.trace = self._trace_hook
+        if self.obs is not None:
+            site.attach_obs(self.obs)
+        self.nameservice.subscribe(self._on_ns_update)
+        self.on_work_available()
+        return site
+
     def _on_ns_update(self) -> None:
         for site in self.sites.values():
             site.on_nameservice_update()
@@ -241,6 +277,9 @@ class Node:
                     self._next_sweep = now + self._gc_sweep_s
                     for site in list(self.sites.values()):
                         site.run_distgc(now)
+            if self.mobility is not None:
+                moved += self.mobility.process_inbox()
+                self.mobility.tick(self.now())
             moved += self.tycod.pump()
         finally:
             self._in_step = False
@@ -301,10 +340,14 @@ class Node:
         self._batch_size.clear()
         for site in list(self.sites.values()):
             site.on_restart()
+        if self.mobility is not None:
+            self.mobility.on_restart()
         self.on_work_available()
 
     def has_work(self) -> bool:
         """Anything runnable or queued on this node?"""
+        if self.mobility is not None and self.mobility.inbox:
+            return True
         return bool(self._batch_buf) or any(
             not site.vm.is_idle() or site.incoming or site.outgoing
             for site in self.sites.values()
@@ -312,6 +355,8 @@ class Node:
 
     def is_quiescent(self) -> bool:
         """Nothing runnable, queued, stalled or awaiting FETCH/code."""
+        if self.mobility is not None and not self.mobility.idle():
+            return False
         return not self._batch_buf and all(
             site.vm.is_idle() and not site.incoming and not site.outgoing
             and not site.vm.has_stalled() and not site._pending_fetch

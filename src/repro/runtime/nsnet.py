@@ -162,6 +162,9 @@ class NameServiceServer:
         ref = self.ns.lookup_class(site_name, id_name)
         return None if ref is None else (ref.class_id, ref.site_id, ref.ip)
 
+    def _rpc_rebind_site(self, site_name, new_ip, site_id):
+        return self.ns.rebind_site(site_name, new_ip, site_id=site_id)
+
     def _rpc_unregister_export(self, site_name, id_name):
         return self.ns.unregister_export(site_name, id_name)
 
@@ -290,6 +293,10 @@ class NameServiceClient:
             return None
         class_id, site_id, ip = got
         return RemoteClassRef(class_id=class_id, site_id=site_id, ip=ip)
+
+    def rebind_site(self, site_name: str, new_ip: str,
+                    site_id: Optional[int] = None) -> int:
+        return self._call("rebind_site", site_name, new_ip, site_id)
 
     def unregister_export(self, site_name: str, id_name: str) -> bool:
         return self._call("unregister_export", site_name, id_name)

@@ -16,6 +16,8 @@ programmatically by the examples and can be driven interactively::
     out <site-name>                print a site's console output
     debug <site-name>              dump what a site is waiting on
     ns                             show the name-service tables
+    migrate <site-name> <ip> [at]  live-migrate a site (docs/MIGRATION.md);
+                                   with [at], scheduled at that virtual time
 """
 
 from __future__ import annotations
@@ -120,6 +122,21 @@ class TycoShell:
             raise ShellError("usage: debug <site-name>")
         for line in self.network.site(args[0]).debug_report().splitlines():
             self._write(line)
+
+    def _cmd_migrate(self, args: list[str]) -> None:
+        if len(args) not in (2, 3):
+            raise ShellError("usage: migrate <site-name> <dest-ip> [at-time]")
+        site_name, dest_ip = args[0], args[1]
+        if len(args) == 3:
+            # Plant the cutover on the timer wheel so chaos sessions
+            # can migrate mid-traffic at a reproducible virtual time.
+            at = float(args[2])
+            self.network.world.schedule_at(
+                at, lambda: self.network.migrate(site_name, dest_ip))
+            self._write(f"migrate {site_name} -> {dest_ip} scheduled at {at}")
+        else:
+            token = self.network.migrate(site_name, dest_ip)
+            self._write(f"migrating {site_name} -> {dest_ip} ({token})")
 
     def _cmd_ns(self, args: list[str]) -> None:
         ns = self.network.nameservice

@@ -111,6 +111,11 @@ class Site:
         self.site_name = site_name
         self.site_id = site_id
         self.ip = ip
+        #: Former homes of a migrated site (repro.mobility): network
+        #: references minted before a migration still carry the old ip,
+        #: so the same-site checks below accept any alias as "us".
+        #: Empty (and free) for every site that never moved.
+        self.alias_ips: set[str] = set()
         self.nameservice = nameservice
         self.fetch_cache = fetch_cache
         self.vm = TycoVM(program, port=self, name=site_name,
@@ -513,7 +518,7 @@ class Site:
             raise ImportPending(f"{site}.{hint}")
         self.stats.imports_resolved += 1
         # Same-site optimisation: an import of our own export is local.
-        if ref.site_id == self.site_id and ref.ip == self.ip:
+        if self._is_self(ref.ip, ref.site_id):
             return self.vm.heap.get(ref.heap_id)
         self._note_remote(ref)
         return ref
@@ -551,7 +556,7 @@ class Site:
             self.stats.imports_stalled += 1
             raise ImportPending(f"{site}.{hint}")
         self.stats.imports_resolved += 1
-        if ref.site_id == self.site_id and ref.ip == self.ip:
+        if self._is_self(ref.ip, ref.site_id):
             return self._class_exports[ref.class_id]
         self._note_remote(ref)
         return ref
@@ -643,6 +648,13 @@ class Site:
         ))
         self.stats.packets_sent += 1
 
+    def _is_self(self, ip: str, site_id: int) -> bool:
+        """Does ``(ip, site_id)`` name *this* site?  A migrated site
+        answers for every former home too (:attr:`alias_ips`), so
+        references minted before the move keep resolving locally."""
+        return site_id == self.site_id and (
+            ip == self.ip or ip in self.alias_ips)
+
     # -- marshalling (the two-step translation of section 5) ------------------------
 
     def marshal_value(self, v: Any, dest: Optional[tuple[str, int]] = None) -> Any:
@@ -667,7 +679,7 @@ class Site:
         if isinstance(v, (NetRef, RemoteClassRef)):
             # Forwarding a reference we merely hold: if it points into
             # *this* site it still needs a lease for the new holder.
-            if v.ip == self.ip and v.site_id == self.site_id:
+            if self._is_self(v.ip, v.site_id):
                 self._grant_out(remote_ref_key(v), dest)
             return v
         if isinstance(v, (bool, int, float, str)):
@@ -690,7 +702,7 @@ class Site:
         if self.distgc is None:
             return
         owner = (ref.ip, ref.site_id)
-        if owner == (self.ip, self.site_id):
+        if self._is_self(ref.ip, ref.site_id):
             return
         self.distgc.note_held(owner, remote_ref_key(ref), self.now())
 
@@ -716,7 +728,7 @@ class Site:
     def unmarshal_value(self, v: Any) -> Any:
         """Receiver half: references bound to this site become local."""
         if isinstance(v, NetRef):
-            if v.site_id == self.site_id and v.ip == self.ip:
+            if self._is_self(v.ip, v.site_id):
                 if v.heap_id in self._gc_tombstones:
                     raise ReclaimedRefError(
                         f"{self.site_name}: reference to reclaimed "
@@ -729,7 +741,7 @@ class Site:
             self._note_remote(v)
             return v
         if isinstance(v, RemoteClassRef):
-            if v.site_id == self.site_id and v.ip == self.ip:
+            if self._is_self(v.ip, v.site_id):
                 classref = self._class_exports.get(v.class_id)
                 if classref is None:
                     if v.class_id in self._gc_class_tombstones:
@@ -1099,6 +1111,19 @@ class Site:
         if self.fetch_cache:
             self._fetched[key] = target
         waiting = self._pending_fetch.pop(key, [])
+        # The reply can come back from a different ip than the request
+        # went to: the owning site was live-migrated while our
+        # fetch_req was in flight and the old home forwarded it
+        # (docs/MIGRATION.md).  Site ids are allocated by the name
+        # service and survive rebinds, so (site_id, class_id) still
+        # identifies the fetch; adopt instantiations parked under the
+        # stale ip and alias the cache so heap refs minted before the
+        # move keep hitting it.
+        for stale in [k for k in self._pending_fetch
+                      if k[1] == src_site_id and k[2] == class_id]:
+            waiting.extend(self._pending_fetch.pop(stale))
+            if self.fetch_cache:
+                self._fetched[stale] = target
         for args in waiting:
             self.vm.spawn_instance(target, args)
 

@@ -388,6 +388,22 @@ KIND_REF_LEASE = "ref_lease"    # holder claims leases on the keys
 KIND_REF_RENEW = "ref_renew"    # holder extends its leases on the keys
 KIND_REF_DROP = "ref_drop"      # holder relinquishes the keys
 
+#: Live-migration control traffic (repro.mobility, docs/MIGRATION.md).
+#: These are *node-level* packets: ``dest_site_id`` is 0 (site ids
+#: start at 1), so they address the node's mobility manager rather
+#: than any site.  Like the REF_* kinds they ride the existing
+#: str/int/bytes/tuple wire tags; no new byte tags are needed.  The
+#: checkpoint itself travels as opaque ``bytes`` (its own format and
+#: digest are described in docs/MIGRATION.md), while the code part is
+#: shipped separately and content-addressed so a destination that
+#: already holds the program area (an earlier migration, or a
+#: migrate-back) receives zero code bytes.
+KIND_MIG_SHIP = "mig_ship"    # payload: (token, site_name, site_id,
+                              #           state bytes, code digest)
+KIND_MIG_NEED = "mig_need"    # payload: (token, code digest)
+KIND_MIG_CODE = "mig_code"    # payload: (token, code digest, code bytes)
+KIND_MIG_ACK = "mig_ack"      # payload: (token, ok flag)
+
 
 @dataclass(slots=True)
 class Packet:

@@ -202,6 +202,9 @@ def run_scenario(scenario: Scenario, seed: int = 0,
         inv.settle_distgc(net)
         violations += inv.check_no_premature_reclaim(net)
         violations += inv.check_export_liveness(net)
+    if inv.has_mobility(net):
+        violations += inv.check_no_twin_site(net)
+        violations += inv.check_no_lost_site(net)
     # Mutating probe last: it may complete stalled work.
     violations += inv.check_no_dangling_imports(net)
     run = ChaosRun(

@@ -321,6 +321,98 @@ def _multiset_diff(a: tuple, b: tuple) -> list:
     return out
 
 
+def _mobility_nodes(net: "DiTyCONetwork") -> list:
+    return [node for node in net.world.nodes.values()
+            if getattr(node, "mobility", None) is not None]
+
+
+def has_mobility(net: "DiTyCONetwork") -> bool:
+    return bool(_mobility_nodes(net))
+
+
+def check_no_twin_site(net: "DiTyCONetwork") -> list[str]:
+    """At-most-once cutover: a site is never *running* in two places.
+
+    Three forms of twinning are checked: two nodes hosting a site of
+    the same name; a node hosting a site the name service routes to a
+    different live node; and a node both hosting a site and holding it
+    frozen (a restore that forgot to discard the source copy)."""
+    world = net.world
+    violations = []
+    hosts: dict[str, list[str]] = {}
+    for node in world.nodes.values():
+        for site in node.sites.values():
+            hosts.setdefault(site.site_name, []).append(node.ip)
+    for site_name, ips in sorted(hosts.items()):
+        if len(ips) > 1:
+            violations.append(
+                f"twin site: {site_name!r} hosted by {sorted(ips)}")
+    snap = net.nameservice.snapshot()
+    for site_name, ips in sorted(hosts.items()):
+        rec = snap["sites"].get(site_name)
+        if rec is None:
+            continue
+        if rec.ip not in ips and rec.ip in world.nodes \
+                and not world.is_failed(rec.ip):
+            violations.append(
+                f"twin site: {site_name!r} runs at {sorted(ips)} but the "
+                f"name service routes to live node {rec.ip}")
+    for node in _mobility_nodes(net):
+        for site_id, record in node.mobility.frozen.items():
+            if site_id in node.sites:
+                violations.append(
+                    f"twin site: {record.site_name!r} both hosted and "
+                    f"frozen at {node.ip}")
+    return violations
+
+
+def check_no_lost_site(net: "DiTyCONetwork") -> list[str]:
+    """No migration loses its site: every site a migration manager
+    tracks is accounted for -- an active outbound migration holds the
+    frozen copy at the source, and a completed one left a tombstone
+    behind and the site running at exactly the destination.
+
+    Scoped to mobility-tracked sites only: the TyCOi legitimately
+    reaps exited sites (their SiteTable rows stay), so a network-wide
+    "registered but hosted nowhere" check would false-positive on
+    every completed program."""
+    world = net.world
+    violations = []
+    for node in _mobility_nodes(net):
+        manager = node.mobility
+        for token, record in sorted(manager.outbound.items()):
+            if record.site_id not in manager.frozen:
+                violations.append(
+                    f"lost site: migration {token} of "
+                    f"{record.site_name!r} is active at {node.ip} but "
+                    f"holds no frozen state")
+        for site_id, dest_ip in sorted(manager.tombstones.items()):
+            if world.is_failed(dest_ip):
+                continue
+            dest = world.nodes.get(dest_ip)
+            if dest is None:
+                violations.append(
+                    f"lost site: tombstone at {node.ip} forwards site "
+                    f"{site_id} to unknown node {dest_ip}")
+                continue
+            hosted = site_id in dest.sites
+            frozen_there = dest.mobility is not None \
+                and site_id in dest.mobility.frozen
+            forwarded_on = dest.mobility is not None \
+                and site_id in dest.mobility.tombstones
+            # A migrated site that exited and was reaped by the TyCOi
+            # is accounted for by the destination's completion record.
+            arrived = dest.mobility is not None and any(
+                sid == site_id
+                for _name, sid in dest.mobility.completed_in.values())
+            if not (hosted or frozen_there or forwarded_on or arrived):
+                violations.append(
+                    f"lost site: tombstone at {node.ip} forwards site "
+                    f"{site_id} to {dest_ip}, which neither hosts nor "
+                    f"tracks it")
+    return violations
+
+
 def check_nameservice_integrity(net: "DiTyCONetwork",
                                 monitor: "HeartbeatMonitor") -> list[str]:
     """After reconfiguration, no name-service row may point at a node

@@ -65,6 +65,30 @@ class Heap:
         self._stats.allocated += 1
         return ch
 
+    def adopt(self, channel: Channel) -> Channel:
+        """Install an existing channel under its own heap id.
+
+        The restore half of site checkpointing (repro.mobility): a
+        rebuilt channel keeps the id the checkpoint recorded, so every
+        export-table entry and network reference that named it keeps
+        resolving.  Refuses id collisions -- restore happens into a
+        fresh heap."""
+        if channel.heap_id in self._channels:
+            raise ValueError(f"heap id {channel.heap_id} already in use")
+        self._channels[channel.heap_id] = channel
+        return channel
+
+    def restore_counters(self, next_id: int, allocated: int,
+                         reclaimed: int, collections: int) -> None:
+        """Restore the id supply and lifetime counters from a
+        checkpoint, so ids allocated after a restore continue the
+        original monotonic sequence and the heap gauges carry on
+        exactly where the checkpointed site left off."""
+        self._next_id = next_id
+        self._stats.allocated = allocated
+        self._stats.reclaimed = reclaimed
+        self._stats.collections = collections
+
     def get(self, heap_id: int) -> Channel:
         """Resolve a heap id (e.g. from an incoming network reference)."""
         try:

@@ -92,6 +92,11 @@ class WorkloadReport:
     latencies: dict[str, list[float]] = field(default_factory=dict)
     violations: list[str] = field(default_factory=list)
     registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    #: None when the balancer was off; the ordered decision list when on.
+    balance_decisions: list | None = None
+    #: Flight-recorder dump, filled when a balanced run violates its
+    #: expected outputs (what did the balancer do right before?).
+    flight_dump: str = ""
 
     @property
     def ops_completed(self) -> int:
@@ -132,7 +137,7 @@ class WorkloadReport:
                 "p99_us": _us(self.percentile(99, op)),
                 "max_us": _us(max(samples)) if samples else None,
             }
-        return {
+        out = {
             "spec": self.spec.to_dict(),
             "world": self.world,
             "ops": self.spec.ops,
@@ -144,6 +149,12 @@ class WorkloadReport:
             "per_op": per_op,
             "violations": list(self.violations),
         }
+        if self.balance_decisions is not None:
+            out["balance"] = [
+                {"tick": d.tick, "site": d.site_name,
+                 "src": d.src_ip, "dest": d.dest_ip}
+                for d in self.balance_decisions]
+        return out
 
 
 def _us(seconds: float | None) -> float | None:
@@ -172,18 +183,31 @@ def _reap_all(net: DiTyCONetwork) -> int:
 def run_workload(spec: WorkloadSpec, world: str = "sim",
                  registry: MetricsRegistry | None = None,
                  max_time: float | None = None,
-                 reap_every: int = 32) -> WorkloadReport:
+                 reap_every: int = 32,
+                 balance: bool = False,
+                 balance_interval: float | None = None) -> WorkloadReport:
     """Build the fabric, drive the open-loop schedule, report latency.
 
     ``max_time`` bounds each wall-clock drain (ignored on the
     simulator, which runs to quiescence); a wall run that cannot drain
     raises ``TimeoutError`` from the world.
+
+    With ``balance`` the metrics-driven load balancer
+    (:mod:`repro.mobility.balancer`) runs over the traffic window --
+    on the simulator as a timer-wheel loop every ``balance_interval``
+    virtual seconds, on wall-clock worlds as one tick per injected
+    arrival.  The ``collector`` site is pinned (its output list holds
+    the latency tap, which a checkpoint round trip would shed); every
+    migration the balancer orders lands on the report, and a flight
+    recorder captures the event context so a violated run shows what
+    the balancer did right before.
     """
     app = APPS[spec.workload]
     trace = generate_trace(spec)
     registry = registry if registry is not None else MetricsRegistry()
     wall_timeout = DEFAULT_WALL_TIMEOUT_S if max_time is None else max_time
     net = DiTyCONetwork(world=_make_world(world))
+    balancer = recorder = None
     try:
         for i in range(spec.nodes):
             net.add_node(spec.node_ip(i))
@@ -193,6 +217,15 @@ def run_workload(spec: WorkloadSpec, world: str = "sim",
             net.run(max_time=None if world == "sim" else wall_timeout)
         if not net.is_quiescent():
             raise WorkloadError(f"{spec.workload} fabric did not settle")
+
+        if balance:
+            from repro.mobility.balancer import LoadBalancer, ThresholdPolicy
+            from repro.obs.flight import FlightRecorder
+
+            recorder = FlightRecorder()
+            net.world.obs.subscribe(recorder)
+            balancer = LoadBalancer(
+                net, ThresholdPolicy(pinned=frozenset({"collector"})))
 
         op_of = {a.seq: a.op for a in trace}
         launch_at: dict[int, float] = {}
@@ -236,6 +269,10 @@ def run_workload(spec: WorkloadSpec, world: str = "sim",
                 reap = reap_every > 0 and arrival.seq % reap_every == reap_every - 1
                 sim_world.schedule_at(base + arrival.at_us * 1e-6,
                                       make_launch(arrival, reap))
+            if balancer is not None:
+                span = trace[-1].at_us * 1e-6 if trace else 0.0
+                interval = balance_interval or max(span / 8.0, 1e-5)
+                balancer.install_sim(interval, base + span + interval)
             net.run(max_time)
         else:
             # Reaping is sim-only: it mutates node.sites under the
@@ -246,6 +283,8 @@ def run_workload(spec: WorkloadSpec, world: str = "sim",
                 delay = base + arrival.at_us * 1e-6 - net.world.time
                 if delay > 0:
                     _time.sleep(delay)
+                if balancer is not None:
+                    balancer.tick()
                 ip, name, src = app.op_entry(spec, arrival)
                 launch_at[arrival.seq] = net.world.time
                 net.launch(ip, name, src)
@@ -262,9 +301,23 @@ def run_workload(spec: WorkloadSpec, world: str = "sim",
         registry.gauge("repro_workload_makespan_seconds",
                        "Traffic window: first injection to drain.",
                        ("workload",)).labels(spec.workload).set(makespan)
+        flight_dump = ""
+        if balancer is not None:
+            # Surface the migration counters next to the latency
+            # histogram (repro_migration_* appear once a node has a
+            # mobility manager, i.e. once anything actually moved).
+            from repro.obs.metrics import world_metrics
+
+            world_metrics(net.world, registry)
+            if violations and recorder is not None:
+                flight_dump = recorder.dump(
+                    f"{spec.workload} outputs diverged under balancing")
         return WorkloadReport(spec=spec, world=world, makespan_s=makespan,
                               latencies=latencies, violations=violations,
-                              registry=registry)
+                              registry=registry,
+                              balance_decisions=(list(balancer.decisions)
+                                                 if balancer else None),
+                              flight_dump=flight_dump)
     finally:
         if world == "socket":
             net.world.shutdown()

@@ -80,6 +80,32 @@ class TestCommands:
 
 
 class TestErrors:
+    def test_migrate_command(self, net, shell):
+        shell.execute("eval n1 server export def Pump(r) = r![9] in 0")
+        shell.execute("step")
+        shell.execute("migrate server n2")
+        shell.execute("step")
+        assert any("migrating server -> n2" in l for l in shell.lines)
+        assert net.nameservice.lookup_site("server").ip == "n2"
+        shell.execute("eval n1 c1 import Pump from server in "
+                      "new v (Pump[v] | v?(w) = print![w])")
+        shell.execute("step")
+        assert net.site("c1").output == [9]
+
+    def test_migrate_scheduled_at_virtual_time(self, net, shell):
+        shell.execute("eval n1 server export def Pump(r) = r![9] in 0")
+        shell.execute("eval n2 c1 import Pump from server in "
+                      "new v (Pump[v] | v?(w) = print![w])")
+        shell.execute("migrate server n2 4e-5")
+        assert any("scheduled at" in l for l in shell.lines)
+        shell.execute("step")
+        assert net.nameservice.lookup_site("server").ip == "n2"
+        assert net.site("c1").output == [9]
+
+    def test_bad_migrate_usage(self, shell):
+        with pytest.raises(ShellError):
+            shell.execute("migrate onlysite")
+
     def test_unknown_command(self, shell):
         with pytest.raises(ShellError):
             shell.execute("frobnicate")

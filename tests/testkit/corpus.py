@@ -152,6 +152,56 @@ CORPUS = [
              "reclaimed by a later sweep (liveness without the drop).",
     ),
     CorpusEntry(
+        name="migrate-dup-ckpt-ship",
+        scenario="migrate", seed=3, config=ChaosConfig(dup_prob=1.0),
+        outputs={"client0": (), "client1": (), "client2": (),
+                 "client3": (), "server": (0, 0, 3, 3, 1, 1, 2, 2, 1, 1,
+                                           2, 2)},
+        quiescent=True,
+        fault_kinds=("dup",) * 9,
+        note="Every packet duplicated, including MIG_SHIP carrying the "
+             "checkpoint: the destination dedups by migration token "
+             "(the second SHIP re-drives NEED/re-ACKs instead of "
+             "restoring a twin) and the site ends up running in "
+             "exactly one place.  Data messages really are delivered "
+             "at-least-once -- forwarded ones twice per hop -- which "
+             "is the expected duplication, not a migration bug; the "
+             "no-twin-site/no-lost-site invariants hold.",
+    ),
+    CorpusEntry(
+        name="migrate-crash-mid-migration",
+        scenario="migrate", seed=5,
+        config=ChaosConfig(
+            crashes=(CrashEvent("n1", at=4.2e-5, restart_at=4e-4),)),
+        outputs={"client0": (), "client1": (), "client2": (),
+                 "client3": (), "server": (0,)},
+        quiescent=True,
+        fault_kinds=("crash", "crash-drop", "crash-drop", "crash-drop",
+                     "crash-drop", "restart"),
+        note="The source node crashes right after its first MIG_SHIP "
+             "(the destination's MIG_NEED is crash-dropped against the "
+             "dead node, as are the in-crash client messages).  On "
+             "restart the manager re-ships from the state captured at "
+             "freeze -- byte-identical, so the dup-SHIP path re-drives "
+             "NEED and the cutover completes onto n3 exactly once.  "
+             "Messages swallowed by the crash window stay lost "
+             "(crash-drop semantics), never twinned.",
+    ),
+    CorpusEntry(
+        name="migrate-old-home-message-after-rebind",
+        scenario="migrate", seed=1,
+        config=ChaosConfig(delay_prob=0.4, delay_s=1e-4),
+        outputs={"client0": (), "client1": (), "client2": (),
+                 "client3": (), "server": (0, 1, 2, 3)},
+        quiescent=True,
+        fault_kinds=("delay",) * 4,
+        note="Delays push every post-migration client message to the "
+             "old home *after* the cutover completed: no residual "
+             "buffering, three pure tombstone forwards redirect them "
+             "to n3 and the output multiset is exactly the "
+             "unmigrated answer.",
+    ),
+    CorpusEntry(
         name="pump-jitter-reorder",
         scenario="pump", seed=11, config=ChaosConfig(jitter_s=1e-3),
         outputs={"client0": (0,), "client1": (1,), "client2": (2,),

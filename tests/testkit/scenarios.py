@@ -80,9 +80,32 @@ def lease_churn(net, rounds=4):
         world.schedule_at(i * spacing, lambda i=i: start_round(i))
 
 
+def migrate(net, messages=4):
+    """Live migration mid-workload (repro.mobility): a persistent
+    server migrates from n1 to n3 while clients on n2 keep firing at
+    it.  Early messages hit the old home (buffered as residuals if
+    mid-freeze), late ones arrive after the rebind -- importers that
+    resolved before the move send to n1 and exercise the tombstone
+    forwarding path."""
+    net.add_nodes(["n1", "n2", "n3"])
+    net.launch("n1", "server", (
+        "export def Svc(ch, out) = ch?(w) = (out![w] | Svc[ch, out]) in "
+        "export new svc Svc[svc, print]"))
+    net.launch("n2", "client0", "import svc from server in svc![0]")
+    world = net.world
+    world.schedule_at(4e-5, lambda: net.migrate("server", "n3"))
+    for i in range(1, messages):
+        world.schedule_at(
+            1e-5 + i * 3e-5,
+            lambda i=i: net.launch(
+                "n2", f"client{i}",
+                f"import svc from server in svc![{i}]"))
+
+
 SCENARIOS = {
     "echo": echo,
     "pump": pump,
     "applet": applet,
     "lease_churn": lease_churn,
+    "migrate": migrate,
 }

@@ -1,0 +1,149 @@
+"""Migration under open-loop load: the balancer (or a forced move)
+relocates fabric sites mid-traffic and the workload's observable
+answers must not change.
+
+Two families:
+
+* forced migration -- a topic hub is live-migrated at a fixed virtual
+  time while publishes are in flight; the run must complete with zero
+  violations and the exact same latency-sample *count* and collector
+  outputs as the unmigrated run (timing may differ: packets take the
+  forwarded hop).
+* balanced runs -- ``run_workload(balance=True)`` drives the real
+  :class:`~repro.mobility.LoadBalancer`; every decision lands on the
+  report and the expected-output check stays green.
+"""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.workloads import WorkloadSpec, run_workload
+from repro.workloads.runner import DiTyCONetwork
+
+SPEC = WorkloadSpec("pubsub", seed=7, ops=40, rate_per_s=20000.0,
+                    nodes=3, topics=2, subscribers=3)
+
+
+def _run_forced(spec, at, site, dest):
+    """Like :func:`run_workload` on the simulator, but with one
+    migration planted on the timer wheel at virtual time ``at`` (and
+    no latency bookkeeping -- this family compares *answers*)."""
+    from repro.workloads import runner as r
+
+    app = r.APPS[spec.workload]
+    trace = r.generate_trace(spec)
+    net = DiTyCONetwork()
+    for i in range(spec.nodes):
+        net.add_node(spec.node_ip(i))
+    for phase in app.setup_phases(spec):
+        for ip, name, src in phase:
+            net.launch(ip, name, src)
+        net.run()
+    assert net.is_quiescent()
+
+    base = net.time
+    completions = []
+    collector = net.site("collector")
+    collector.vm.output = r._TapList(
+        collector.vm.output, lambda token: completions.append(token))
+
+    for arrival in trace:
+        def launch(arrival=arrival):
+            ip, name, src = app.op_entry(spec, arrival)
+            net.launch(ip, name, src)
+        net.world.schedule_at(base + arrival.at_us * 1e-6, launch)
+    moved = []
+    if dest is not None:
+        net.world.schedule_at(base + at,
+                              lambda: moved.append(net.migrate(site, dest)))
+    net.run()
+    violations = r.check_expected_outputs(
+        net, app.expected_outputs(spec, trace))
+    return {
+        "completions": tuple(sorted(completions)),
+        "violations": violations,
+        "moved": moved,
+        "home": net.nameservice.lookup_site(site).ip,
+        "net": net,
+    }
+
+
+class TestForcedMigrationUnderLoad:
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        return _run_forced(SPEC, at=0.0, site="topic0", dest=None)
+
+    @pytest.fixture(scope="class")
+    def migrated(self, baseline):
+        # Mid-window: half the publishes already injected, half still
+        # to come; the hub moves n0 -> n2 with calls in flight.
+        at = 0.5 * SPEC.ops / SPEC.rate_per_s
+        return _run_forced(SPEC, at=at, site="topic0", dest="n2")
+
+    def test_baseline_is_clean(self, baseline):
+        assert baseline["violations"] == []
+        assert len(baseline["completions"]) == SPEC.ops
+
+    def test_migrated_run_is_clean(self, migrated):
+        assert migrated["violations"] == []
+        assert migrated["moved"]          # the migration really ran
+
+    def test_same_completions_as_unmigrated(self, baseline, migrated):
+        assert migrated["completions"] == baseline["completions"]
+
+    def test_hub_landed_and_network_agrees(self, migrated):
+        net = migrated["net"]
+        assert migrated["home"] == "n2"
+        assert net.site("topic0").ip == "n2"
+        assert net.node("n0").mobility.stats.migrations_out == 1
+        assert net.node("n2").mobility.stats.migrations_in == 1
+
+    def test_forwarded_traffic_happened(self, migrated):
+        """Publishes injected before the rebind was visible really did
+        take the tombstone-forwarding path (otherwise this test is not
+        exercising migration under load at all)."""
+        stats = migrated["net"].node("n0").mobility.stats
+        assert stats.residuals_buffered + stats.forwards >= 1
+
+
+class TestBalancedWorkload:
+    @pytest.fixture(scope="class")
+    def balanced(self):
+        return run_workload(SPEC, balance=True)
+
+    def test_balanced_run_is_clean(self, balanced):
+        assert balanced.violations == []
+        assert balanced.ops_completed == SPEC.ops
+
+    def test_decisions_recorded(self, balanced):
+        # The report always carries the list when balancing was on --
+        # even an empty one -- and never otherwise.
+        assert balanced.balance_decisions is not None
+        plain = run_workload(SPEC)
+        assert plain.balance_decisions is None
+
+    def test_collector_never_moves(self, balanced):
+        assert all(d.site_name != "collector"
+                   for d in balanced.balance_decisions)
+
+    def test_summary_carries_balance_block(self, balanced):
+        summary = balanced.summary()
+        assert "balance" in summary
+        assert len(summary["balance"]) == len(balanced.balance_decisions)
+        assert "balance" not in run_workload(SPEC).summary()
+
+    def test_balanced_run_is_deterministic(self, balanced):
+        again = run_workload(SPEC, balance=True)
+        assert again.balance_decisions == balanced.balance_decisions
+        assert again.summary() == balanced.summary()
+
+    def test_registry_sees_migration_metrics(self):
+        registry = MetricsRegistry()
+        report = run_workload(
+            WorkloadSpec("pubsub", seed=3, ops=80, rate_per_s=40000.0,
+                         nodes=3, topics=2, subscribers=3),
+            registry=registry, balance=True)
+        assert report.violations == []
+        if report.balance_decisions:
+            text = registry.render()
+            assert "repro_migration_out_total" in text
