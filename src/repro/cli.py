@@ -14,6 +14,10 @@
     python -m repro trace-check t.json            validate a trace file
     python -m repro bench --only e1,e2            baseline benchmark metrics
     python -m repro workload pubsub --ops 100     macro workload latency run
+    python -m repro obs scrape --controls ...     aggregate a daemon cluster
+    python -m repro obs stitch a.jsonl b.jsonl    merge event streams
+    python -m repro obs profile PROGRAM           sampling profiler (sim)
+    python -m repro obs top --controls ...        per-node load table
 
 The single-program form plays the role of launching one site through
 TyCOsh on a fresh node; the ``net`` form drives a whole simulated
@@ -251,7 +255,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                        check_termination=args.check_termination,
                        monitor=args.monitor,
                        tracing=args.trace is not None,
-                       metrics=registry)
+                       metrics=registry,
+                       flight_capacity=args.flight_capacity)
     print(f"chaos seed={run.seed} {config.describe()}")
     print(f"quiescent: {'yes' if run.quiescent else 'no'}  "
           f"elapsed: {run.elapsed:.9f}s")
@@ -353,13 +358,25 @@ def _cmd_workload(args: argparse.Namespace) -> int:
         print(f"bad workload spec: {exc}", file=sys.stderr)
         return 2
 
+    slo = None
+    if args.slo is not None:
+        from repro.obs.slo import SLOError, SLOSpec
+
+        try:
+            slo = SLOSpec.from_json(Path(args.slo).read_text())
+        except (SLOError, OSError) as exc:
+            print(f"bad SLO spec: {exc}", file=sys.stderr)
+            return 2
+
     start = time.perf_counter()
     try:
         report = run_workload(spec, world=args.world,
                               max_time=args.max_time,
                               balance=args.balance,
-                              balance_interval=args.balance_interval)
-    except WorkloadError as exc:
+                              balance_interval=args.balance_interval,
+                              slo=slo,
+                              flight_capacity=args.flight_capacity)
+    except (WorkloadError, ValueError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
     host_ms = (time.perf_counter() - start) * 1e3
@@ -388,6 +405,11 @@ def _cmd_workload(args: argparse.Namespace) -> int:
             print(f"  tick {d.tick}: {d.site_name} "
                   f"{d.src_ip} -> {d.dest_ip} "
                   f"(load {d.src_load:.0f} vs {d.dest_load:.0f})")
+    if slo is not None and not args.json:
+        if report.slo_breaches:
+            print(f"slo: {len(report.slo_breaches)} breach(es)")
+        else:
+            print("slo: ok")
     if args.metrics is not None:
         _write_or_print(args.metrics, report.registry.render())
     print(f"-- host time: {host_ms:.0f}ms", file=sys.stderr)
@@ -397,6 +419,128 @@ def _cmd_workload(args: argparse.Namespace) -> int:
         if report.flight_dump:
             print(report.flight_dump, file=sys.stderr)
         return 3
+    if report.slo_breaches:
+        for message in report.slo_breaches:
+            print(f"SLO BREACH: {message}", file=sys.stderr)
+        if report.flight_dump:
+            print(report.flight_dump, file=sys.stderr)
+        return 4
+    return 0
+
+
+def _parse_controls(spec: str) -> list[tuple[str, int]]:
+    """Comma-separated ``HOST:PORT`` list -> [(host, port), ...]."""
+    addrs = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        host, _, port = part.rpartition(":")
+        if not host or not port.isdigit():
+            raise argparse.ArgumentTypeError(
+                f"bad control address {part!r}: expected HOST:PORT")
+        addrs.append((host, int(port)))
+    if not addrs:
+        raise argparse.ArgumentTypeError(
+            "at least one HOST:PORT control address required")
+    return addrs
+
+
+def _discover_controls(addrs, timeout: float) -> dict:
+    """``ident`` each control address -> {node ip: (host, port)}."""
+    from repro.runtime.cluster import control_call
+
+    controls = {}
+    for addr in addrs:
+        ident = control_call(addr, "ident", timeout=timeout)
+        controls[ident["ip"]] = addr
+    return controls
+
+
+def _cmd_obs_scrape(args: argparse.Namespace) -> int:
+    """Aggregate a daemon cluster: merged metrics + stitched trace."""
+    from repro.obs import ClusterScraper
+
+    try:
+        scraper = ClusterScraper(
+            _discover_controls(args.controls, args.timeout),
+            timeout=args.timeout)
+        _write_or_print(args.metrics, scraper.scrape_metrics())
+        if args.trace is not None:
+            _write_or_print(args.trace, scraper.scrape_trace())
+            if args.trace != "-":
+                print(f"trace: {args.trace}", file=sys.stderr)
+        if args.flight is not None:
+            dumps = scraper.flight_dumps()
+            text = "\n".join(dumps[ip] for ip in sorted(dumps) if dumps[ip])
+            _write_or_print(args.flight, text + "\n" if text else "")
+    except (OSError, RuntimeError) as exc:
+        print(f"scrape failed: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_obs_stitch(args: argparse.Namespace) -> int:
+    """Merge on-disk JSONL event streams into one Chrome trace."""
+    from repro.obs import events_from_jsonl, stitch_trace_json
+
+    streams = {}
+    for path in args.streams:
+        p = Path(path)
+        try:
+            streams[p.stem] = events_from_jsonl(p.read_text())
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"{path}: unreadable event stream: {exc}", file=sys.stderr)
+            return 1
+    _write_or_print(args.out, stitch_trace_json(streams,
+                                                relabel=args.relabel))
+    if args.out != "-":
+        total = sum(len(evs) for evs in streams.values())
+        print(f"stitched {total} event(s) from {len(streams)} "
+              f"stream(s) to {args.out}")
+    return 0
+
+
+def _cmd_obs_profile(args: argparse.Namespace) -> int:
+    """Deterministic sampling profile of a simulated run."""
+    from repro.obs import MetricsRegistry, VMProfiler
+    from repro.runtime import DiTyCONetwork
+
+    profiler = VMProfiler(stride=args.stride)
+    net = DiTyCONetwork()
+    profiler.install_network(net)
+    scenario = _chaos_scenario(args)
+    scenario(net)
+    net.run(args.max_time)
+    _write_or_print(args.out, profiler.collapsed())
+    if args.out != "-":
+        print(f"{profiler.samples} sample(s), {len(profiler.counts)} "
+              f"frame(s) to {args.out}")
+    if args.metrics is not None:
+        registry = MetricsRegistry()
+        profiler.to_registry(registry)
+        _write_or_print(args.metrics, registry.render())
+    return 0
+
+
+def _cmd_obs_top(args: argparse.Namespace) -> int:
+    """Periodic per-node load / queue / migration table."""
+    import time as _t
+
+    from repro.obs import ClusterScraper, top_table
+
+    try:
+        scraper = ClusterScraper(
+            _discover_controls(args.controls, args.timeout),
+            timeout=args.timeout)
+        for i in range(args.count):
+            if i:
+                _t.sleep(args.interval)
+                print()
+            print(top_table(scraper.loads()))
+    except (OSError, RuntimeError) as exc:
+        print(f"top failed: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -553,6 +697,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--metrics", metavar="PATH", default=None,
                          help="write the Prometheus-style metrics "
                               "exposition (- for stdout)")
+    p_chaos.add_argument("--flight-capacity", type=int, default=None,
+                         metavar="N",
+                         help="flight-recorder ring size per node "
+                              "(default: REPRO_FLIGHT_CAPACITY or 256)")
     p_chaos.set_defaults(func=_cmd_chaos)
 
     p_trace = sub.add_parser(
@@ -639,6 +787,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_wl.add_argument("--metrics", metavar="PATH", default=None,
                       help="write the Prometheus-style metrics "
                            "exposition (- for stdout)")
+    p_wl.add_argument("--slo", metavar="PATH", default=None,
+                      help="SLO spec JSON (docs/OBSERVABILITY.md); the "
+                           "watchdog checks it during the run and exit "
+                           "code 4 flags breaches")
+    p_wl.add_argument("--flight-capacity", type=int, default=None,
+                      metavar="N",
+                      help="flight-recorder ring size per node "
+                           "(default: REPRO_FLIGHT_CAPACITY or 256)")
     p_wl.set_defaults(func=_cmd_workload)
 
     p_daemon = sub.add_parser(
@@ -665,6 +821,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_daemon.add_argument("--quantum", type=int, default=512,
                           help="instructions per scheduling quantum "
                                "(default: 512)")
+    p_daemon.add_argument("--obs", action="store_true",
+                          help="turn on the observability plane: causal "
+                               "tracing plus trace/flight sinks served "
+                               "over the control protocol")
+    p_daemon.add_argument("--flight-capacity", type=int, default=None,
+                          metavar="N",
+                          help="flight-recorder ring size (with --obs; "
+                               "default: REPRO_FLIGHT_CAPACITY or 256)")
     p_daemon.set_defaults(func=_cmd_daemon)
 
     p_migrate = sub.add_parser(
@@ -709,6 +873,84 @@ def build_parser() -> argparse.ArgumentParser:
     p_balance.add_argument("--max-time", type=float, default=5.0,
                            help="virtual-time bound (default: 5.0)")
     p_balance.set_defaults(func=_cmd_balance)
+
+    p_obs = sub.add_parser(
+        "obs",
+        help="cluster observability plane: scrape, stitch, profile, top "
+             "(docs/OBSERVABILITY.md)")
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+
+    p_scrape = obs_sub.add_parser(
+        "scrape",
+        help="aggregate a live daemon cluster: merged node-labelled "
+             "metrics, stitched Perfetto trace, flight dumps")
+    p_scrape.add_argument("--controls", type=_parse_controls, required=True,
+                          metavar="HOST:PORT,...",
+                          help="daemon control addresses (READY lines)")
+    p_scrape.add_argument("--metrics", default="-", metavar="PATH",
+                          help="merged metrics exposition output "
+                               "(default: stdout)")
+    p_scrape.add_argument("--trace", default=None, metavar="PATH",
+                          help="stitched Chrome-trace JSON output "
+                               "(- for stdout)")
+    p_scrape.add_argument("--flight", default=None, metavar="PATH",
+                          help="remote flight-recorder dumps output "
+                               "(- for stdout)")
+    p_scrape.add_argument("--timeout", type=float, default=10.0,
+                          help="per-call control timeout in seconds "
+                               "(default: 10)")
+    p_scrape.set_defaults(func=_cmd_obs_scrape)
+
+    p_stitch = obs_sub.add_parser(
+        "stitch",
+        help="merge JSONL event streams (one file per node) into one "
+             "Perfetto-loadable Chrome trace")
+    p_stitch.add_argument("streams", nargs="+",
+                          help="JSONL event-stream files; each file's "
+                               "stem labels its stream")
+    p_stitch.add_argument("--out", default="trace.json", metavar="PATH",
+                          help="merged trace output (- for stdout; "
+                               "default: trace.json)")
+    p_stitch.add_argument("--relabel", action="store_true",
+                          help="stamp world-level events (empty node) "
+                               "with their stream's label")
+    p_stitch.set_defaults(func=_cmd_obs_stitch)
+
+    p_profile = obs_sub.add_parser(
+        "profile",
+        help="instruction-strided sampling profile of a simulated run "
+             "(deterministic; collapsed-stack flamegraph output)")
+    p_profile.add_argument("program",
+                           help="a .tycosh session script or a .dityco "
+                                "program")
+    p_profile.add_argument("--nodes", default="n1,n2",
+                           help="comma-separated node IPs (default: n1,n2)")
+    p_profile.add_argument("--stride", type=int, default=4096,
+                           help="instructions per sample (default: 4096)")
+    p_profile.add_argument("--max-time", type=float, default=5.0,
+                           help="virtual-time bound (default: 5.0)")
+    p_profile.add_argument("--out", default="-", metavar="PATH",
+                           help="collapsed-stack output (default: stdout)")
+    p_profile.add_argument("--metrics", metavar="PATH", default=None,
+                           help="also write repro_profile_samples_total "
+                                "as a metrics exposition (- for stdout)")
+    p_profile.set_defaults(func=_cmd_obs_profile)
+
+    p_top = obs_sub.add_parser(
+        "top",
+        help="per-node load / queue-depth / migration table from a live "
+             "daemon cluster")
+    p_top.add_argument("--controls", type=_parse_controls, required=True,
+                       metavar="HOST:PORT,...",
+                       help="daemon control addresses (READY lines)")
+    p_top.add_argument("--interval", type=float, default=1.0, metavar="S",
+                       help="seconds between refreshes (default: 1.0)")
+    p_top.add_argument("--count", type=int, default=1, metavar="N",
+                       help="number of tables to print (default: 1)")
+    p_top.add_argument("--timeout", type=float, default=10.0,
+                       help="per-call control timeout in seconds "
+                            "(default: 10)")
+    p_top.set_defaults(func=_cmd_obs_top)
 
     p_shell = sub.add_parser("shell", help="interactive TyCOsh")
     p_shell.add_argument("--nodes", default="n1,n2")

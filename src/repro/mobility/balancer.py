@@ -46,6 +46,9 @@ class BalanceDecision:
     dest_ip: str
     src_load: float
     dest_load: float
+    #: Why the policy moved: the trigger that fired (the
+    #: ``reason`` label of ``repro_balancer_decisions_total``).
+    reason: str = "imbalance"
 
 
 @dataclass(frozen=True, slots=True)
@@ -97,9 +100,14 @@ class LoadBalancer:
     wall-clock worlds.
     """
 
-    def __init__(self, net, policy: Optional[ThresholdPolicy] = None) -> None:
+    def __init__(self, net, policy: Optional[ThresholdPolicy] = None,
+                 registry=None) -> None:
         self.net = net
         self.policy = policy or ThresholdPolicy()
+        #: Optional :class:`~repro.obs.metrics.MetricsRegistry`: every
+        #: ordered migration bumps
+        #: ``repro_balancer_decisions_total{src,dst,reason}``.
+        self.registry = registry
         self.decisions: list[BalanceDecision] = []
         self.ticks = 0
         self._last_move_tick = -1
@@ -151,6 +159,18 @@ class LoadBalancer:
                        note=(f"{decision.site_name} load "
                              f"{decision.src_load:.0f}->"
                              f"{decision.dest_load:.0f}"))
+        # The decision itself, first-class (PR9): carries the policy's
+        # trigger so traces and metrics answer "why did it move".
+        src_node.trace("balance_decide",
+                       src=decision.src_ip, dst=decision.dest_ip,
+                       note=f"{decision.site_name} {decision.reason}")
+        if self.registry is not None:
+            self.registry.counter(
+                "repro_balancer_decisions_total",
+                "Migrations ordered by the load balancer.",
+                ("src", "dst", "reason")).labels(
+                    decision.src_ip, decision.dest_ip,
+                    decision.reason).inc()
         self.net.migrate(decision.site_name, decision.dest_ip)
         return decision
 

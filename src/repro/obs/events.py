@@ -22,7 +22,8 @@ transport  send, deliver, batch, crash-drop
 chaos      drop, dup, delay, crash, restart
 mobility   migrate-out, migrate-ship, migrate-need, migrate-code,
            migrate-in, migrate-ack, migrate-forward, migrate-retry,
-           migrate-fail, balance
+           migrate-fail, balance, balance_decide
+slo        slo_breach  (an SLO watchdog threshold check failed)
 ========== ==========================================================
 
 Unknown kinds are allowed (category ``"other"``) so downstream layers
@@ -41,6 +42,7 @@ GC = "gc"
 TRANSPORT = "transport"
 CHAOS = "chaos"
 MOBILITY = "mobility"
+SLO = "slo"
 OTHER = "other"
 
 #: kind -> category, the event taxonomy.
@@ -87,6 +89,9 @@ CATEGORY_OF: dict[str, str] = {
     "migrate-retry": MOBILITY,
     "migrate-fail": MOBILITY,
     "balance": MOBILITY,
+    "balance_decide": MOBILITY,
+    # SLO watchdog (repro.obs.slo).
+    "slo_breach": SLO,
 }
 
 #: Every kind the schema (docs/trace_schema.json) accepts.

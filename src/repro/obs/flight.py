@@ -11,11 +11,32 @@ includes the dump in :class:`~repro.testkit.explore.ChaosRun`.
 
 from __future__ import annotations
 
+import os
 from collections import deque
 
 from .events import ObsEvent
 
 DEFAULT_CAPACITY = 256
+
+#: Environment override for the default ring capacity.
+CAPACITY_ENV = "REPRO_FLIGHT_CAPACITY"
+
+
+def resolve_capacity(cli: int | None = None) -> int:
+    """The effective ring capacity: ``--flight-capacity`` beats
+    :data:`CAPACITY_ENV` beats :data:`DEFAULT_CAPACITY`."""
+    if cli is None:
+        raw = os.environ.get(CAPACITY_ENV)
+        if raw is None:
+            return DEFAULT_CAPACITY
+        try:
+            cli = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{CAPACITY_ENV}={raw!r} is not an integer") from None
+    if cli < 1:
+        raise ValueError(f"flight capacity must be >= 1, got {cli}")
+    return cli
 
 
 class FlightRecorder:

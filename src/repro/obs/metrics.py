@@ -201,11 +201,20 @@ def _escape(value: str) -> str:
 
 
 def _render_value(value: float) -> str:
-    if value == float("inf"):
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if value == math.inf:
         return "+Inf"
-    if float(value).is_integer():
+    if value == -math.inf:
+        return "-Inf"
+    if value.is_integer():
+        # Preserve the sign of negative zero (math.copysign is the
+        # only reliable -0.0 test; ``-0.0 == 0.0`` is True).
+        if value == 0.0 and math.copysign(1.0, value) < 0:
+            return "-0"
         return str(int(value))
-    return repr(float(value))
+    return repr(value)
 
 
 class MetricsRegistry:
@@ -297,6 +306,87 @@ class MetricsRegistry:
         lines.append("# TYPE repro_metrics_dropped_series_total counter")
         lines.append(f"repro_metrics_dropped_series_total {dropped}")
         return "\n".join(lines) + "\n"
+
+    # -- snapshot / merge (repro.obs.cluster) --------------------------------
+
+    def snapshot(self) -> dict:
+        """A plain-literal dump of every family and series.
+
+        The structure round-trips through ``repr`` + ``ast.literal_eval``
+        (the daemon control protocol's marshalling): only str / int /
+        float / None / tuples / lists / dicts, no ``inf`` or ``nan``
+        (empty-histogram min/max become None).  Deterministic: families
+        and series are emitted sorted.
+        """
+        out: dict[str, dict] = {}
+        for name in sorted(self._families):
+            family = self._families[name]
+            fam: dict = {"kind": family.kind, "help": family.help,
+                         "labels": list(family.label_names),
+                         "dropped": family.dropped, "series": {}}
+            if family.kind == "histogram":
+                fam["buckets"] = list(family.buckets)
+            for values in sorted(family.series):
+                inst = family.series[values]
+                if family.kind == "histogram":
+                    assert isinstance(inst, Histogram)
+                    fam["series"][values] = {
+                        "counts": list(inst.counts), "sum": inst.sum,
+                        "count": inst.count,
+                        "min": None if inst.count == 0 else inst.min,
+                        "max": None if inst.count == 0 else inst.max,
+                    }
+                else:
+                    fam["series"][values] = inst.value
+            out[name] = fam
+        return out
+
+
+def merge_snapshots(snapshots: dict[str, dict],
+                    label: str = "node") -> MetricsRegistry:
+    """Merge per-node registry snapshots into one labelled registry.
+
+    ``snapshots`` maps a node label value (the daemon's ip) to the
+    output of :meth:`MetricsRegistry.snapshot`.  Families that do not
+    already carry ``label`` get it prepended; families that do (the
+    per-node/per-site gauges from :func:`world_metrics`) keep their
+    existing series untouched -- each daemon only reports itself, so
+    the values are already distinct.  Nodes and families are applied
+    sorted, making the merged :meth:`~MetricsRegistry.render` output
+    deterministic.
+    """
+    merged = MetricsRegistry(max_series=max(
+        64, 64 * max(1, len(snapshots))))
+    for node in sorted(snapshots):
+        for name, fam in sorted(snapshots[node].items()):
+            labels = tuple(fam["labels"])
+            prepend = label not in labels
+            if prepend:
+                labels = (label,) + labels
+            family = merged._family(
+                name, fam["kind"], fam["help"], labels,
+                buckets=tuple(fam.get("buckets", DEFAULT_BUCKETS)))
+            family.dropped += fam["dropped"]
+            for values, state in fam["series"].items():
+                values = tuple(values)
+                if prepend:
+                    values = (node,) + values
+                inst = family.child(values)
+                if inst is None:  # pragma: no cover - cap is sized above
+                    continue
+                if fam["kind"] == "histogram":
+                    assert isinstance(inst, Histogram)
+                    for i, count in enumerate(state["counts"]):
+                        inst.counts[i] += count
+                    inst.sum += state["sum"]
+                    inst.count += state["count"]
+                    if state["min"] is not None:
+                        inst.min = min(inst.min, state["min"])
+                    if state["max"] is not None:
+                        inst.max = max(inst.max, state["max"])
+                else:
+                    inst.value += state
+    return merged
 
 
 class _Handle:

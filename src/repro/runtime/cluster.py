@@ -99,8 +99,18 @@ class _DaemonControl:
     same framing as the name service RPC."""
 
     def __init__(self, net: DiTyCONetwork, world: DaemonWorld, ip: str,
-                 host: str, port: int) -> None:
+                 host: str, port: int, collector=None, recorder=None,
+                 registry=None) -> None:
         self.net, self.world, self.ip = net, world, ip
+        #: Cluster-plane sinks (repro.obs), attached by ``--obs``:
+        #: a TraceCollector for the ``trace`` command, a FlightRecorder
+        #: for ``flight``, a MetricsRegistry (bus sink) for ``metrics``.
+        #: All None on an unobserved daemon -- the commands still
+        #: answer (``metrics`` pulls world_metrics, the others return
+        #: empty) without perturbing the run.
+        self.collector = collector
+        self.recorder = recorder
+        self.registry = registry
         self.shutdown_requested = threading.Event()
         outer = self
 
@@ -169,6 +179,55 @@ class _DaemonControl:
     def _rpc_exports(self):
         return {s.site_name: sorted(s.exported_ids) for s in self._sites()}
 
+    # -- the cluster observability plane (repro.obs.cluster) -----------------
+
+    def _rpc_ident(self):
+        return {"ip": self.ip, "obs": self.collector is not None}
+
+    def _rpc_metrics(self):
+        """This daemon's registry snapshot (PR4 exposition, marshalled
+        as a literal dict; see MetricsRegistry.snapshot)."""
+        from repro.obs.metrics import MetricsRegistry, world_metrics
+
+        registry = self.registry if self.registry is not None \
+            else MetricsRegistry()
+        world_metrics(self.world, registry)
+        return registry.snapshot()
+
+    def _rpc_trace(self, since=0):
+        """Recorded events with ``seq > since`` as literal dicts.
+        Non-destructive: the collector keeps everything, so repeated
+        scrapes of a quiescent daemon return identical streams."""
+        if self.collector is None:
+            return []
+        from repro.obs.cluster import event_to_dict
+
+        return [event_to_dict(ev) for ev in list(self.collector.events)
+                if ev.seq > since]
+
+    def _rpc_flight(self, reason="scrape"):
+        if self.recorder is None:
+            return ""
+        return self.recorder.dump(str(reason))
+
+    def _rpc_load(self):
+        """Per-site load digest for ``repro obs top``: instruction
+        totals, queue depths, link backlogs and migration counters."""
+        sites = {}
+        for node in self.world.nodes.values():
+            sites.update(node.tycod.load_digest())
+        node = self.world.nodes[self.ip]
+        mobility = getattr(node, "mobility", None)
+        return {
+            "ip": self.ip,
+            "sites": sites,
+            "links": self.world.link_queue_depths().get(self.ip, {}),
+            "migrations_out": (mobility.stats.migrations_out
+                               if mobility is not None else 0),
+            "migrations_in": (mobility.stats.migrations_in
+                              if mobility is not None else 0),
+        }
+
     def _rpc_shutdown(self):
         self.shutdown_requested.set()
 
@@ -205,6 +264,23 @@ def daemon_main(args: argparse.Namespace) -> int:
     ns = NameServiceClient(ns_host, ns_port)
     world = DaemonWorld(directory=ns.node_addr, host=args.host,
                         quantum=args.quantum)
+    collector = recorder = registry = None
+    if getattr(args, "obs", False):
+        # The scrape surface's sinks.  Opt-in: tracing flips span
+        # allocation on (one extra wire tag per packet), so default
+        # daemon runs stay byte-identical to pre-plane daemons.
+        from repro.obs import (FlightRecorder, MetricsRegistry,
+                               TraceCollector)
+        from repro.obs.flight import resolve_capacity
+
+        world.obs.tracing = True
+        collector = TraceCollector()
+        world.obs.subscribe(collector)
+        recorder = FlightRecorder(
+            resolve_capacity(getattr(args, "flight_capacity", None)))
+        world.obs.subscribe(recorder)
+        registry = MetricsRegistry()
+        world.obs.subscribe(registry)
     net = DiTyCONetwork(world=world, nameservice=ns)
     net.add_node(args.ip)
     world.start()
@@ -212,7 +288,9 @@ def daemon_main(args: argparse.Namespace) -> int:
     ns.register_node(args.ip, args.host, data_port)
 
     control = _DaemonControl(net, world, args.ip,
-                             host=args.host, port=args.control_port)
+                             host=args.host, port=args.control_port,
+                             collector=collector, recorder=recorder,
+                             registry=registry)
     print(f"READY ip={args.ip} data={data_port} control={control.port} "
           f"ns={ns_host}:{ns_port}", flush=True)
     try:
@@ -240,13 +318,19 @@ class ProcessCluster:
 
     def __init__(self, ips, host: str = "127.0.0.1",
                  quantum: int = 512,
-                 python: str = sys.executable) -> None:
+                 python: str = sys.executable,
+                 obs: bool = False,
+                 flight_capacity: Optional[int] = None) -> None:
         self.ips = list(ips)
         if not self.ips:
             raise ValueError("a cluster needs at least one node")
         self.host = host
         self.quantum = quantum
         self.python = python
+        #: Spawn daemons with ``--obs`` (scrapeable trace/flight/metrics
+        #: sinks + span tracing) and an optional flight-ring capacity.
+        self.obs = obs
+        self.flight_capacity = flight_capacity
         self.procs: dict[str, subprocess.Popen] = {}
         self.control: dict[str, tuple[str, int]] = {}
         self.ns: Optional[NameServiceClient] = None
@@ -257,6 +341,10 @@ class ProcessCluster:
     def _spawn(self, ip: str, serve_ns: bool) -> subprocess.Popen:
         cmd = [self.python, "-m", "repro", "daemon", "--ip", ip,
                "--host", self.host, "--quantum", str(self.quantum)]
+        if self.obs:
+            cmd.append("--obs")
+        if self.flight_capacity is not None:
+            cmd += ["--flight-capacity", str(self.flight_capacity)]
         if serve_ns:
             cmd.append("--serve-ns")
         else:
@@ -382,3 +470,12 @@ class ProcessCluster:
 
     def ns_snapshot(self) -> dict:
         return self.ns.snapshot()
+
+    # -- the cluster observability plane --------------------------------------
+
+    def scraper(self):
+        """A :class:`~repro.obs.cluster.ClusterScraper` over this
+        cluster's control ports."""
+        from repro.obs.cluster import ClusterScraper
+
+        return ClusterScraper(self.control)

@@ -93,6 +93,18 @@ class TyCOd:
         self.stats.bytes_sent += len(data)
         self.node.transport_send(packet.dest_ip, data)
 
+    def load_digest(self) -> dict:
+        """Per-site load snapshot (instructions done, run-queue depth,
+        mail waiting) -- the quantities the load balancer samples,
+        served over the cluster plane's ``load`` control command and
+        rendered by ``repro obs top``."""
+        return {site.site_name: {
+                    "instructions": site.vm.stats.instructions,
+                    "runqueue": len(site.vm.runqueue),
+                    "mailbox": len(site.incoming) + len(site.outgoing),
+                }
+                for site in self.node.sites.values()}
+
     def receive(self, data: bytes) -> None:
         """A buffer arrived from a remote TyCOd."""
         packet = decode(data)

@@ -81,6 +81,11 @@ class DiTyCONetwork:
         #: ``fusion`` toggles superinstructions.
         self.engine = engine
         self.fusion = fusion
+        #: Sampling profiler (repro.obs.profiler): a plain attribute
+        #: read at :meth:`add_node` time, normally set through
+        #: ``VMProfiler.install_network`` -- None keeps every VM on the
+        #: untouched dispatch loop.
+        self.profiler = None
 
     # -- topology -------------------------------------------------------------
 
@@ -105,6 +110,7 @@ class DiTyCONetwork:
                     gc_config=gc_config,
                     engine=self.engine,
                     fusion=self.fusion)
+        node.profiler = self.profiler
         self.world.add_node(node)
         return node
 

@@ -71,6 +71,10 @@ class Node:
         #: repro.vm.dispatch and docs/PERF.md).
         self.engine = engine
         self.fusion = fusion
+        #: Sampling profiler (repro.obs.profiler): when set (usually by
+        #: VMProfiler.install_network), every site this node creates or
+        #: adopts gets the profiler installed on its VM.
+        self.profiler = None
         #: Wire batching: buffers outgoing buffers per destination while
         #: a scheduling quantum runs and flushes them as one frame at
         #: the quantum boundary (or earlier, once ``batch_bytes`` is
@@ -200,6 +204,8 @@ class Node:
         site.trace = self._trace_hook
         if self.obs is not None:
             site.attach_obs(self.obs)
+        if self.profiler is not None:
+            self.profiler.install(site.vm)
         self.nameservice.subscribe(self._on_ns_update)
         site.boot()
         self.on_work_available()
@@ -233,6 +239,8 @@ class Node:
         site.trace = self._trace_hook
         if self.obs is not None:
             site.attach_obs(self.obs)
+        if self.profiler is not None:
+            self.profiler.install(site.vm)
         self.nameservice.subscribe(self._on_ns_update)
         self.on_work_available()
         return site

@@ -128,7 +128,8 @@ def run_scenario(scenario: Scenario, seed: int = 0,
                  check_termination: bool = False,
                  monitor: bool = False,
                  tracing: bool = False,
-                 metrics=None) -> ChaosRun:
+                 metrics=None,
+                 flight_capacity: int | None = None) -> ChaosRun:
     """Run ``scenario`` once under ``(seed, config)`` and check the
     per-run invariants.
 
@@ -145,11 +146,14 @@ def run_scenario(scenario: Scenario, seed: int = 0,
     deterministic, so the same ``(seed, config)`` yields the same
     bytes.  ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`)
     is subscribed as a sink and topped up with the end-of-run gauge
-    snapshot.
+    snapshot.  ``flight_capacity`` sizes the recorder's per-node rings
+    (else ``REPRO_FLIGHT_CAPACITY``, else the default).
     """
+    from repro.obs.flight import resolve_capacity
+
     config = config or ChaosConfig()
     world = ChaosWorld(seed=seed, config=config)
-    recorder = FlightRecorder()
+    recorder = FlightRecorder(resolve_capacity(flight_capacity))
     world.obs.subscribe(recorder)
     if metrics is not None:
         world.obs.subscribe(metrics)

@@ -359,6 +359,13 @@ class SocketEndpoint:
             return sum(1 for link in self._links.values()
                        if link.task is not None and not link.task.done())
 
+    def queue_depths(self) -> dict[str, int]:
+        """Outbound queue depth per destination ip (a point-in-time
+        snapshot; the cluster plane's ``load`` scrape surfaces it)."""
+        with self._links_lock:
+            return {dst: len(link.queue)
+                    for dst, link in self._links.items()}
+
     # -- outbound ------------------------------------------------------------
 
     def send(self, dst_ip: str, data: bytes) -> None:
@@ -664,6 +671,12 @@ class SocketWorld(World):
 
     def endpoint(self, ip: str) -> SocketEndpoint:
         return self._endpoints[ip]
+
+    def link_queue_depths(self) -> dict[str, dict[str, int]]:
+        """Per-endpoint outbound queue depths, ``src -> dst -> count``
+        (the ``load`` control command and ``repro obs top`` read it)."""
+        return {ip: endpoint.queue_depths()
+                for ip, endpoint in sorted(self._endpoints.items())}
 
     def _wake(self, ip: str) -> None:
         ev = self._wake_events.get(ip)

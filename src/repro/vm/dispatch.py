@@ -189,6 +189,19 @@ class DecodedBlock:
         self.ones = [1] * len(instrs)
 
 
+def handler_kind(block: CodeBlock, pc: int) -> str:
+    """The handler-kind label the sampling profiler attributes a
+    sample at ``(block, pc)`` to: the opcode about to execute, or
+    ``"END"`` past the last instruction (the thread is about to
+    retire).  Labels come from the *unfused* instruction tuple, so
+    attribution is identical with fusion on or off -- the profiler's
+    determinism contract does not depend on dispatch planning.
+    """
+    if 0 <= pc < len(block.instrs):
+        return block.instrs[pc].op.name
+    return "END"
+
+
 def predecode(program: Program, block: CodeBlock) -> DecodedBlock:
     """Translate ``block`` into pre-bound handlers (both the plain
     per-instruction form and the fused superinstruction form)."""

@@ -140,6 +140,11 @@ class TycoVM:
         self.obs = None
         self.obs_node = ""
         self.obs_site = ""
+        # Sampling profiler (repro.obs.profiler): installed via
+        # VMProfiler.install.  None costs one attribute check per
+        # step() call; the dispatch loops themselves are untouched.
+        self.profiler = None
+        self._profile_left = 0
         self._booted = False
 
     # -- set-up --------------------------------------------------------------
@@ -230,7 +235,9 @@ class TycoVM:
         choice -- only wall-clock time does.
         """
         executed = 0
-        if self.tracer is None and self.engine == "fast" \
+        if self.profiler is not None:
+            run_slice = self._run_slice_profiled
+        elif self.tracer is None and self.engine == "fast" \
                 and (self.obs is None or not self.obs.tracing):
             run_slice = self._run_slice_fast
         else:
@@ -243,6 +250,33 @@ class TycoVM:
                 self.current = runqueue.pop()
             executed += run_slice(self.current, budget - executed)
         self.stats.instructions += executed
+        return executed
+
+    def _run_slice_profiled(self, thread: Thread, budget: int) -> int:
+        """Run a slice in chunks capped at the profiler's next sample
+        point (repro.obs.profiler).
+
+        Re-entering the underlying engine mid-slice is exactly what
+        :meth:`step`'s outer loop does after a truthy handler return,
+        and chunk boundaries are budget boundaries the fused handlers
+        already honour -- so instruction accounting, slice ends and
+        schedules are bit-identical to unprofiled runs; only the
+        sample counters differ.
+        """
+        profiler = self.profiler
+        if self.tracer is None and self.engine == "fast" \
+                and (self.obs is None or not self.obs.tracing):
+            base = self._run_slice_fast
+        else:
+            base = self._run_slice
+        executed = 0
+        while executed < budget and self.current is thread:
+            chunk = min(budget - executed, profiler.next_chunk(self))
+            ran = base(thread, chunk)
+            executed += ran
+            profiler.account(self, thread, ran)
+            if ran < chunk:
+                break
         return executed
 
     def _run_slice_fast(self, thread: Thread, budget: int) -> int:

@@ -95,8 +95,12 @@ class WorkloadReport:
     #: None when the balancer was off; the ordered decision list when on.
     balance_decisions: list | None = None
     #: Flight-recorder dump, filled when a balanced run violates its
-    #: expected outputs (what did the balancer do right before?).
+    #: expected outputs (what did the balancer do right before?), or
+    #: when the SLO watchdog trips mid-run (the moment of the breach).
     flight_dump: str = ""
+    #: None when no SLO spec was given; the breach messages when one
+    #: was (empty list = every objective held).
+    slo_breaches: list[str] | None = None
 
     @property
     def ops_completed(self) -> int:
@@ -152,8 +156,11 @@ class WorkloadReport:
         if self.balance_decisions is not None:
             out["balance"] = [
                 {"tick": d.tick, "site": d.site_name,
-                 "src": d.src_ip, "dest": d.dest_ip}
+                 "src": d.src_ip, "dest": d.dest_ip,
+                 "reason": d.reason}
                 for d in self.balance_decisions]
+        if self.slo_breaches is not None:
+            out["slo_breaches"] = list(self.slo_breaches)
         return out
 
 
@@ -185,7 +192,9 @@ def run_workload(spec: WorkloadSpec, world: str = "sim",
                  max_time: float | None = None,
                  reap_every: int = 32,
                  balance: bool = False,
-                 balance_interval: float | None = None) -> WorkloadReport:
+                 balance_interval: float | None = None,
+                 slo=None,
+                 flight_capacity: int | None = None) -> WorkloadReport:
     """Build the fabric, drive the open-loop schedule, report latency.
 
     ``max_time`` bounds each wall-clock drain (ignored on the
@@ -201,13 +210,21 @@ def run_workload(spec: WorkloadSpec, world: str = "sim",
     migration the balancer orders lands on the report, and a flight
     recorder captures the event context so a violated run shows what
     the balancer did right before.
+
+    With ``slo`` (an :class:`~repro.obs.slo.SLOSpec`) the watchdog
+    evaluates the rules at deterministic points of the traffic window
+    (quarters of the schedule on the simulator, every 16 arrivals on
+    wall clocks) and once more at drain; breaches land on the report
+    and the first one captures a flight dump.  ``flight_capacity``
+    overrides the recorder's per-node ring size (else
+    ``REPRO_FLIGHT_CAPACITY``, else the default).
     """
     app = APPS[spec.workload]
     trace = generate_trace(spec)
     registry = registry if registry is not None else MetricsRegistry()
     wall_timeout = DEFAULT_WALL_TIMEOUT_S if max_time is None else max_time
     net = DiTyCONetwork(world=_make_world(world))
-    balancer = recorder = None
+    balancer = recorder = watchdog = None
     try:
         for i in range(spec.nodes):
             net.add_node(spec.node_ip(i))
@@ -218,14 +235,17 @@ def run_workload(spec: WorkloadSpec, world: str = "sim",
         if not net.is_quiescent():
             raise WorkloadError(f"{spec.workload} fabric did not settle")
 
+        if balance or slo is not None:
+            from repro.obs.flight import FlightRecorder, resolve_capacity
+
+            recorder = FlightRecorder(resolve_capacity(flight_capacity))
+            net.world.obs.subscribe(recorder)
         if balance:
             from repro.mobility.balancer import LoadBalancer, ThresholdPolicy
-            from repro.obs.flight import FlightRecorder
 
-            recorder = FlightRecorder()
-            net.world.obs.subscribe(recorder)
             balancer = LoadBalancer(
-                net, ThresholdPolicy(pinned=frozenset({"collector"})))
+                net, ThresholdPolicy(pinned=frozenset({"collector"})),
+                registry=registry)
 
         op_of = {a.seq: a.op for a in trace}
         launch_at: dict[int, float] = {}
@@ -248,6 +268,16 @@ def run_workload(spec: WorkloadSpec, world: str = "sim",
             latencies.setdefault(op, []).append(sample)
             hist.labels(spec.workload, op).observe(sample)
             ops_total.labels(spec.workload, op).inc()
+
+        if slo is not None:
+            from repro.obs.slo import SLOWatchdog
+
+            watchdog = SLOWatchdog(
+                slo, registry, spec.workload, bus=net.world.obs,
+                recorder=recorder,
+                repro=(f"PYTHONPATH=src python -m repro workload "
+                       f"{spec.workload} --seed {spec.seed} "
+                       f"--ops {spec.ops} --world {world}"))
 
         collector = net.site("collector")
         collector.vm.output = _TapList(collector.vm.output, on_token)
@@ -273,6 +303,13 @@ def run_workload(spec: WorkloadSpec, world: str = "sim",
                 span = trace[-1].at_us * 1e-6 if trace else 0.0
                 interval = balance_interval or max(span / 8.0, 1e-5)
                 balancer.install_sim(interval, base + span + interval)
+            if watchdog is not None:
+                # Deterministic mid-run checkpoints: quarters of the
+                # traffic window on the virtual clock.
+                span = trace[-1].at_us * 1e-6 if trace else 0.0
+                for k in range(1, 5):
+                    sim_world.schedule_at(base + span * k / 4.0,
+                                          watchdog.check)
             net.run(max_time)
         else:
             # Reaping is sim-only: it mutates node.sites under the
@@ -285,6 +322,8 @@ def run_workload(spec: WorkloadSpec, world: str = "sim",
                     _time.sleep(delay)
                 if balancer is not None:
                     balancer.tick()
+                if watchdog is not None and arrival.seq % 16 == 15:
+                    watchdog.check()
                 ip, name, src = app.op_entry(spec, arrival)
                 launch_at[arrival.seq] = net.world.time
                 net.launch(ip, name, src)
@@ -312,12 +351,21 @@ def run_workload(spec: WorkloadSpec, world: str = "sim",
             if violations and recorder is not None:
                 flight_dump = recorder.dump(
                     f"{spec.workload} outputs diverged under balancing")
+        slo_breaches = None
+        if watchdog is not None:
+            watchdog.check(
+                completed=sum(len(v) for v in latencies.values()),
+                elapsed_s=makespan, final=True)
+            slo_breaches = [b.message for b in watchdog.breaches]
+            if watchdog.flight_dump and not flight_dump:
+                flight_dump = watchdog.flight_dump
         return WorkloadReport(spec=spec, world=world, makespan_s=makespan,
                               latencies=latencies, violations=violations,
                               registry=registry,
                               balance_decisions=(list(balancer.decisions)
                                                  if balancer else None),
-                              flight_dump=flight_dump)
+                              flight_dump=flight_dump,
+                              slo_breaches=slo_breaches)
     finally:
         if world == "socket":
             net.world.shutdown()

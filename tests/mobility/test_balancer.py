@@ -152,3 +152,46 @@ class TestLoadBalancer:
         del node1.sites_by_name["hotsite"]
         assert balancer.tick() is None
         assert balancer.decisions == []
+
+
+class TestDecisionObservability:
+    """PR9: every ordered migration is first-class on the obs plane --
+    a ``balance_decide`` event carrying the policy's trigger and a
+    ``repro_balancer_decisions_total{src,dst,reason}`` counter."""
+
+    def _balanced_run(self, registry=None):
+        net = hot_cold_net()
+        sink = _Sink()
+        net.world.obs.subscribe(sink)
+        balancer = LoadBalancer(net, ThresholdPolicy(hot_load=4.0,
+                                                     imbalance=2.0),
+                                registry=registry)
+        balancer.install_sim(interval=2e-5, until=2e-3)
+        net.run()
+        assert balancer.decisions
+        return balancer, sink
+
+    def test_balance_decide_event_rides_with_the_legacy_balance(self):
+        balancer, sink = self._balanced_run()
+        decides = [e for e in sink.events if e.kind == "balance_decide"]
+        legacy = [e for e in sink.events if e.kind == "balance"]
+        assert len(decides) == len(legacy) == len(balancer.decisions)
+        first = balancer.decisions[0]
+        assert decides[0].src == first.src_ip
+        assert decides[0].dst == first.dest_ip
+        assert decides[0].note == f"{first.site_name} {first.reason}"
+
+    def test_decisions_counter_carries_src_dst_reason(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        balancer, _ = self._balanced_run(registry=registry)
+        first = balancer.decisions[0]
+        assert first.reason == "imbalance"
+        text = registry.render()
+        assert (f'repro_balancer_decisions_total{{src="{first.src_ip}",'
+                f'dst="{first.dest_ip}",reason="imbalance"}}') in text
+
+    def test_no_registry_means_no_counter_and_no_crash(self):
+        balancer, _ = self._balanced_run(registry=None)
+        assert balancer.registry is None
