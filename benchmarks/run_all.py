@@ -10,7 +10,10 @@ writes the baseline metric set (see baseline.py) -- the per-PR
 regression record compared by test_baseline.py.  With ``--json``,
 ``--only e1,e2`` restricts collection to those experiment groups and
 ``--repeats N`` overrides the timed-run count (default: the
-``REPRO_BENCH_REPEATS`` environment variable, else 5).
+``REPRO_BENCH_REPEATS`` environment variable, else 5).  Wall-clock
+rows gate on the min-of-k with ``_median``/``_spread_pct``
+companions and enforce per-row repeat floors, so ``--repeats`` only
+ever raises the count (docs/PERF.md "Measuring").
 """
 
 import importlib

@@ -77,8 +77,8 @@ class DiTyCONetwork:
         self.distgc = distgc
         self.gc_config = gc_config
         #: VM dispatch knobs for every site (None = env defaults; see
-        #: docs/PERF.md): ``engine`` picks "fast"/"slow" dispatch,
-        #: ``fusion`` toggles superinstructions.
+        #: docs/PERF.md): ``engine`` picks "compiled"/"fast"/"slow"
+        #: dispatch, ``fusion`` toggles superinstructions.
         self.engine = engine
         self.fusion = fusion
         #: Sampling profiler (repro.obs.profiler): a plain attribute

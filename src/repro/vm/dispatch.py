@@ -178,7 +178,8 @@ class DecodedBlock:
     when a block is replaced.
     """
 
-    __slots__ = ("instrs", "size", "heads", "run", "widths", "ones")
+    __slots__ = ("instrs", "size", "heads", "run", "widths", "ones",
+                 "compiled")
 
     def __init__(self, instrs, heads, run, widths):
         self.instrs = instrs
@@ -187,6 +188,12 @@ class DecodedBlock:
         self.run = run
         self.widths = widths
         self.ones = [1] * len(instrs)
+        # Tier-3 compiled function (repro.vm.compile), built lazily the
+        # first time the "compiled" engine executes this block.  Riding
+        # on the decoded entry gives it the closure plan's invalidation
+        # rules for free: identity mismatches, optimize_program clears
+        # and relinks all drop the stale function with the entry.
+        self.compiled = None
 
 
 def handler_kind(block: CodeBlock, pc: int) -> str:

@@ -108,15 +108,18 @@ class TycoVM:
         self.program = program
         self.port = port
         self.name = name
-        # Execution engine (docs/PERF.md): "fast" runs predecoded
-        # handler closures whenever nothing is tracing; "slow" forces
-        # the original instrumented loop (used by the differential
-        # suite).  ``fusion`` toggles superinstructions within the fast
-        # engine.  Both default from the environment so whole networks
-        # (and chaos scenarios) can be flipped without plumbing.
+        # Execution engine (docs/PERF.md): "compiled" runs per-block
+        # generated Python whenever nothing is tracing, falling back to
+        # the predecoded closures at slice boundaries; "fast" runs the
+        # predecoded handler closures; "slow" forces the original
+        # instrumented loop (used by the differential suite).
+        # ``fusion`` toggles superinstructions within the closure
+        # engine (and the compiled engine's fallback path).  Both
+        # default from the environment so whole networks (and chaos
+        # scenarios) can be flipped without plumbing.
         if engine is None:
-            engine = os.environ.get("REPRO_VM_ENGINE", "fast")
-        if engine not in ("fast", "slow"):
+            engine = os.environ.get("REPRO_VM_ENGINE", "compiled")
+        if engine not in ("compiled", "fast", "slow"):
             raise ValueError(f"unknown VM engine {engine!r}")
         if fusion is None:
             fusion = os.environ.get("REPRO_VM_FUSION", "1").lower() \
@@ -125,6 +128,14 @@ class TycoVM:
         self.fusion = bool(fusion)
         from .dispatch import predecode  # deferred: dispatch imports us
         self._predecode = predecode
+        if engine == "compiled":
+            from .compile import compile_block  # deferred: imports us
+            self._compile_block = compile_block
+            self._bare_slice = self._run_slice_compiled
+        elif engine == "fast":
+            self._bare_slice = self._run_slice_fast
+        else:
+            self._bare_slice = self._run_slice
         self.heap = Heap()
         self.runqueue = RunQueue()
         self.stats = VMStats()
@@ -237,9 +248,13 @@ class TycoVM:
         executed = 0
         if self.profiler is not None:
             run_slice = self._run_slice_profiled
-        elif self.tracer is None and self.engine == "fast" \
+        elif self.tracer is None \
                 and (self.obs is None or not self.obs.tracing):
-            run_slice = self._run_slice_fast
+            if self._bare_slice is self._run_slice_compiled:
+                executed = self._step_compiled(budget)
+                self.stats.instructions += executed
+                return executed
+            run_slice = self._bare_slice
         else:
             run_slice = self._run_slice
         runqueue = self.runqueue
@@ -250,6 +265,51 @@ class TycoVM:
                 self.current = runqueue.pop()
             executed += run_slice(self.current, budget - executed)
         self.stats.instructions += executed
+        return executed
+
+    def _step_compiled(self, budget: int) -> int:
+        """The untraced compiled-engine body of :meth:`step`: the outer
+        thread loop and the slice prologue fused into one frame.
+
+        TyCO threads are tiny ("a few tens of byte-code instructions"),
+        so per-thread fixed costs -- queue pop, decode-cache probe,
+        slice-function call -- dominate spawn-chain workloads like E1;
+        fusing them removes one Python call per context switch.
+        Accounting is identical to the generic loop by construction:
+        pops go through the run-queue counter, every slice charges
+        original widths, and a compiled function that yields early
+        hands the remainder to the closure engine exactly like
+        :meth:`_run_slice_compiled`.  ``program.blocks`` is re-read
+        every iteration (``optimize_program`` replaces the list).
+        """
+        executed = 0
+        runqueue = self.runqueue
+        queue = runqueue._queue
+        predecode = self._predecode
+        while executed < budget:
+            thread = self.current
+            if thread is None:
+                if not queue:
+                    break
+                runqueue.context_switches += 1
+                thread = self.current = queue.popleft()
+            program = self.program
+            bid = thread.block_id
+            block = program.blocks[bid]
+            cache = program.decoded_cache
+            dec = cache.get(bid)
+            if dec is None or dec.instrs is not block.instrs:
+                dec = predecode(program, block)
+                cache[bid] = dec
+            fn = dec.compiled
+            if fn is None:
+                fn = self._compile_block(program, bid, block)
+                dec.compiled = fn
+            ran = fn(self, thread, thread.frame, thread.stack,
+                     budget - executed, True)
+            executed += ran
+            if self.current is thread and executed < budget:
+                executed += self._run_slice_fast(thread, budget - executed)
         return executed
 
     def _run_slice_profiled(self, thread: Thread, budget: int) -> int:
@@ -264,9 +324,9 @@ class TycoVM:
         sample counters differ.
         """
         profiler = self.profiler
-        if self.tracer is None and self.engine == "fast" \
+        if self.tracer is None \
                 and (self.obs is None or not self.obs.tracing):
-            base = self._run_slice_fast
+            base = self._bare_slice
         else:
             base = self._run_slice
         executed = 0
@@ -325,6 +385,36 @@ class TycoVM:
                 executed += 1
                 if heads[pc](self, thread, frame, stack):
                     return executed
+        return executed
+
+    def _run_slice_compiled(self, thread: Thread, budget: int) -> int:
+        """Run ``thread`` on its exec-compiled block (repro.vm.compile).
+
+        The compiled function lives on the block's decoded-cache entry,
+        so it obeys the same identity-invalidation rules as the closure
+        plan (``link_bundle`` appends, ``optimize_program`` clears,
+        relinks after a restart).  It charges original instruction
+        widths and returns early -- with ``thread.pc`` stored -- when
+        the remaining budget is smaller than the next straight-line
+        segment or the thread resumes at an interior pc; the closure
+        engine then finishes the slice, landing boundaries on exactly
+        the instructions the instrumented loop would.
+        """
+        program = self.program
+        bid = thread.block_id
+        block = program.blocks[bid]
+        cache = program.decoded_cache
+        dec = cache.get(bid)
+        if dec is None or dec.instrs is not block.instrs:
+            dec = self._predecode(program, block)
+            cache[bid] = dec
+        fn = dec.compiled
+        if fn is None:
+            fn = self._compile_block(program, bid, block)
+            dec.compiled = fn
+        executed = fn(self, thread, thread.frame, thread.stack, budget)
+        if executed < budget and self.current is thread:
+            executed += self._run_slice_fast(thread, budget - executed)
         return executed
 
     def _run_slice(self, thread: Thread, budget: int) -> int:

@@ -13,17 +13,30 @@ Instructions for Instantiation').
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
 
 
-@dataclass(slots=True)
 class Thread:
-    """One runnable byte-code block with its bindings."""
+    """One runnable byte-code block with its bindings.
 
-    block_id: int
-    frame: list
-    pc: int = 0
-    stack: list = field(default_factory=list)
+    A hand-written slots class rather than a dataclass: thread
+    creation is on the per-reduction fast path (every rendezvous and
+    instantiation builds one), and the generated dataclass
+    ``__init__`` with its default-factory indirection measurably slows
+    the E1 spawn chain.
+    """
+
+    __slots__ = ("block_id", "frame", "pc", "stack")
+
+    def __init__(self, block_id: int, frame: list, pc: int = 0,
+                 stack: list | None = None) -> None:
+        self.block_id = block_id
+        self.frame = frame
+        self.pc = pc
+        self.stack = [] if stack is None else stack
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Thread(block_id={self.block_id}, frame={self.frame!r}, "
+                f"pc={self.pc}, stack={self.stack!r})")
 
 
 class RunQueue:

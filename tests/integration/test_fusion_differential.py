@@ -2,10 +2,11 @@
 
 The predecoded dispatch engine (docs/PERF.md) promises *observational
 identity*: for any program and any schedule, running with
-superinstruction fusion on, fusion off, or the original instrumented
-loop produces the same outputs, the same VMStats -- ``instructions``
-exactly, so every simulated schedule is untouched -- and the same
-final heap.  This file checks that promise end to end:
+superinstruction fusion on, fusion off, the tier-3 compiled engine
+(generated Python per block, src/repro/vm/compile.py), or the original
+instrumented loop produces the same outputs, the same VMStats --
+``instructions`` exactly, so every simulated schedule is untouched --
+and the same final heap.  This file checks that promise end to end:
 
 * every example ``.dityco`` program, single-VM;
 * every frozen chaos-corpus schedule, whole-network, by flipping the
@@ -32,7 +33,10 @@ PROGRAMS = Path(__file__).resolve().parents[2] / "examples" / "programs"
 DITYCO = sorted(PROGRAMS.glob("*.dityco"))
 
 #: (engine, fusion) arms compared against the ("slow", False) reference.
-ARMS = [("fast", True), ("fast", False)]
+#: PR10 adds the tier-3 compiled engine as a 4th arm: generated-Python
+#: blocks must match the instrumented loop as exactly as the closure
+#: engine does (see src/repro/vm/compile.py).
+ARMS = [("fast", True), ("fast", False), ("compiled", True)]
 
 
 def _run_vm(source, name, engine, fusion):

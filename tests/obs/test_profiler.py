@@ -15,8 +15,13 @@ from repro.runtime import DiTyCONetwork
 from tests.testkit import scenarios
 
 
-def _run(profile: bool, stride: int = 16, fusion: bool | None = None):
-    kwargs = {} if fusion is None else {"fusion": fusion}
+def _run(profile: bool, stride: int = 16, fusion: bool | None = None,
+         engine: str | None = None):
+    kwargs = {}
+    if fusion is not None:
+        kwargs["fusion"] = fusion
+    if engine is not None:
+        kwargs["engine"] = engine
     net = DiTyCONetwork(**kwargs)
     prof = None
     if profile:
@@ -58,6 +63,17 @@ class TestDeterminism:
         p_fused, _ = _run(True, stride=16, fusion=True)
         p_plain, _ = _run(True, stride=16, fusion=False)
         assert p_fused.collapsed() == p_plain.collapsed()
+
+    def test_attribution_is_engine_independent(self):
+        # The tier-3 compiled engine runs whole generated blocks, but
+        # profiled slices stay one-thread-per-call (no HALT chaining),
+        # so every (site, block, handler-kind) frame and count matches
+        # the closure engine byte for byte.
+        p_fast, d_fast = _run(True, stride=16, engine="fast")
+        p_comp, d_comp = _run(True, stride=16, engine="compiled")
+        assert p_comp.samples > 0
+        assert p_fast.collapsed() == p_comp.collapsed()
+        assert d_fast == d_comp
 
 
 class TestScheduleNeutrality:

@@ -71,6 +71,14 @@ class TestEnginePlumbing:
         monkeypatch.setenv("REPRO_VM_FUSION", "1")
         vm = TycoVM(compile_source("0"))
         assert vm.engine == "fast" and vm.fusion is True
+        monkeypatch.setenv("REPRO_VM_ENGINE", "compiled")
+        vm = TycoVM(compile_source("0"))
+        assert vm.engine == "compiled"
+
+    def test_default_engine_is_compiled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_VM_ENGINE", raising=False)
+        vm = TycoVM(compile_source("0"))
+        assert vm.engine == "compiled"
 
     def test_kwargs_override_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_VM_ENGINE", "slow")
@@ -108,20 +116,29 @@ class TestFusionPlan:
         assert snapshot(run(COUNTER, "fast", fusion=True, budget=1)) == ref
 
 
+#: Non-reference (engine, fusion) arms; every parity check below runs
+#: all of them against the ``slow`` reference.
+PARITY_ARMS = [("fast", False), ("fast", True),
+               ("compiled", False), ("compiled", True)]
+
+
 class TestEngineParity:
     @pytest.mark.parametrize("source", [COUNTER, CELL])
     @pytest.mark.parametrize("budget", [1, 2, 3, 7, 64, 100_000])
     def test_stats_identical_across_engines_and_budgets(self, source, budget):
         ref = snapshot(run(source, "slow"))
-        assert snapshot(run(source, "fast", fusion=False, budget=budget)) == ref
-        assert snapshot(run(source, "fast", fusion=True, budget=budget)) == ref
+        for engine, fusion in PARITY_ARMS:
+            got = snapshot(run(source, engine, fusion=fusion, budget=budget))
+            assert got == ref, f"{engine}/fusion={fusion} diverged"
 
     def test_parity_on_optimized_code(self):
         # Peephole-rewritten blocks (CLI --optimize) go through the
         # same predecoder; stats differ from unoptimized runs but must
         # agree between engines.
         ref = snapshot(run(CELL, "slow", optimize=True))
-        assert snapshot(run(CELL, "fast", optimize=True)) == ref
+        for engine, fusion in PARITY_ARMS:
+            assert snapshot(run(CELL, engine, fusion=fusion,
+                                optimize=True)) == ref
 
     def test_step_budget_exact_on_fast_engine(self):
         prog = compile_source("def Loop(n) = Loop[n + 1] in Loop[0]")
@@ -147,11 +164,23 @@ class TestEngineParity:
     def test_error_message_parity(self):
         bad = "print![1 / 0]"
         msgs = {}
-        for engine in ("slow", "fast"):
+        for engine in ("slow", "fast", "compiled"):
             with pytest.raises(VMRuntimeError) as exc:
                 run(bad, engine)
             msgs[engine] = str(exc.value)
-        assert msgs["slow"] == msgs["fast"]
+        assert msgs["slow"] == msgs["fast"] == msgs["compiled"]
+
+    @pytest.mark.parametrize("source", [
+        "def F(a, b) = print![a] in F[1]",       # too few arguments
+        "def F(a) = print![a] in F[1, 2]",       # too many arguments
+    ])
+    def test_arity_mismatch_parity(self, source):
+        msgs = set()
+        for engine in ("slow", "fast", "compiled"):
+            with pytest.raises(VMRuntimeError) as exc:
+                run(source, engine)
+            msgs.add(str(exc.value))
+        assert len(msgs) == 1 and "argument(s)" in msgs.pop()
 
 
 class TestBoolArithRejection:
@@ -166,16 +195,20 @@ class TestBoolArithRejection:
         "true % 1", "1 % true", "true + false",
     ])
     @pytest.mark.parametrize("engine,fusion", [
-        ("slow", False), ("fast", False), ("fast", True)])
+        ("slow", False), ("fast", False), ("fast", True),
+        ("compiled", True)])
     def test_bool_operand_raises(self, expr, engine, fusion):
         with pytest.raises(VMRuntimeError, match="arithmetic on booleans"):
             run(f"print![{expr}]", engine, fusion=fusion)
 
     def test_bool_operand_raises_in_fused_loop_body(self):
         # The operand reaches the op through a fused PUSHL+PUSHC+op
-        # shape inside a method body, not a top-level expression.
+        # shape inside a method body, not a top-level expression (and,
+        # on the compiled engine, through the inlined int fast path
+        # whose ``__class__ is int`` guard must exclude bool).
         src = "def F(n) = print![n + 1] in F[true]"
-        for engine, fusion in [("slow", False), ("fast", True)]:
+        for engine, fusion in [("slow", False), ("fast", True),
+                               ("compiled", True)]:
             with pytest.raises(VMRuntimeError, match="arithmetic on booleans"):
                 run(src, engine, fusion=fusion)
 
@@ -260,3 +293,125 @@ class TestDecodedCache:
             vm_off.step(3)
         assert vm_on.output == vm_off.output == [0]
         assert vm_on.stats.instructions == vm_off.stats.instructions
+
+
+class TestCompiledCache:
+    """The tier-3 compiled functions live on ``DecodedBlock.compiled``
+    beside the closure plan, so they inherit its invalidation rules:
+    identity checks drop stale entries, ``optimize_program`` clears
+    the cache, ``link_bundle`` appends without disturbing live
+    entries, and a restart rebuilds the program (fresh cache) -- the
+    generation-bump path."""
+
+    def test_compiled_fn_cached_and_shared(self):
+        prog = compile_source(COUNTER)
+        vm1 = TycoVM(prog, engine="compiled")
+        vm1.boot()
+        vm1.run(100_000)
+        fns = {bid: dec.compiled for bid, dec in prog.decoded_cache.items()
+               if dec.compiled is not None}
+        assert fns, "no block got a compiled function"
+        # A second VM over the same program reuses the same functions.
+        vm2 = TycoVM(prog, engine="compiled")
+        vm2.boot()
+        vm2.run(100_000)
+        for bid, fn in fns.items():
+            assert prog.decoded_cache[bid].compiled is fn
+        assert vm2.output == vm1.output == [0]
+
+    def test_optimize_program_drops_compiled_fns(self):
+        prog = compile_source(CELL)
+        vm = TycoVM(prog, engine="compiled")
+        vm.boot()
+        vm.run(100_000)
+        assert any(d.compiled for d in prog.decoded_cache.values())
+        optimize_program(prog)
+        assert prog.decoded_cache == {}
+        vm2 = TycoVM(prog, engine="compiled")
+        vm2.boot()
+        vm2.run(100_000)
+        assert vm2.output == ["done"]
+
+    def test_stale_entry_reinvalidated_by_identity(self):
+        # Hot-swapping a block (what a relink does) must not execute a
+        # stale compiled function: the decoded entry (and the compiled
+        # function hanging off it) is dropped on instruction-tuple
+        # identity mismatch.
+        prog = compile_source("print![1]")
+        vm = TycoVM(prog, engine="compiled")
+        vm.boot()
+        vm.run(100)
+        assert vm.output == [1]
+        old = prog.blocks[0]
+        instrs = list(old.instrs)
+        at = next(i for i, ins in enumerate(instrs)
+                  if ins.op is Op.PUSHC and ins.args == (1,))
+        instrs[at] = Instr(Op.PUSHC, (2,))
+        prog.blocks[0] = CodeBlock(
+            instrs=tuple(instrs),
+            nfree=old.nfree, nparams=old.nparams,
+            frame_size=old.frame_size, name=old.name)
+        vm2 = TycoVM(prog, engine="compiled")
+        vm2.boot()
+        vm2.run(100)
+        assert vm2.output == [2]
+
+    def test_literal_type_not_aliased_by_memo(self):
+        # 7 == 7.0 == True-as-1 in Python: the content-addressed memo
+        # must not hand the int program's function to the float one.
+        out = []
+        for lit in ("7 / 2", "7.0 / 2"):
+            vm = TycoVM(compile_source(f"print![{lit}]"), engine="compiled")
+            vm.boot()
+            vm.run(100)
+            out.append(vm.output[0])
+        assert out == [3, 3.5]
+
+    def test_link_bundle_keeps_compiled_entries(self):
+        donor = compile_source(COUNTER)
+        prog = compile_source("print![7]")
+        vm = TycoVM(prog, engine="compiled")
+        vm.boot()
+        vm.run(100)
+        cached = {bid: dec.compiled for bid, dec in
+                  prog.decoded_cache.items()}
+        bundle = extract_bundle(donor, block_roots=(0,))
+        result = link_bundle(prog, bundle)
+        for bid, fn in cached.items():
+            assert prog.decoded_cache[bid].compiled is fn
+        # The appended block compiles lazily and runs correctly.
+        linked = max(result.block_map.values())
+        vm2 = TycoVM(prog, engine="compiled")
+        vm2.boot()
+        blk = prog.blocks[linked]
+        # n = 0: the linked Count body goes straight to its print
+        # branch (the env channels are fresh stand-ins, so the message
+        # just queues -- what matters is the block executed compiled).
+        vm2.spawn(linked, tuple(
+            vm2.heap.new_channel() for _ in range(blk.nfree)), (0,))
+        vm2.run(100_000)
+        assert prog.decoded_cache[linked].compiled is not None
+
+    def test_restart_rebuild_gets_fresh_cache(self):
+        # A node restart re-materialises the site from its checkpoint:
+        # new Program, empty decoded cache -- the CodeCache
+        # generation-bump path can never see a stale compiled function
+        # because nothing survives but content-addressed bytes.
+        from repro.mobility.checkpoint import (read_checkpoint,
+                                               restore_site,
+                                               write_checkpoint)
+        from repro.runtime import DiTyCONetwork
+
+        net = DiTyCONetwork(engine="compiled")
+        net.add_nodes(["n1"])
+        net.launch("n1", "worker", COUNTER)
+        net.run()
+        site = net.site("worker")
+        assert site.output == [0]
+        donor_cache = site.vm.program.decoded_cache
+        assert any(d.compiled for d in donor_cache.values())
+        code, state = read_checkpoint(write_checkpoint(site))
+        rebuilt = restore_site(net.node("n1"), code, state)
+        assert rebuilt.vm.program.decoded_cache is not donor_cache
+        assert rebuilt.vm.program.decoded_cache == {}
+        assert rebuilt.vm.engine == "compiled"
